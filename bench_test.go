@@ -1,0 +1,408 @@
+// Benchmarks regenerating every figure of the paper's evaluation section
+// at a reduced default scale, so `go test -bench=.` finishes in minutes.
+// The cmd/ binaries run the same experiments at the paper's full scale
+// (n = 10000, p = 0.5, 20 graphs); see DESIGN.md's experiment index and
+// EXPERIMENTS.md for recorded full-scale results.
+//
+// Mapping (DESIGN.md ids):
+//
+//	FIG3-LEFT/MID/RIGHT  -> BenchmarkFig3Simulation, BenchmarkFig3Theory
+//	FIG4-TIME/RELAX      -> BenchmarkFig4Scaling/*
+//	FIG5-TIME/RELAX      -> BenchmarkFig5KSweep/*
+//	ABL-LOCALQUEUE       -> BenchmarkAblationLocalQueue (queue kind choice)
+//	ABL-STEAL            -> BenchmarkAblationSteal/*
+//	ABL-SPY              -> BenchmarkAblationSpy/*
+//	EXT-STRUCT           -> BenchmarkExtensionStructural/*
+//	EXT-MOSP             -> BenchmarkMultiObjective/*
+//	GLOBAL-PQ            -> BenchmarkGlobalHeapBaseline/*
+//	GRAN                 -> BenchmarkGranularity/*
+package repro_test
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro"
+	"repro/internal/harness"
+	"repro/internal/sssp"
+)
+
+// benchCommon is the reduced-scale workload for benchmarks.
+func benchCommon() harness.Common {
+	return harness.Common{N: 2000, EdgeP: 0.5, Graphs: 1, Seed: 20140215}
+}
+
+// BenchmarkFig3Simulation regenerates the Figure 3 left/middle series:
+// settled nodes and h*_t per phase for ρ ∈ {0, 128, 512}.
+func BenchmarkFig3Simulation(b *testing.B) {
+	cfg := harness.Fig3Config{
+		Common: benchCommon(),
+		Places: 80,
+		Rhos:   []int{0, 128, 512},
+		Theory: false,
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Fig3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for ri, rho := range res.Rhos {
+				b.ReportMetric(res.TotalRlx[ri], fmt.Sprintf("relaxed_rho%d", rho))
+			}
+		}
+	}
+}
+
+// BenchmarkFig3Theory regenerates the Figure 3 right panel: the Theorem 5
+// lower bound against the simulated settled counts at ρ = 0.
+func BenchmarkFig3Theory(b *testing.B) {
+	cfg := harness.Fig3Config{
+		Common: benchCommon(),
+		Places: 80,
+		Rhos:   []int{0},
+		Theory: true,
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Fig3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			sumB, sumS := 0.0, 0.0
+			for ph := range res.Bound {
+				sumB += res.Bound[ph]
+				sumS += res.SimRho0[ph]
+			}
+			b.ReportMetric(sumB, "bound_settled")
+			b.ReportMetric(sumS, "sim_settled")
+		}
+	}
+}
+
+// BenchmarkFig4Scaling regenerates Figure 4: total execution time and
+// nodes relaxed versus P for sequential, work-stealing, centralized and
+// hybrid (k = 512).
+func BenchmarkFig4Scaling(b *testing.B) {
+	common := benchCommon()
+	g := repro.ErdosRenyi(common.N, common.EdgeP, common.Seed)
+	want, reachable := repro.Dijkstra(g, 0)
+	b.Run("sequential/P=1", func(b *testing.B) {
+		var relaxed int64
+		for i := 0; i < b.N; i++ {
+			_, relaxed = repro.Dijkstra(g, 0)
+		}
+		b.ReportMetric(float64(relaxed), "nodes_relaxed")
+	})
+	for _, strat := range []repro.Strategy{repro.WorkStealing, repro.Centralized, repro.Hybrid} {
+		for _, places := range []int{1, 2, 4, 8, 16} {
+			b.Run(fmt.Sprintf("%s/P=%d", strat, places), func(b *testing.B) {
+				sv, err := sssp.NewSolver(g.N, sssp.Options{
+					Places: places, Strategy: strat, K: 512, Seed: common.Seed,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var total int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := sv.Solve(g.Graph, 0)
+					if err != nil {
+						b.Fatal(err)
+					}
+					total += res.NodesRelaxed
+					if res.NodesRelaxed < reachable {
+						b.Fatalf("relaxed %d < reachable %d", res.NodesRelaxed, reachable)
+					}
+					if i == 0 && !sssp.Equal(res.Dist, want, 1e-9) {
+						b.Fatal("distance verification failed")
+					}
+				}
+				b.ReportMetric(float64(total)/float64(b.N), "nodes_relaxed")
+			})
+		}
+	}
+}
+
+// BenchmarkFig5KSweep regenerates Figure 5: total execution time and nodes
+// relaxed versus k for the centralized and hybrid structures at fixed P.
+func BenchmarkFig5KSweep(b *testing.B) {
+	common := benchCommon()
+	g := repro.ErdosRenyi(common.N, common.EdgeP, common.Seed)
+	want, _ := repro.Dijkstra(g, 0)
+	const places = 8
+	for _, strat := range []repro.Strategy{repro.Centralized, repro.Hybrid} {
+		for _, k := range []int{0, 4, 32, 256, 512, 4096, 32768} {
+			b.Run(fmt.Sprintf("%s/k=%d", strat, k), func(b *testing.B) {
+				kmax := 512
+				if k > kmax {
+					kmax = k
+				}
+				sv, err := sssp.NewSolver(g.N, sssp.Options{
+					Places: places, Strategy: strat, K: k, KMax: kmax, Seed: common.Seed,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var total int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := sv.Solve(g.Graph, 0)
+					if err != nil {
+						b.Fatal(err)
+					}
+					total += res.NodesRelaxed
+					if i == 0 && !sssp.Equal(res.Dist, want, 1e-9) {
+						b.Fatal("distance verification failed")
+					}
+				}
+				b.ReportMetric(float64(total)/float64(b.N), "nodes_relaxed")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationSteal contrasts steal-half with steal-one (ABL-STEAL):
+// the paper argues steal-half spreads tasks faster through the system.
+func BenchmarkAblationSteal(b *testing.B) {
+	common := benchCommon()
+	g := repro.ErdosRenyi(common.N, common.EdgeP, common.Seed)
+	for _, strat := range []repro.Strategy{repro.WorkStealing, repro.WorkStealingStealOne} {
+		b.Run(strat.String(), func(b *testing.B) {
+			sv, err := sssp.NewSolver(g.N, sssp.Options{
+				Places: 8, Strategy: strat, K: 512, Seed: common.Seed,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var total int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := sv.Solve(g.Graph, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += res.NodesRelaxed
+			}
+			b.ReportMetric(float64(total)/float64(b.N), "nodes_relaxed")
+		})
+	}
+}
+
+// BenchmarkAblationSpy contrasts the hybrid structure with and without
+// spying (ABL-SPY): the paper credits spying for halving wasted work at
+// very large k (§5.5).
+func BenchmarkAblationSpy(b *testing.B) {
+	common := benchCommon()
+	g := repro.ErdosRenyi(common.N, common.EdgeP, common.Seed)
+	for _, strat := range []repro.Strategy{repro.Hybrid, repro.HybridNoSpy} {
+		b.Run(strat.String(), func(b *testing.B) {
+			sv, err := sssp.NewSolver(g.N, sssp.Options{
+				Places: 8, Strategy: strat, K: 8192, KMax: 8192, Seed: common.Seed,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var total int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := sv.Solve(g.Graph, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += res.NodesRelaxed
+			}
+			b.ReportMetric(float64(total)/float64(b.N), "nodes_relaxed")
+		})
+	}
+}
+
+// BenchmarkAblationLocalQueue contrasts binary-heap against pairing-heap
+// place-local queues (§4.1: "any sequential priority queue can be used").
+func BenchmarkAblationLocalQueue(b *testing.B) {
+	common := benchCommon()
+	g := repro.ErdosRenyi(common.N, common.EdgeP, common.Seed)
+	for _, lq := range []struct {
+		name string
+		kind repro.LocalQueueKind
+	}{{"binary-heap", repro.BinaryHeap}, {"pairing-heap", repro.PairingHeap}} {
+		b.Run(lq.name, func(b *testing.B) {
+			sv, err := sssp.NewSolver(g.N, sssp.Options{
+				Places: 8, Strategy: repro.Centralized, K: 512,
+				LocalQueue: lq.kind, Seed: common.Seed,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sv.Solve(g.Graph, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExtensionStructural compares the §5.3 structural queue against
+// the paper's hybrid structure on the same workload (EXT-STRUCT).
+func BenchmarkExtensionStructural(b *testing.B) {
+	common := benchCommon()
+	g := repro.ErdosRenyi(common.N, common.EdgeP, common.Seed)
+	for _, strat := range []repro.Strategy{repro.Hybrid, repro.Relaxed} {
+		b.Run(strat.String(), func(b *testing.B) {
+			sv, err := sssp.NewSolver(g.N, sssp.Options{
+				Places: 8, Strategy: strat, K: 512, Seed: common.Seed,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var total int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := sv.Solve(g.Graph, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += res.NodesRelaxed
+			}
+			b.ReportMetric(float64(total)/float64(b.N), "nodes_relaxed")
+		})
+	}
+}
+
+// BenchmarkGlobalHeapBaseline measures the single shared priority queue
+// the paper argues against (GLOBAL-PQ): strict ordering, zero scaling.
+func BenchmarkGlobalHeapBaseline(b *testing.B) {
+	common := benchCommon()
+	g := repro.ErdosRenyi(common.N, common.EdgeP, common.Seed)
+	for _, places := range []int{1, 8} {
+		b.Run(fmt.Sprintf("P=%d", places), func(b *testing.B) {
+			sv, err := sssp.NewSolver(g.N, sssp.Options{
+				Places: places, Strategy: repro.GlobalHeap, K: 512, Seed: common.Seed,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var total int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := sv.Solve(g.Graph, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += res.NodesRelaxed
+			}
+			b.ReportMetric(float64(total)/float64(b.N), "nodes_relaxed")
+		})
+	}
+}
+
+// BenchmarkGranularity reproduces §5.5's granularity observation (GRAN):
+// hybrid versus work-stealing at two task grain sizes.
+func BenchmarkGranularity(b *testing.B) {
+	common := benchCommon()
+	g := repro.ErdosRenyi(common.N, common.EdgeP, common.Seed)
+	for _, spin := range []int{0, 256} {
+		for _, strat := range []repro.Strategy{repro.WorkStealing, repro.Hybrid} {
+			b.Run(fmt.Sprintf("spin=%d/%s", spin, strat), func(b *testing.B) {
+				sv, err := sssp.NewSolver(g.N, sssp.Options{
+					Places: 8, Strategy: strat, K: 512,
+					Seed: common.Seed, SpinWork: spin,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := sv.Solve(g.Graph, 0); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkMultiObjective measures the §6 extension: parallel Pareto
+// shortest path search vs the sequential Martins oracle (EXT-MOSP).
+func BenchmarkMultiObjective(b *testing.B) {
+	bg := repro.RandomBiGraph(300, 0.1, 7)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			repro.MultiObjectiveSequential(bg, 0)
+		}
+	})
+	for _, strat := range []repro.Strategy{repro.WorkStealing, repro.Hybrid} {
+		b.Run(strat.String(), func(b *testing.B) {
+			var total int64
+			for i := 0; i < b.N; i++ {
+				res, err := repro.SolveMultiObjective(bg, 0, repro.MultiObjectiveOptions{
+					Places: 8, Strategy: strat, K: 64, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += res.LabelsProcessed
+			}
+			b.ReportMetric(float64(total)/float64(b.N), "labels_processed")
+		})
+	}
+}
+
+// BenchmarkDSThroughput measures raw push/pop throughput of each data
+// structure under balanced producer/consumer load (micro-benchmark, not a
+// paper figure).
+func BenchmarkDSThroughput(b *testing.B) {
+	mk := map[string]func() (repro.PriorityDS[int64], error){
+		"work-stealing": func() (repro.PriorityDS[int64], error) {
+			return repro.NewWorkStealingDS(dsCfg())
+		},
+		"centralized": func() (repro.PriorityDS[int64], error) {
+			return repro.NewCentralizedDS(dsCfg())
+		},
+		"hybrid": func() (repro.PriorityDS[int64], error) {
+			return repro.NewHybridDS(dsCfg())
+		},
+		"relaxed": func() (repro.PriorityDS[int64], error) {
+			return repro.NewRelaxedDS(dsCfg())
+		},
+	}
+	for name, f := range mk {
+		b.Run(name, func(b *testing.B) {
+			d, err := f()
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Place ids must be goroutine-unique. RunParallel spawns
+			// exactly GOMAXPROCS goroutines (parallelism 1), and the
+			// structure was built with GOMAXPROCS places, so a counter
+			// reset per invocation hands each goroutine its own place.
+			var placeCounter atomic.Int64
+			b.RunParallel(func(pb *testing.PB) {
+				pl := int(placeCounter.Add(1)-1) % dsPlaces()
+				i := int64(0)
+				for pb.Next() {
+					if i%2 == 0 {
+						d.Push(pl, 512, i)
+					} else {
+						d.Pop(pl)
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
+func dsPlaces() int { return runtime.GOMAXPROCS(0) }
+
+func dsCfg() repro.DSConfig[int64] {
+	return repro.DSConfig[int64]{
+		Places: dsPlaces(),
+		Less:   func(a, b int64) bool { return a < b },
+		Seed:   1,
+	}
+}

@@ -1,0 +1,184 @@
+// Branch-and-bound 0/1 knapsack with best-first priority scheduling.
+//
+// This is the class of workload the paper's introduction motivates:
+// applications that "can benefit from attempting to execute tasks in a
+// specific order". Each task is a partial assignment of items; its
+// priority is the fractional-relaxation upper bound on the achievable
+// value (higher bound first, so the priority function inverts the
+// comparison). Exploring high-bound subtrees first tightens the incumbent
+// quickly, which prunes low-bound subtrees without expanding them — a
+// strict priority order explores near-minimal trees, work-stealing's
+// local-only order explores more, and the k-priority structures sit in
+// between, tunable by k.
+//
+// The example solves the same instance with every strategy, checks that
+// all agree on the optimal value (verified against exhaustive DP), and
+// prints how many subproblems each expanded.
+//
+// Run with:
+//
+//	go run ./examples/knapsack [-items 34] [-places 8] [-k 64]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"repro"
+	"repro/internal/xrand"
+)
+
+type item struct {
+	value, weight float64
+}
+
+type node struct {
+	bound float64 // fractional upper bound: priority (bigger = better)
+	value float64 // value collected so far
+	slack float64 // remaining capacity
+	depth int32   // next item to decide
+}
+
+func main() {
+	var (
+		nItems = flag.Int("items", 34, "number of items")
+		places = flag.Int("places", 8, "parallel places")
+		k      = flag.Int("k", 64, "relaxation parameter")
+	)
+	flag.Parse()
+
+	// Deterministic strongly-correlated instance (value = weight + 10),
+	// the classic hard case for branch-and-bound, with integer weights so
+	// the DP oracle below is exact.
+	r := xrand.New(4242)
+	items := make([]item, *nItems)
+	totalW := 0.0
+	for i := range items {
+		w := float64(1 + r.Intn(99))
+		items[i] = item{weight: w, value: w + 10}
+		totalW += w
+	}
+	capacity := float64(int(totalW * 0.4))
+	// Best-first B&B needs items by value density for the bound.
+	sort.Slice(items, func(i, j int) bool {
+		return items[i].value/items[i].weight > items[j].value/items[j].weight
+	})
+
+	// Fractional relaxation bound from item d with remaining capacity c.
+	bound := func(value, c float64, d int32) float64 {
+		b := value
+		for i := int(d); i < len(items); i++ {
+			if items[i].weight <= c {
+				c -= items[i].weight
+				b += items[i].value
+			} else {
+				b += items[i].value * c / items[i].weight
+				break
+			}
+		}
+		return b
+	}
+
+	exact := dpOptimum(items, capacity)
+	fmt.Printf("%d items, capacity %.1f, optimum (DP oracle): %.4f\n\n", *nItems, capacity, exact)
+	fmt.Printf("%-14s %12s %12s %10s\n", "strategy", "expanded", "value", "time")
+
+	for _, strategy := range []repro.Strategy{
+		repro.WorkStealing, repro.Centralized, repro.Hybrid, repro.Relaxed,
+	} {
+		var incumbentBits atomic.Uint64 // best value found so far
+		var expanded atomic.Int64
+		incumbent := func() float64 { return f64(incumbentBits.Load()) }
+		raise := func(v float64) {
+			for {
+				old := incumbentBits.Load()
+				if f64(old) >= v {
+					return
+				}
+				if incumbentBits.CompareAndSwap(old, bits(v)) {
+					return
+				}
+			}
+		}
+
+		s, err := repro.NewScheduler(repro.SchedulerConfig[node]{
+			Places:   *places,
+			Strategy: strategy,
+			K:        *k,
+			// Higher bound = higher priority.
+			Less: func(a, b node) bool { return a.bound > b.bound },
+			// A task whose bound can no longer beat the incumbent is dead.
+			Stale: func(n node) bool { return n.bound <= incumbent() },
+			Execute: func(ctx repro.Ctx[node], n node) {
+				if n.bound <= incumbent() {
+					return // pruned
+				}
+				expanded.Add(1)
+				d := n.depth
+				if int(d) == len(items) {
+					raise(n.value)
+					return
+				}
+				it := items[d]
+				// Branch 1: take the item (if it fits).
+				if it.weight <= n.slack {
+					take := node{
+						value: n.value + it.value,
+						slack: n.slack - it.weight,
+						depth: d + 1,
+					}
+					take.bound = bound(take.value, take.slack, take.depth)
+					if take.bound > incumbent() {
+						ctx.Spawn(take)
+					}
+				}
+				// Branch 2: skip the item.
+				skip := node{value: n.value, slack: n.slack, depth: d + 1}
+				skip.bound = bound(skip.value, skip.slack, skip.depth)
+				if skip.bound > incumbent() {
+					ctx.Spawn(skip)
+				}
+			},
+			Seed: 11,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		root := node{slack: capacity}
+		root.bound = bound(0, capacity, 0)
+		st, err := s.Run(root)
+		if err != nil {
+			log.Fatal(err)
+		}
+		got := incumbent()
+		fmt.Printf("%-14s %12d %12.4f %10v\n", strategy, expanded.Load(), got, st.Elapsed)
+		if diff := got - exact; diff > 1e-6 || diff < -1e-6 {
+			log.Fatalf("FAILED: %s found %.6f, optimum is %.6f", strategy, got, exact)
+		}
+	}
+	fmt.Println("\nall strategies found the optimum; expansion counts show how much")
+	fmt.Println("pruning each priority order enabled (smaller = closer to best-first).")
+}
+
+// dpOptimum solves the instance exactly by dynamic programming (weights
+// are integers by construction, so this is an exact oracle).
+func dpOptimum(items []item, capacity float64) float64 {
+	capInt := int(capacity)
+	best := make([]float64, capInt+1)
+	for i := range items {
+		w := int(items[i].weight)
+		for c := capInt; c >= w; c-- {
+			if v := best[c-w] + items[i].value; v > best[c] {
+				best[c] = v
+			}
+		}
+	}
+	return best[capInt]
+}
+
+func bits(v float64) uint64 { return math.Float64bits(v) }
+func f64(b uint64) float64  { return math.Float64frombits(b) }

@@ -1,0 +1,151 @@
+package repro_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro"
+)
+
+func TestPublicGraphIO(t *testing.T) {
+	g := repro.ErdosRenyi(80, 0.2, 5)
+	var buf bytes.Buffer
+	if err := repro.WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := repro.ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N != g.N || back.M() != g.M() {
+		t.Fatalf("round trip: n=%d m=%d, want n=%d m=%d", back.N, back.M(), g.N, g.M())
+	}
+	wantDist, _ := repro.Dijkstra(g, 0)
+	gotDist, _ := repro.Dijkstra(back, 0)
+	for i := range wantDist {
+		if wantDist[i] != gotDist[i] {
+			t.Fatalf("distances changed by round trip at %d", i)
+		}
+	}
+	if _, err := repro.ReadGraph(bytes.NewBufferString("garbage")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestPublicMultiObjective(t *testing.T) {
+	bg := repro.RandomBiGraph(60, 0.2, 9)
+	want, useful := repro.MultiObjectiveSequential(bg, 0)
+	if useful <= 0 {
+		t.Fatal("no labels processed sequentially")
+	}
+	res, err := repro.SolveMultiObjective(bg, 0, repro.MultiObjectiveOptions{
+		Places: 4, Strategy: repro.Hybrid, K: 32, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !res.Fronts[i].Equal(&want[i]) {
+			t.Fatalf("front mismatch at node %d", i)
+		}
+	}
+	if res.LabelsProcessed < useful {
+		t.Fatalf("processed %d < useful %d", res.LabelsProcessed, useful)
+	}
+	if _, err := repro.SolveMultiObjective(bg, -1, repro.MultiObjectiveOptions{
+		Places: 1, Strategy: repro.Hybrid,
+	}); err == nil {
+		t.Fatal("invalid source accepted")
+	}
+}
+
+func TestPublicParetoTypes(t *testing.T) {
+	var f repro.ParetoFront
+	if !f.Insert(repro.ParetoCost{C1: 2, C2: 2}) {
+		t.Fatal("insert failed")
+	}
+	if f.Insert(repro.ParetoCost{C1: 3, C2: 3}) {
+		t.Fatal("dominated point inserted")
+	}
+	if !(repro.ParetoCost{C1: 1, C2: 1}).Dominates(repro.ParetoCost{C1: 2, C2: 2}) {
+		t.Fatal("dominance broken")
+	}
+}
+
+func TestPublicSchedulerStatsAccessor(t *testing.T) {
+	s, err := repro.NewScheduler(repro.SchedulerConfig[int]{
+		Places:   2,
+		Strategy: repro.WorkStealing,
+		Less:     func(a, b int) bool { return a < b },
+		Execute:  func(ctx repro.Ctx[int], v int) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Pushes != 3 || st.Pops != 3 {
+		t.Fatalf("Stats = %+v", st)
+	}
+}
+
+func TestPublicLocalQueueKinds(t *testing.T) {
+	g := repro.ErdosRenyi(150, 0.2, 11)
+	want, _ := repro.Dijkstra(g, 0)
+	for _, lq := range []repro.LocalQueueKind{
+		repro.BinaryHeap, repro.PairingHeap, repro.SkipListQueue,
+	} {
+		res, err := repro.SolveSSSP(g, 0, repro.SSSPOptions{
+			Places: 3, Strategy: repro.Hybrid, K: 32, LocalQueue: lq, Seed: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if res.Dist[i] != want[i] {
+				t.Fatalf("queue kind %d: distance mismatch", lq)
+			}
+		}
+	}
+}
+
+func TestPublicRMATGraphSSSP(t *testing.T) {
+	// Skewed-degree graphs: every strategy still computes exact distances.
+	g := repro.RMATGraph(9, 8, 17)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := repro.Dijkstra(g, 0)
+	for _, strat := range []repro.Strategy{repro.WorkStealing, repro.Hybrid} {
+		res, err := repro.SolveSSSP(g, 0, repro.SSSPOptions{
+			Places: 4, Strategy: strat, K: 64, Seed: 18,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			a, b := want[i], res.Dist[i]
+			if a != b && !(a > 1e308 && b > 1e308) {
+				t.Fatalf("%s: RMAT distance mismatch at %d", strat, i)
+			}
+		}
+	}
+}
+
+func TestPublicSpinWorkGranularity(t *testing.T) {
+	// The GRAN experiment's artificial work hook must not affect results.
+	g := repro.GridGraph(12, 12, 13)
+	want, _ := repro.Dijkstra(g, 0)
+	res, err := repro.SolveSSSP(g, 0, repro.SSSPOptions{
+		Places: 4, Strategy: repro.WorkStealing, K: 16, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if res.Dist[i] != want[i] {
+			t.Fatal("distance mismatch")
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Package core defines the common contract shared by the three priority
+// scheduling data structures of the paper (Section 2.1): a centralized
+// global component plus one local component per place, accessed through
+// push and pop operations that are always executed in the context of a
+// specific place.
+//
+// The contract mirrors the paper's data structure model:
+//
+//   - push stores a task for later execution, with a per-task relaxation
+//     parameter k;
+//   - pop returns some stored task and removes it; each pushed task is
+//     returned by pop exactly once;
+//   - pop may spuriously fail (return ok == false) as long as another
+//     place is making progress — schedulers must treat a failed pop as
+//     "retry", not "empty";
+//   - the task returned need not be the globally highest-priority task;
+//     the ordering guarantee is implementation-specific (ρ-relaxation for
+//     the k-priority structures, none across places for work-stealing).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/pq"
+)
+
+// DS is the data structure interface the scheduling system programs
+// against. Push and Pop must only be invoked with 0 ≤ place < Places, and
+// each place value must be used by at most one goroutine at a time (the
+// place's local component is single-owner by construction).
+type DS[T any] interface {
+	// Push stores v with relaxation parameter k on behalf of place.
+	Push(place int, k int, v T)
+	// Pop removes and returns a stored task on behalf of place.
+	// ok == false is a (possibly spurious) failure.
+	Pop(place int) (v T, ok bool)
+	// Stats returns aggregated operation counters. It may be called
+	// concurrently with operations; values are internally consistent per
+	// counter but not across counters.
+	Stats() Stats
+}
+
+// LocalQueueKind selects the sequential priority queue used for the
+// place-local components ("any sequential implementation of a priority
+// queue can be used", §4.1).
+type LocalQueueKind int
+
+const (
+	// BinaryHeap selects the array-backed binary heap (default).
+	BinaryHeap LocalQueueKind = iota
+	// PairingHeap selects the pointer-based pairing heap.
+	PairingHeap
+	// SkipListQueue selects the skip-list queue (O(1) pop-min).
+	SkipListQueue
+)
+
+// NewLocalQueue constructs a sequential priority queue of the given kind.
+// The seed drives the skip list's level randomness (unused by the heaps).
+func NewLocalQueue[E any](kind LocalQueueKind, less func(a, b E) bool, seed uint64) pq.Queue[E] {
+	switch kind {
+	case PairingHeap:
+		return pq.NewPairingHeap(less)
+	case SkipListQueue:
+		return pq.NewSkipList(less, seed)
+	default:
+		return pq.NewBinHeap(less)
+	}
+}
+
+// Options configures a data structure instance. Less is the paper's
+// priority function: Less(a, b) reports whether a has higher priority
+// (is scheduled before) b.
+type Options[T any] struct {
+	// Places is the number of places (threads of execution). Must be ≥ 1.
+	Places int
+	// Less orders tasks; smaller-first. Required.
+	Less func(a, b T) bool
+	// Stale optionally marks dead tasks (§5.1): tasks superseded by a
+	// re-insertion with improved priority. Pop eliminates stale tasks
+	// lazily instead of returning them.
+	Stale func(T) bool
+	// OnEliminate is invoked once for every task retired through the
+	// Stale predicate (never concurrently for the same task). The
+	// scheduler uses it to settle its outstanding-task accounting.
+	OnEliminate func(T)
+	// KMax bounds per-task k values for the centralized structure, which
+	// must probe a bounded window past the tail (§4.1.2). Defaults to 512,
+	// the paper's choice.
+	KMax int
+	// LocalQueue selects the sequential priority queue implementation for
+	// the place-local components.
+	LocalQueue LocalQueueKind
+	// Seed makes all internal randomization deterministic.
+	Seed uint64
+}
+
+// DefaultKMax is the paper's kmax (§4.1.2).
+const DefaultKMax = 512
+
+// Validate normalizes defaults and reports configuration errors.
+func (o *Options[T]) Validate() error {
+	if o.Places < 1 {
+		return fmt.Errorf("core: Places = %d, need at least 1", o.Places)
+	}
+	if o.Less == nil {
+		return fmt.Errorf("core: Less function is required")
+	}
+	if o.KMax <= 0 {
+		o.KMax = DefaultKMax
+	}
+	return nil
+}
+
+// ClampK normalizes a per-task k against kmax: k < 1 is treated as 1
+// (k = 0 demands strict ordering, and a window of one slot — insert
+// exactly at the tail — is the strictest the array scheme expresses).
+func ClampK(k, kmax int) int {
+	if k < 1 {
+		return 1
+	}
+	if k > kmax {
+		return kmax
+	}
+	return k
+}
+
+// Stats aggregates operation counters across places. All counters are
+// totals since construction.
+type Stats struct {
+	Pushes       int64 // tasks stored
+	Pops         int64 // tasks returned by pop
+	PopFailures  int64 // pops that returned ok == false
+	Eliminated   int64 // stale tasks retired without execution
+	TailAdvances int64 // centralized: tail window moves
+	Probes       int64 // centralized: random probes past tail
+	ProbeHits    int64 // centralized: probes that returned a task
+	Publishes    int64 // hybrid: local lists appended to the global list
+	Spies        int64 // hybrid: spy attempts
+	SpyHits      int64 // hybrid: spy attempts that found tasks
+	Steals       int64 // work-stealing: steal attempts
+	StealHits    int64 // work-stealing: steals that obtained tasks
+	StolenTasks  int64 // work-stealing: tasks moved by successful steals
+}
+
+// Sub returns s minus other, counter by counter. Used to compute per-run
+// deltas from cumulative counters.
+func (s Stats) Sub(other Stats) Stats {
+	return Stats{
+		Pushes:       s.Pushes - other.Pushes,
+		Pops:         s.Pops - other.Pops,
+		PopFailures:  s.PopFailures - other.PopFailures,
+		Eliminated:   s.Eliminated - other.Eliminated,
+		TailAdvances: s.TailAdvances - other.TailAdvances,
+		Probes:       s.Probes - other.Probes,
+		ProbeHits:    s.ProbeHits - other.ProbeHits,
+		Publishes:    s.Publishes - other.Publishes,
+		Spies:        s.Spies - other.Spies,
+		SpyHits:      s.SpyHits - other.SpyHits,
+		Steals:       s.Steals - other.Steals,
+		StealHits:    s.StealHits - other.StealHits,
+		StolenTasks:  s.StolenTasks - other.StolenTasks,
+	}
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Pushes += other.Pushes
+	s.Pops += other.Pops
+	s.PopFailures += other.PopFailures
+	s.Eliminated += other.Eliminated
+	s.TailAdvances += other.TailAdvances
+	s.Probes += other.Probes
+	s.ProbeHits += other.ProbeHits
+	s.Publishes += other.Publishes
+	s.Spies += other.Spies
+	s.SpyHits += other.SpyHits
+	s.Steals += other.Steals
+	s.StealHits += other.StealHits
+	s.StolenTasks += other.StolenTasks
+}
+
+// String renders the non-zero counters compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"pushes=%d pops=%d popFail=%d elim=%d tailAdv=%d probes=%d/%d publishes=%d spies=%d/%d steals=%d/%d stolen=%d",
+		s.Pushes, s.Pops, s.PopFailures, s.Eliminated, s.TailAdvances,
+		s.ProbeHits, s.Probes, s.Publishes, s.SpyHits, s.Spies,
+		s.StealHits, s.Steals, s.StolenTasks)
+}

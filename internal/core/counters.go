@@ -1,0 +1,52 @@
+package core
+
+import "sync/atomic"
+
+// Counters is the per-place counter block. Counters are written only by
+// the owning place's goroutine but may be read by Stats at any time, so
+// they are atomics; the trailing pad keeps adjacent places' blocks on
+// separate cache lines when embedded in a contiguous slice.
+type Counters struct {
+	Pushes       atomic.Int64
+	Pops         atomic.Int64
+	PopFailures  atomic.Int64
+	Eliminated   atomic.Int64
+	TailAdvances atomic.Int64
+	Probes       atomic.Int64
+	ProbeHits    atomic.Int64
+	Publishes    atomic.Int64
+	Spies        atomic.Int64
+	SpyHits      atomic.Int64
+	Steals       atomic.Int64
+	StealHits    atomic.Int64
+	StolenTasks  atomic.Int64
+	_            [24]byte
+}
+
+// Snapshot converts the counter block into a Stats value.
+func (c *Counters) Snapshot() Stats {
+	return Stats{
+		Pushes:       c.Pushes.Load(),
+		Pops:         c.Pops.Load(),
+		PopFailures:  c.PopFailures.Load(),
+		Eliminated:   c.Eliminated.Load(),
+		TailAdvances: c.TailAdvances.Load(),
+		Probes:       c.Probes.Load(),
+		ProbeHits:    c.ProbeHits.Load(),
+		Publishes:    c.Publishes.Load(),
+		Spies:        c.Spies.Load(),
+		SpyHits:      c.SpyHits.Load(),
+		Steals:       c.Steals.Load(),
+		StealHits:    c.StealHits.Load(),
+		StolenTasks:  c.StolenTasks.Load(),
+	}
+}
+
+// SumCounters aggregates a slice of per-place counter blocks.
+func SumCounters(cs []Counters) Stats {
+	var s Stats
+	for i := range cs {
+		s.Add(cs[i].Snapshot())
+	}
+	return s
+}

@@ -1,0 +1,540 @@
+// Package dstest is a conformance test suite for implementations of
+// core.DS. Each data structure package runs the full suite against its
+// constructor, so the shared contract of Section 2.1 — exactly-once
+// delivery, no lost tasks, spurious-failure-only emptiness, stale-task
+// elimination — is checked uniformly.
+package dstest
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/xrand"
+)
+
+// Factory builds a DS under test for the given options.
+type Factory func(opts core.Options[int64]) (core.DS[int64], error)
+
+// Flags tailors the suite to a structure's documented guarantees.
+type Flags struct {
+	// NoLocalOrdering skips the single-place strict-priority-order check.
+	// It applies to structures whose relaxation is structural rather than
+	// temporal (internal/relaxed): even a lone place distributes tasks
+	// over several lanes, so pops are only ρ-approximate.
+	NoLocalOrdering bool
+	// NoCrossPlaceDrain skips the test requiring an idle place to obtain
+	// every task pushed elsewhere. It applies to ablation variants that
+	// intentionally cripple the distribution mechanism (hybrid/no-spy).
+	NoCrossPlaceDrain bool
+}
+
+// Run executes the complete conformance suite.
+func Run(t *testing.T, name string, mk Factory) {
+	RunFlags(t, name, mk, Flags{})
+}
+
+// RunFlags executes the conformance suite with guarantee-specific opt-outs.
+func RunFlags(t *testing.T, name string, mk Factory, f Flags) {
+	t.Run(name+"/SingleTask", func(t *testing.T) { singleTask(t, mk) })
+	t.Run(name+"/SequentialDrain", func(t *testing.T) { sequentialDrain(t, mk) })
+	if !f.NoLocalOrdering {
+		t.Run(name+"/LocalOrdering", func(t *testing.T) { localOrdering(t, mk) })
+	}
+	t.Run(name+"/KBoundaries", func(t *testing.T) { kBoundaries(t, mk) })
+	t.Run(name+"/StaleElimination", func(t *testing.T) { staleElimination(t, mk) })
+	if !f.NoCrossPlaceDrain {
+		t.Run(name+"/CrossPlaceVisibility", func(t *testing.T) { crossPlaceVisibility(t, mk) })
+	}
+	t.Run(name+"/ConcurrentExactlyOnce", func(t *testing.T) { concurrentExactlyOnce(t, mk) })
+	t.Run(name+"/ConcurrentProducerConsumer", func(t *testing.T) { producerConsumer(t, mk) })
+	t.Run(name+"/ConcurrentStaleFlips", func(t *testing.T) { concurrentStaleFlips(t, mk) })
+	t.Run(name+"/StatsAccounting", func(t *testing.T) { statsAccounting(t, mk) })
+	t.Run(name+"/SmallLiveSetChurn", func(t *testing.T) { smallLiveSetChurn(t, mk) })
+	t.Run(name+"/BurstDrainCycles", func(t *testing.T) { burstDrainCycles(t, mk) })
+	t.Run(name+"/ManyPlacesSmoke", func(t *testing.T) { manyPlacesSmoke(t, mk) })
+	if !f.NoLocalOrdering {
+		t.Run(name+"/MonotonePriorities", func(t *testing.T) { monotonePriorities(t, mk) })
+	}
+}
+
+func less(a, b int64) bool { return a < b }
+
+func mustNew(t *testing.T, mk Factory, opts core.Options[int64]) core.DS[int64] {
+	t.Helper()
+	if opts.Less == nil {
+		opts.Less = less
+	}
+	d, err := mk(opts)
+	if err != nil {
+		t.Fatalf("constructor: %v", err)
+	}
+	return d
+}
+
+// popAll drains the structure from one place, retrying spurious failures
+// up to `patience` consecutive times (single-threaded, so a handful of
+// retries must find everything the invariants promise).
+func popAll(d core.DS[int64], place, patience int) []int64 {
+	var out []int64
+	fails := 0
+	for fails < patience {
+		if v, ok := d.Pop(place); ok {
+			out = append(out, v)
+			fails = 0
+		} else {
+			fails++
+		}
+	}
+	return out
+}
+
+func singleTask(t *testing.T, mk Factory) {
+	d := mustNew(t, mk, core.Options[int64]{Places: 2, Seed: 1})
+	d.Push(0, 4, 99)
+	v, ok := d.Pop(0)
+	if !ok || v != 99 {
+		t.Fatalf("Pop = %v,%v want 99,true", v, ok)
+	}
+	if got := popAll(d, 0, 2048); len(got) != 0 {
+		t.Fatalf("drained extra values %v from singleton", got)
+	}
+}
+
+func sequentialDrain(t *testing.T, mk Factory) {
+	for _, k := range []int{0, 1, 7, 512} {
+		d := mustNew(t, mk, core.Options[int64]{Places: 1, Seed: 2})
+		const n = 2000
+		r := xrand.New(3)
+		want := map[int64]int{}
+		for i := 0; i < n; i++ {
+			v := int64(r.Intn(500))
+			want[v]++
+			d.Push(0, k, v)
+		}
+		got := popAll(d, 0, 4096)
+		if len(got) != n {
+			t.Fatalf("k=%d drained %d tasks, want %d", k, len(got), n)
+		}
+		for _, v := range got {
+			want[v]--
+		}
+		for v, c := range want {
+			if c != 0 {
+				t.Fatalf("k=%d multiset mismatch at %d: %+d", k, v, c)
+			}
+		}
+	}
+}
+
+// localOrdering: with a single place and everything pushed before any pop,
+// every structure must return tasks in priority order — a single place
+// sees all its own tasks in its local priority queue.
+func localOrdering(t *testing.T, mk Factory) {
+	d := mustNew(t, mk, core.Options[int64]{Places: 1, Seed: 4})
+	r := xrand.New(5)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		d.Push(0, 64, int64(r.Intn(1<<20)))
+	}
+	got := popAll(d, 0, 4096)
+	if len(got) != n {
+		t.Fatalf("drained %d, want %d", len(got), n)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("priority order violated at %d: %d after %d", i, got[i], got[i-1])
+		}
+	}
+}
+
+func kBoundaries(t *testing.T, mk Factory) {
+	// k = 0 and enormous k must both work and deliver everything.
+	for _, k := range []int{0, 1, 1 << 20} {
+		d := mustNew(t, mk, core.Options[int64]{Places: 2, Seed: 6})
+		for i := int64(0); i < 300; i++ {
+			d.Push(int(i)%2, k, i)
+		}
+		got := append(popAll(d, 0, 2048), popAll(d, 1, 2048)...)
+		if len(got) != 300 {
+			t.Fatalf("k=%d drained %d, want 300", k, len(got))
+		}
+	}
+}
+
+func staleElimination(t *testing.T, mk Factory) {
+	stale := func(v int64) bool { return v%2 == 1 }
+	var eliminated atomic.Int64
+	d := mustNew(t, mk, core.Options[int64]{
+		Places:      1,
+		Seed:        7,
+		Stale:       stale,
+		OnEliminate: func(int64) { eliminated.Add(1) },
+	})
+	const n = 500
+	for i := int64(0); i < n; i++ {
+		d.Push(0, 32, i)
+	}
+	got := popAll(d, 0, 4096)
+	if int64(len(got))+eliminated.Load() != n {
+		t.Fatalf("returned %d + eliminated %d != pushed %d", len(got), eliminated.Load(), n)
+	}
+	for _, v := range got {
+		if stale(v) {
+			t.Fatalf("stale task %d escaped elimination", v)
+		}
+	}
+	if eliminated.Load() != n/2 {
+		t.Fatalf("eliminated %d, want %d", eliminated.Load(), n/2)
+	}
+	if s := d.Stats(); s.Eliminated != n/2 {
+		t.Fatalf("Stats.Eliminated = %d, want %d", s.Eliminated, n/2)
+	}
+}
+
+// crossPlaceVisibility: tasks pushed at one place must be obtainable from
+// another place (via scan, spy or steal) without the pusher popping.
+func crossPlaceVisibility(t *testing.T, mk Factory) {
+	d := mustNew(t, mk, core.Options[int64]{Places: 4, Seed: 8})
+	const n = 400
+	for i := int64(0); i < n; i++ {
+		d.Push(0, 8, i) // small k forces publication in the hybrid DS
+	}
+	got := popAll(d, 2, 1<<15)
+	if len(got) != n {
+		t.Fatalf("place 2 obtained %d of %d tasks pushed at place 0", len(got), n)
+	}
+}
+
+func concurrentExactlyOnce(t *testing.T, mk Factory) {
+	places := runtime.GOMAXPROCS(0)
+	if places > 8 {
+		places = 8
+	}
+	if places < 2 {
+		places = 2
+	}
+	perPlace := 20000
+	if testing.Short() {
+		perPlace = 4000
+	}
+	d := mustNew(t, mk, core.Options[int64]{Places: places, Seed: 9})
+	var produced atomic.Int64
+	var wg sync.WaitGroup
+	results := make([][]int64, places)
+	for pl := 0; pl < places; pl++ {
+		wg.Add(1)
+		go func(pl int) {
+			defer wg.Done()
+			r := xrand.New(uint64(pl) * 77)
+			var mine []int64
+			pushed := 0
+			fails := 0
+			for {
+				if pushed < perPlace && r.Intn(2) == 0 {
+					v := int64(pl*perPlace + pushed)
+					d.Push(pl, 1+r.Intn(512), v)
+					produced.Add(1)
+					pushed++
+					continue
+				}
+				if v, ok := d.Pop(pl); ok {
+					mine = append(mine, v)
+					fails = 0
+					continue
+				}
+				if pushed < perPlace {
+					continue // still have own work to create
+				}
+				fails++
+				if fails > 1<<14 {
+					break
+				}
+			}
+			results[pl] = mine
+		}(pl)
+	}
+	wg.Wait()
+	// Quiescent final drain: whatever remains must surface now.
+	leftovers := popAll(d, 0, 1<<15)
+	seen := map[int64]int{}
+	total := 0
+	for _, res := range results {
+		for _, v := range res {
+			seen[v]++
+			total++
+		}
+	}
+	for _, v := range leftovers {
+		seen[v]++
+		total++
+	}
+	if int64(total) != produced.Load() {
+		t.Fatalf("popped %d tasks, produced %d", total, produced.Load())
+	}
+	for v, c := range seen {
+		if c != 1 {
+			t.Fatalf("task %d delivered %d times", v, c)
+		}
+	}
+}
+
+func producerConsumer(t *testing.T, mk Factory) {
+	// Asymmetric roles: half the places only push, half only pop.
+	places := 6
+	perProducer := 10000
+	if testing.Short() {
+		perProducer = 2000
+	}
+	d := mustNew(t, mk, core.Options[int64]{Places: places, Seed: 10})
+	var wg sync.WaitGroup
+	var pushed atomic.Int64
+	doneProducing := make(chan struct{})
+	for pl := 0; pl < places/2; pl++ {
+		wg.Add(1)
+		go func(pl int) {
+			defer wg.Done()
+			r := xrand.New(uint64(pl) + 1)
+			for i := 0; i < perProducer; i++ {
+				d.Push(pl, 1+r.Intn(128), int64(pl*perProducer+i))
+				pushed.Add(1)
+			}
+		}(pl)
+	}
+	go func() { wg.Wait(); close(doneProducing) }()
+
+	var popped atomic.Int64
+	var cwg sync.WaitGroup
+	counts := make([]map[int64]int, places)
+	for pl := places / 2; pl < places; pl++ {
+		cwg.Add(1)
+		go func(pl int) {
+			defer cwg.Done()
+			local := map[int64]int{}
+			fails := 0
+			for {
+				if v, ok := d.Pop(pl); ok {
+					local[v]++
+					popped.Add(1)
+					fails = 0
+					continue
+				}
+				select {
+				case <-doneProducing:
+					fails++
+					if fails > 1<<14 {
+						counts[pl] = local
+						return
+					}
+				default:
+				}
+			}
+		}(pl)
+	}
+	cwg.Wait()
+	merged := map[int64]int{}
+	for _, m := range counts {
+		for v, c := range m {
+			merged[v] += c
+		}
+	}
+	if int64(len(merged)) != pushed.Load() || popped.Load() != pushed.Load() {
+		t.Fatalf("pushed %d, popped %d distinct %d", pushed.Load(), popped.Load(), len(merged))
+	}
+	for v, c := range merged {
+		if c != 1 {
+			t.Fatalf("task %d delivered %d times", v, c)
+		}
+	}
+}
+
+// concurrentStaleFlips: tasks become stale while in flight; the sum of
+// executed + eliminated must equal pushed, with no double delivery.
+func concurrentStaleFlips(t *testing.T, mk Factory) {
+	const places = 4
+	perPlace := 5000
+	if testing.Short() {
+		perPlace = 1000
+	}
+	total := places * perPlace
+	staleMask := make([]atomic.Int32, total)
+	var eliminated atomic.Int64
+	d := mustNew(t, mk, core.Options[int64]{
+		Places:      places,
+		Seed:        11,
+		Stale:       func(v int64) bool { return staleMask[v].Load() != 0 },
+		OnEliminate: func(int64) { eliminated.Add(1) },
+	})
+	var wg sync.WaitGroup
+	var delivered atomic.Int64
+	var dupes atomic.Int64
+	deliveredOnce := make([]atomic.Int32, total)
+	for pl := 0; pl < places; pl++ {
+		wg.Add(1)
+		go func(pl int) {
+			defer wg.Done()
+			r := xrand.New(uint64(pl) * 13)
+			pushed := 0
+			fails := 0
+			for pushed < perPlace || fails < 1<<14 {
+				if pushed < perPlace {
+					v := int64(pl*perPlace + pushed)
+					d.Push(pl, 1+r.Intn(64), v)
+					pushed++
+					// Concurrently mark a random earlier task stale.
+					staleMask[r.Intn(pl*perPlace+pushed)].Store(1)
+				}
+				if v, ok := d.Pop(pl); ok {
+					if deliveredOnce[v].Add(1) != 1 {
+						dupes.Add(1)
+					}
+					delivered.Add(1)
+					fails = 0
+				} else {
+					fails++
+				}
+			}
+		}(pl)
+	}
+	wg.Wait()
+	for _, v := range popAll(d, 0, 1<<15) {
+		if deliveredOnce[v].Add(1) != 1 {
+			dupes.Add(1)
+		}
+		delivered.Add(1)
+	}
+	if dupes.Load() != 0 {
+		t.Fatalf("%d duplicate deliveries", dupes.Load())
+	}
+	if got := delivered.Load() + eliminated.Load(); got != int64(total) {
+		t.Fatalf("delivered %d + eliminated %d = %d, want %d",
+			delivered.Load(), eliminated.Load(), got, total)
+	}
+}
+
+// smallLiveSetChurn keeps 1-2 tasks live across a long run of pops: the
+// regime the end of every SSSP run hits, where termination bugs (stranded
+// items after the tail, unpublished local lists) show up.
+func smallLiveSetChurn(t *testing.T, mk Factory) {
+	d := mustNew(t, mk, core.Options[int64]{Places: 3, Seed: 20})
+	r := xrand.New(21)
+	live := 0
+	delivered := 0
+	pushed := int64(0)
+	for step := 0; step < 30000; step++ {
+		if live == 0 || (live < 2 && r.Intn(4) == 0) {
+			d.Push(r.Intn(3), 1+r.Intn(512), pushed)
+			pushed++
+			live++
+		}
+		if v, ok := d.Pop(r.Intn(3)); ok {
+			if v < 0 || v >= pushed {
+				t.Fatalf("popped unknown value %d", v)
+			}
+			delivered++
+			live--
+		}
+	}
+	delivered += len(popAll(d, 0, 1<<15))
+	if int64(delivered) != pushed {
+		t.Fatalf("delivered %d of %d under churn", delivered, pushed)
+	}
+}
+
+// burstDrainCycles alternates large bursts of pushes with full drains,
+// cycling the internal storage (tail windows, local lists, lanes) many
+// times over.
+func burstDrainCycles(t *testing.T, mk Factory) {
+	d := mustNew(t, mk, core.Options[int64]{Places: 2, Seed: 22})
+	r := xrand.New(23)
+	var next int64
+	for cycle := 0; cycle < 40; cycle++ {
+		burst := 1 + r.Intn(600)
+		for i := 0; i < burst; i++ {
+			d.Push(i%2, 1+r.Intn(64), next)
+			next++
+		}
+		got := append(popAll(d, 0, 1<<14), popAll(d, 1, 1<<14)...)
+		if len(got) != burst {
+			t.Fatalf("cycle %d: drained %d of %d", cycle, len(got), burst)
+		}
+	}
+	s := d.Stats()
+	if s.Pops != next {
+		t.Fatalf("Stats.Pops = %d, want %d", s.Pops, next)
+	}
+}
+
+// manyPlacesSmoke runs a brief storm with an unusually high place count
+// relative to GOMAXPROCS (heavy oversubscription, like the paper's P=80).
+func manyPlacesSmoke(t *testing.T, mk Factory) {
+	const places = 32
+	d := mustNew(t, mk, core.Options[int64]{Places: places, Seed: 24})
+	var wg sync.WaitGroup
+	var delivered atomic.Int64
+	const perPlace = 300
+	for pl := 0; pl < places; pl++ {
+		wg.Add(1)
+		go func(pl int) {
+			defer wg.Done()
+			r := xrand.New(uint64(pl) + 31)
+			for i := 0; i < perPlace; i++ {
+				d.Push(pl, 1+r.Intn(512), int64(pl*perPlace+i))
+			}
+			fails := 0
+			for fails < 1<<13 {
+				if _, ok := d.Pop(pl); ok {
+					delivered.Add(1)
+					fails = 0
+				} else {
+					fails++
+				}
+			}
+		}(pl)
+	}
+	wg.Wait()
+	delivered.Add(int64(len(popAll(d, 0, 1<<15))))
+	if got := delivered.Load(); got != places*perPlace {
+		t.Fatalf("delivered %d of %d", got, places*perPlace)
+	}
+}
+
+// monotonePriorities pushes strictly increasing priorities (the common
+// monotone pattern of label-setting algorithms) and checks single-place
+// drains stay ordered and complete.
+func monotonePriorities(t *testing.T, mk Factory) {
+	d := mustNew(t, mk, core.Options[int64]{Places: 1, Seed: 25})
+	const n = 3000
+	for i := int64(0); i < n; i++ {
+		d.Push(0, 32, i)
+	}
+	got := popAll(d, 0, 1<<13)
+	if len(got) != n {
+		t.Fatalf("drained %d of %d", len(got), n)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("order violated at %d: %d after %d", i, got[i], got[i-1])
+		}
+	}
+}
+
+func statsAccounting(t *testing.T, mk Factory) {
+	d := mustNew(t, mk, core.Options[int64]{Places: 2, Seed: 12})
+	for i := int64(0); i < 100; i++ {
+		d.Push(int(i)%2, 16, i)
+	}
+	got := append(popAll(d, 0, 2048), popAll(d, 1, 2048)...)
+	s := d.Stats()
+	if s.Pushes != 100 {
+		t.Fatalf("Stats.Pushes = %d, want 100", s.Pushes)
+	}
+	if s.Pops != int64(len(got)) || s.Pops != 100 {
+		t.Fatalf("Stats.Pops = %d, drained %d, want 100", s.Pops, len(got))
+	}
+	if s.PopFailures == 0 {
+		t.Fatalf("Stats.PopFailures = 0, the drain loops must have failed at the end")
+	}
+}

@@ -1,0 +1,46 @@
+package globalpq
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/core/dstest"
+)
+
+func TestConformance(t *testing.T) {
+	dstest.Run(t, "GlobalPQ", func(opts core.Options[int64]) (core.DS[int64], error) {
+		d, err := New(opts)
+		if err != nil {
+			return nil, err
+		}
+		return d, nil
+	})
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := New(core.Options[int64]{Places: 0, Less: func(a, b int64) bool { return a < b }}); err == nil {
+		t.Fatal("Places=0 accepted")
+	}
+}
+
+// TestStrictGlobalOrder: ρ = 0 — pops from ANY place always return the
+// global minimum, the property none of the paper's scalable structures
+// provides.
+func TestStrictGlobalOrder(t *testing.T) {
+	d, err := New(core.Options[int64]{
+		Places: 4,
+		Less:   func(a, b int64) bool { return a < b },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Push(0, 512, 30)
+	d.Push(1, 512, 10)
+	d.Push(2, 512, 20)
+	for i, want := range []int64{10, 20, 30} {
+		v, ok := d.Pop(3 - i%2) // pop from varying places
+		if !ok || v != want {
+			t.Fatalf("pop %d = %v,%v want %v", i, v, ok, want)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package wsprio
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/core/dstest"
+	"repro/internal/xrand"
+)
+
+func TestConformance(t *testing.T) {
+	dstest.Run(t, "WSPrio", func(opts core.Options[int64]) (core.DS[int64], error) {
+		d, err := New(opts)
+		if err != nil {
+			return nil, err
+		}
+		return d, nil
+	})
+}
+
+func TestConformanceStealOne(t *testing.T) {
+	dstest.Run(t, "WSPrioStealOne", func(opts core.Options[int64]) (core.DS[int64], error) {
+		d, err := NewStealOne(opts)
+		if err != nil {
+			return nil, err
+		}
+		return d, nil
+	})
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := New(core.Options[int64]{Places: 0, Less: func(a, b int64) bool { return a < b }}); err == nil {
+		t.Fatal("Places=0 accepted")
+	}
+	if _, err := New(core.Options[int64]{Places: 4}); err == nil {
+		t.Fatal("nil Less accepted")
+	}
+}
+
+func TestStealMovesRoughlyHalf(t *testing.T) {
+	d, err := New(core.Options[int64]{
+		Places: 2,
+		Less:   func(a, b int64) bool { return a < b },
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1000
+	for i := int64(0); i < n; i++ {
+		d.Push(0, 0, i)
+	}
+	// First pop at the idle place triggers a steal of half the victim's
+	// queue (§3.1, steal-half).
+	if _, ok := d.Pop(1); !ok {
+		t.Fatal("steal failed with a full victim")
+	}
+	s := d.Stats()
+	if s.StealHits != 1 {
+		t.Fatalf("StealHits = %d, want 1", s.StealHits)
+	}
+	if s.StolenTasks != n/2 {
+		t.Fatalf("StolenTasks = %d, want %d", s.StolenTasks, n/2)
+	}
+}
+
+func TestStealSingleTask(t *testing.T) {
+	// A victim holding one task cannot be split in half; the thief must
+	// still be able to relieve it (otherwise a lone root task could only
+	// ever run at its birth place).
+	d, err := New(core.Options[int64]{
+		Places: 2,
+		Less:   func(a, b int64) bool { return a < b },
+		Seed:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Push(0, 0, 42)
+	var got int64 = -1
+	for tries := 0; tries < 1024; tries++ {
+		if v, ok := d.Pop(1); ok {
+			got = v
+			break
+		}
+	}
+	if got != 42 {
+		t.Fatalf("thief got %d, want 42", got)
+	}
+}
+
+func TestLocalPopPrefersOwnQueue(t *testing.T) {
+	d, err := New(core.Options[int64]{
+		Places: 2,
+		Less:   func(a, b int64) bool { return a < b },
+		Seed:   3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Push(0, 0, 100) // better priority, but at the other place
+	d.Push(1, 0, 200)
+	v, ok := d.Pop(1)
+	if !ok || v != 200 {
+		t.Fatalf("Pop at place 1 = %v,%v; work-stealing must prefer the local task", v, ok)
+	}
+	if s := d.Stats(); s.Steals != 0 {
+		t.Fatalf("Steals = %d, want 0", s.Steals)
+	}
+}
+
+func TestNoGlobalOrderingAcrossPlaces(t *testing.T) {
+	// Demonstrates (as a pinned behaviour, not a bug) the paper's point
+	// that work-stealing cannot provide any inter-place priority
+	// guarantee: a local pop returns the local minimum even when another
+	// place holds a globally better task.
+	d, err := New(core.Options[int64]{
+		Places: 2,
+		Less:   func(a, b int64) bool { return a < b },
+		Seed:   4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Push(0, 0, 1) // global minimum lives at place 0
+	for i := int64(50); i < 60; i++ {
+		d.Push(1, 0, i)
+	}
+	v, ok := d.Pop(1)
+	if !ok || v != 50 {
+		t.Fatalf("Pop = %v,%v, want the local minimum 50", v, ok)
+	}
+}
+
+func TestStolenLootKeepsPriorityOrder(t *testing.T) {
+	d, err := New(core.Options[int64]{
+		Places: 2,
+		Less:   func(a, b int64) bool { return a < b },
+		Seed:   5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(6)
+	const n = 500
+	for i := 0; i < n; i++ {
+		d.Push(0, 0, int64(r.Intn(1<<16)))
+	}
+	// After the steal, place 1 must pop its loot in nondecreasing order.
+	prev := int64(-1)
+	popped := 0
+	for tries := 0; tries < 1<<12 && popped < n/2; tries++ {
+		v, ok := d.Pop(1)
+		if !ok {
+			continue
+		}
+		// A second steal would interleave fresh loot; stop at the first
+		// steal's size.
+		if v < prev {
+			t.Fatalf("stolen tasks out of order: %d after %d", v, prev)
+		}
+		prev = v
+		popped++
+	}
+	if popped != n/2 {
+		t.Fatalf("popped %d stolen tasks, want %d", popped, n/2)
+	}
+}

@@ -1,0 +1,372 @@
+// Package graph provides the weighted undirected graphs of the paper's
+// evaluation (§5.2.1): Erdős–Rényi random graphs G(n, p) with edge weights
+// uniformly distributed in ]0, 1], in a compressed sparse row (CSR)
+// representation sized for the paper's main configuration (n = 10000,
+// p = 0.5 ⇒ ≈25M undirected edges, 50M directed CSR entries).
+//
+// Generation is stateless-deterministic: the existence and weight of an
+// edge {i, j} are pure functions of (seed, i, j), so the dense generator
+// can run in two passes (degree count, fill) without materializing an edge
+// list, and the same seed always reproduces the same graph — which the
+// experiments rely on ("we use exactly the same 20 random graphs used in
+// the experiments", §5.4.1).
+package graph
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/xrand"
+)
+
+// Graph is an undirected weighted graph in CSR form. For every undirected
+// edge {u, v} both directed entries (u→v and v→u) are stored with the
+// same weight. Nodes are 0-based.
+type Graph struct {
+	// N is the number of nodes.
+	N int
+	// RowPtr has length N+1; the edges of node v occupy indices
+	// [RowPtr[v], RowPtr[v+1]) of Targets and Weights.
+	RowPtr []int64
+	// Targets holds the neighbour of each directed edge entry.
+	Targets []int32
+	// Weights holds the corresponding edge weights, in ]0, 1] for the
+	// random generators.
+	Weights []float64
+}
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int64 { return int64(len(g.Targets)) / 2 }
+
+// Degree returns the number of neighbours of v.
+func (g *Graph) Degree(v int) int { return int(g.RowPtr[v+1] - g.RowPtr[v]) }
+
+// Neighbors returns the targets and weights of v's edges as subslices of
+// the CSR arrays (not to be mutated).
+func (g *Graph) Neighbors(v int) ([]int32, []float64) {
+	lo, hi := g.RowPtr[v], g.RowPtr[v+1]
+	return g.Targets[lo:hi], g.Weights[lo:hi]
+}
+
+// Validate checks structural invariants: monotone row pointers, in-range
+// targets, positive weights, no self loops, and symmetry of adjacency
+// (each directed entry has a reverse entry with equal weight).
+func (g *Graph) Validate() error {
+	if len(g.RowPtr) != g.N+1 {
+		return fmt.Errorf("graph: RowPtr length %d, want %d", len(g.RowPtr), g.N+1)
+	}
+	if g.RowPtr[0] != 0 || g.RowPtr[g.N] != int64(len(g.Targets)) {
+		return fmt.Errorf("graph: RowPtr endpoints %d..%d, want 0..%d",
+			g.RowPtr[0], g.RowPtr[g.N], len(g.Targets))
+	}
+	if len(g.Targets) != len(g.Weights) {
+		return fmt.Errorf("graph: %d targets vs %d weights", len(g.Targets), len(g.Weights))
+	}
+	for v := 0; v < g.N; v++ {
+		if g.RowPtr[v] > g.RowPtr[v+1] {
+			return fmt.Errorf("graph: RowPtr not monotone at %d", v)
+		}
+		ts, ws := g.Neighbors(v)
+		for i, t := range ts {
+			if t < 0 || int(t) >= g.N {
+				return fmt.Errorf("graph: edge %d→%d out of range", v, t)
+			}
+			if int(t) == v {
+				return fmt.Errorf("graph: self loop at %d", v)
+			}
+			if !(ws[i] > 0) || math.IsNaN(ws[i]) {
+				return fmt.Errorf("graph: non-positive weight %v on %d→%d", ws[i], v, t)
+			}
+			if w, ok := g.weight(int(t), v); !ok || w != ws[i] {
+				return fmt.Errorf("graph: asymmetric edge %d→%d", v, t)
+			}
+		}
+	}
+	return nil
+}
+
+// weight looks up the weight of the directed entry u→v by linear scan
+// (validation only).
+func (g *Graph) weight(u, v int) (float64, bool) {
+	ts, ws := g.Neighbors(u)
+	for i, t := range ts {
+		if int(t) == v {
+			return ws[i], true
+		}
+	}
+	return 0, false
+}
+
+// pairHash derives the deterministic 64-bit randomness for pair {i, j}
+// with i < j.
+func pairHash(seed uint64, i, j int) uint64 {
+	sm := xrand.NewSplitMix64(seed ^ (uint64(i)<<32 | uint64(uint32(j))))
+	return sm.Next()
+}
+
+// pairExists reports whether edge {i, j} exists under probability p, and
+// returns its weight in ]0, 1].
+func pairExists(seed uint64, i, j int, p float64) (float64, bool) {
+	h := pairHash(seed, i, j)
+	// Top 53 bits → uniform [0,1) for the existence test.
+	u := float64(h>>11) * (1.0 / (1 << 53))
+	if u >= p {
+		return 0, false
+	}
+	// Independent weight from a second mix; (0,1].
+	w := 1.0 - float64(xrand.NewSplitMix64(h).Next()>>11)*(1.0/(1<<53))
+	return w, true
+}
+
+// ErdosRenyi generates G(n, p) with uniform ]0, 1] weights. For dense p it
+// runs the two-pass stateless construction; for sparse p (expected degree
+// below a threshold) it uses geometric skipping over the pair index space,
+// which costs O(m) rather than O(n²).
+func ErdosRenyi(n int, p float64, seed uint64) *Graph {
+	if n < 0 {
+		panic("graph: negative n")
+	}
+	if p < 0 || p > 1 {
+		panic("graph: p outside [0,1]")
+	}
+	if p > 0.05 {
+		return erDense(n, p, seed)
+	}
+	return erSparse(n, p, seed)
+}
+
+// erDense is the two-pass stateless dense generator. Because edge
+// randomness is a pure function of (seed, i, j), each node's row can be
+// generated independently: both the degree pass and the fill pass run
+// row-parallel, and rows come out with sorted targets.
+func erDense(n int, p float64, seed uint64) *Graph {
+	deg := make([]int64, n)
+	parallelRows(n, func(i int) {
+		var d int64
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			a, b := i, j
+			if a > b {
+				a, b = b, a
+			}
+			if _, ok := pairExists(seed, a, b, p); ok {
+				d++
+			}
+		}
+		deg[i] = d
+	})
+	g := fromDegrees(n, deg)
+	parallelRows(n, func(i int) {
+		pos := g.RowPtr[i]
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			a, b := i, j
+			if a > b {
+				a, b = b, a
+			}
+			if w, ok := pairExists(seed, a, b, p); ok {
+				g.Targets[pos] = int32(j)
+				g.Weights[pos] = w
+				pos++
+			}
+		}
+	})
+	return g
+}
+
+// parallelRows applies fn to every row index in [0, n) using all cores.
+func parallelRows(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	const chunk = 64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(chunk)) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// erSparse samples edges by geometric skipping: successive selected pair
+// indices differ by ~Geom(p), visiting only expected m pairs.
+func erSparse(n int, p float64, seed uint64) *Graph {
+	type edge struct {
+		u, v int32
+		w    float64
+	}
+	var edges []edge
+	if p > 0 && n > 1 {
+		r := xrand.New(seed)
+		total := int64(n) * int64(n-1) / 2
+		logq := math.Log1p(-p)
+		idx := int64(-1)
+		for {
+			// Skip ahead by 1 + Geom(p).
+			u := r.Float64Open()
+			skip := int64(math.Floor(math.Log(u)/logq)) + 1
+			if skip < 1 {
+				skip = 1
+			}
+			idx += skip
+			if idx >= total {
+				break
+			}
+			i, j := pairFromIndex(idx, n)
+			w := r.Float64Open()
+			edges = append(edges, edge{int32(i), int32(j), w})
+		}
+	}
+	deg := make([]int64, n)
+	for _, e := range edges {
+		deg[e.u]++
+		deg[e.v]++
+	}
+	g := fromDegrees(n, deg)
+	fill := make([]int64, n)
+	copy(fill, g.RowPtr[:n])
+	for _, e := range edges {
+		g.Targets[fill[e.u]] = e.v
+		g.Weights[fill[e.u]] = e.w
+		fill[e.u]++
+		g.Targets[fill[e.v]] = e.u
+		g.Weights[fill[e.v]] = e.w
+		fill[e.v]++
+	}
+	return g
+}
+
+// pairFromIndex maps a linear index over the upper-triangular pair space
+// to the pair (i, j), i < j, using row-wise enumeration.
+func pairFromIndex(idx int64, n int) (int, int) {
+	// Row i contains n-1-i pairs; find i by solving the prefix sum.
+	// Prefix(i) = i*n - i*(i+1)/2. Solve smallest i with Prefix(i+1) > idx
+	// via the quadratic formula, then fix up.
+	nf := float64(n)
+	i := int((2*nf - 1 - math.Sqrt((2*nf-1)*(2*nf-1)-8*float64(idx))) / 2)
+	if i < 0 {
+		i = 0
+	}
+	for prefixPairs(i+1, n) <= idx {
+		i++
+	}
+	for i > 0 && prefixPairs(i, n) > idx {
+		i--
+	}
+	j := i + 1 + int(idx-prefixPairs(i, n))
+	return i, j
+}
+
+func prefixPairs(i int, n int) int64 {
+	return int64(i)*int64(n) - int64(i)*int64(i+1)/2
+}
+
+// fromDegrees allocates a graph with the given per-node entry counts.
+func fromDegrees(n int, deg []int64) *Graph {
+	g := &Graph{N: n, RowPtr: make([]int64, n+1)}
+	for i := 0; i < n; i++ {
+		g.RowPtr[i+1] = g.RowPtr[i] + deg[i]
+	}
+	m := g.RowPtr[n]
+	g.Targets = make([]int32, m)
+	g.Weights = make([]float64, m)
+	return g
+}
+
+// Grid generates an r×c 4-neighbour grid with uniform ]0, 1] weights;
+// node (y, x) has index y*c + x. Used by the examples.
+func Grid(rows, cols int, seed uint64) *Graph {
+	n := rows * cols
+	r := xrand.New(seed)
+	deg := make([]int64, n)
+	at := func(y, x int) int { return y*cols + x }
+	for y := 0; y < rows; y++ {
+		for x := 0; x < cols; x++ {
+			if x+1 < cols {
+				deg[at(y, x)]++
+				deg[at(y, x+1)]++
+			}
+			if y+1 < rows {
+				deg[at(y, x)]++
+				deg[at(y+1, x)]++
+			}
+		}
+	}
+	g := fromDegrees(n, deg)
+	fill := make([]int64, n)
+	copy(fill, g.RowPtr[:n])
+	add := func(u, v int, w float64) {
+		g.Targets[fill[u]] = int32(v)
+		g.Weights[fill[u]] = w
+		fill[u]++
+	}
+	for y := 0; y < rows; y++ {
+		for x := 0; x < cols; x++ {
+			if x+1 < cols {
+				w := r.Float64Open()
+				add(at(y, x), at(y, x+1), w)
+				add(at(y, x+1), at(y, x), w)
+			}
+			if y+1 < rows {
+				w := r.Float64Open()
+				add(at(y, x), at(y+1, x), w)
+				add(at(y+1, x), at(y, x), w)
+			}
+		}
+	}
+	return g
+}
+
+// FromEdges builds a graph from an explicit undirected edge list
+// (deduplication is the caller's responsibility). Used by tests and
+// examples that need specific shapes.
+func FromEdges(n int, edges [][3]float64) *Graph {
+	deg := make([]int64, n)
+	for _, e := range edges {
+		deg[int(e[0])]++
+		deg[int(e[1])]++
+	}
+	g := fromDegrees(n, deg)
+	fill := make([]int64, n)
+	copy(fill, g.RowPtr[:n])
+	for _, e := range edges {
+		u, v, w := int(e[0]), int(e[1]), e[2]
+		g.Targets[fill[u]] = int32(v)
+		g.Weights[fill[u]] = w
+		fill[u]++
+		g.Targets[fill[v]] = int32(u)
+		g.Weights[fill[v]] = w
+		fill[v]++
+	}
+	return g
+}

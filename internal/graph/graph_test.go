@@ -1,0 +1,194 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidateSmallER(t *testing.T) {
+	for _, p := range []float64{0, 0.01, 0.3, 0.5, 1.0} {
+		g := ErdosRenyi(200, p, 42)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("p=%v: %v", p, err)
+		}
+	}
+}
+
+func TestERDeterminism(t *testing.T) {
+	a := ErdosRenyi(300, 0.5, 7)
+	b := ErdosRenyi(300, 0.5, 7)
+	if a.M() != b.M() {
+		t.Fatalf("same seed, different edge counts: %d vs %d", a.M(), b.M())
+	}
+	for i := range a.Targets {
+		if a.Targets[i] != b.Targets[i] || a.Weights[i] != b.Weights[i] {
+			t.Fatalf("same seed, different edge %d", i)
+		}
+	}
+	c := ErdosRenyi(300, 0.5, 8)
+	if c.M() == a.M() {
+		// Edge counts can collide; compare content to be sure.
+		same := true
+		for i := range a.Targets {
+			if a.Targets[i] != c.Targets[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestEREdgeCountConcentration(t *testing.T) {
+	const n = 500
+	const p = 0.3
+	g := ErdosRenyi(n, p, 1)
+	want := p * float64(n) * float64(n-1) / 2
+	got := float64(g.M())
+	sd := math.Sqrt(want * (1 - p))
+	if math.Abs(got-want) > 6*sd {
+		t.Fatalf("edge count %v, want about %v (±%v)", got, want, 6*sd)
+	}
+}
+
+func TestERWeightsInUnitInterval(t *testing.T) {
+	g := ErdosRenyi(100, 0.5, 3)
+	sum := 0.0
+	for _, w := range g.Weights {
+		if !(w > 0 && w <= 1) {
+			t.Fatalf("weight %v outside (0,1]", w)
+		}
+		sum += w
+	}
+	mean := sum / float64(len(g.Weights))
+	if math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("weight mean %v, want about 0.5", mean)
+	}
+}
+
+func TestERDenseSparseAgreeOnInvariants(t *testing.T) {
+	// The two generation strategies produce different graphs (different
+	// randomness layout) but identical statistical structure; both must
+	// validate and hit the expected density.
+	const n = 400
+	const p = 0.04 // sparse path
+	g := ErdosRenyi(n, p, 5)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := p * float64(n) * float64(n-1) / 2
+	sd := math.Sqrt(want * (1 - p))
+	if got := float64(g.M()); math.Abs(got-want) > 6*sd {
+		t.Fatalf("sparse path edge count %v, want about %v", got, want)
+	}
+}
+
+func TestPairFromIndexBijective(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 17} {
+		total := int64(n) * int64(n-1) / 2
+		seen := map[[2]int]bool{}
+		for idx := int64(0); idx < total; idx++ {
+			i, j := pairFromIndex(idx, n)
+			if i < 0 || j <= i || j >= n {
+				t.Fatalf("n=%d idx=%d -> invalid pair (%d,%d)", n, idx, i, j)
+			}
+			if seen[[2]int{i, j}] {
+				t.Fatalf("n=%d idx=%d -> duplicate pair (%d,%d)", n, idx, i, j)
+			}
+			seen[[2]int{i, j}] = true
+		}
+	}
+}
+
+func TestPairFromIndexQuick(t *testing.T) {
+	f := func(raw uint32, nRaw uint8) bool {
+		n := int(nRaw)%100 + 2
+		total := int64(n) * int64(n-1) / 2
+		idx := int64(raw) % total
+		i, j := pairFromIndex(idx, n)
+		return i >= 0 && i < j && j < n && prefixPairs(i, n)+int64(j-i-1) == idx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(4, 5, 9)
+	if g.N != 20 {
+		t.Fatalf("N = %d, want 20", g.N)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 4x5 grid: 4*(5-1) + 5*(4-1) = 31 undirected edges.
+	if g.M() != 31 {
+		t.Fatalf("M = %d, want 31", g.M())
+	}
+	// Corner degree 2, interior degree 4.
+	if g.Degree(0) != 2 {
+		t.Fatalf("corner degree %d, want 2", g.Degree(0))
+	}
+	if g.Degree(6) != 4 {
+		t.Fatalf("interior degree %d, want 4", g.Degree(6))
+	}
+}
+
+func TestFromEdges(t *testing.T) {
+	g := FromEdges(4, [][3]float64{{0, 1, 0.5}, {1, 2, 0.25}, {2, 3, 1}})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 3 || g.Degree(1) != 2 {
+		t.Fatalf("M=%d deg(1)=%d", g.M(), g.Degree(1))
+	}
+}
+
+func TestEmptyAndTinyGraphs(t *testing.T) {
+	for _, n := range []int{0, 1, 2} {
+		g := ErdosRenyi(n, 0.5, 1)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+	if g := ErdosRenyi(2, 1.0, 1); g.M() != 1 {
+		t.Fatalf("K2 has %d edges", g.M())
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := ErdosRenyi(50, 0.3, 2)
+	if len(g.Targets) == 0 {
+		t.Skip("degenerate graph")
+	}
+	w := g.Weights[0]
+	g.Weights[0] = -1
+	if err := g.Validate(); err == nil {
+		t.Fatal("negative weight not caught")
+	}
+	g.Weights[0] = w
+	tgt := g.Targets[0]
+	g.Targets[0] = int32(g.N) + 5
+	if err := g.Validate(); err == nil {
+		t.Fatal("out-of-range target not caught")
+	}
+	g.Targets[0] = tgt
+	if err := g.Validate(); err != nil {
+		t.Fatalf("restored graph invalid: %v", err)
+	}
+}
+
+func BenchmarkErdosRenyiDense(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = ErdosRenyi(1000, 0.5, uint64(i))
+	}
+}
+
+func BenchmarkErdosRenyiSparse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = ErdosRenyi(20000, 0.001, uint64(i))
+	}
+}

@@ -1,0 +1,87 @@
+package graph
+
+import "repro/internal/xrand"
+
+// RMAT generates a power-law graph with the recursive-matrix method of
+// Chakrabarti, Zhan and Faloutsos, undirected with uniform ]0, 1] weights.
+// The SSSP literature the paper builds on evaluates on skewed-degree
+// graphs besides Erdős–Rényi ones; RMAT instances stress the scheduling
+// data structures differently (hub relaxations spawn huge task bursts,
+// leaf relaxations almost none).
+//
+// scale is log2 of the node count; edgeFactor is the average number of
+// undirected edges per node; a, b, c are the standard partition
+// probabilities (d = 1−a−b−c), defaulting to the Graph500 parameters
+// 0.57/0.19/0.19 when all three are zero. Self loops and duplicate edges
+// are dropped, so the realized edge count is slightly below
+// edgeFactor·2^scale.
+func RMAT(scale int, edgeFactor int, a, b, c float64, seed uint64) *Graph {
+	if scale < 0 || scale > 30 {
+		panic("graph: RMAT scale out of range")
+	}
+	if a == 0 && b == 0 && c == 0 {
+		a, b, c = 0.57, 0.19, 0.19
+	}
+	if a < 0 || b < 0 || c < 0 || a+b+c >= 1 {
+		panic("graph: RMAT partition probabilities invalid")
+	}
+	n := 1 << scale
+	r := xrand.New(seed)
+	want := int64(edgeFactor) * int64(n)
+
+	type pair struct{ u, v int32 }
+	seen := make(map[pair]bool, want)
+	type edge struct {
+		u, v int32
+		w    float64
+	}
+	var edges []edge
+	// Cap attempts: dense duplicate regions (hubs) make the last few
+	// edges expensive; 8× oversampling suffices for Graph500 parameters.
+	for attempts := int64(0); int64(len(edges)) < want && attempts < 8*want; attempts++ {
+		u, v := 0, 0
+		for bit := scale - 1; bit >= 0; bit-- {
+			x := r.Float64()
+			switch {
+			case x < a: // top-left
+			case x < a+b: // top-right
+				v |= 1 << bit
+			case x < a+b+c: // bottom-left
+				u |= 1 << bit
+			default: // bottom-right
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		p := pair{int32(u), int32(v)}
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		edges = append(edges, edge{p.u, p.v, r.Float64Open()})
+	}
+
+	deg := make([]int64, n)
+	for _, e := range edges {
+		deg[e.u]++
+		deg[e.v]++
+	}
+	g := fromDegrees(n, deg)
+	fill := make([]int64, n)
+	copy(fill, g.RowPtr[:n])
+	for _, e := range edges {
+		g.Targets[fill[e.u]] = e.v
+		g.Weights[fill[e.u]] = e.w
+		fill[e.u]++
+		g.Targets[fill[e.v]] = e.u
+		g.Weights[fill[e.v]] = e.w
+		fill[e.v]++
+	}
+	return g
+}

@@ -1,0 +1,74 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestRMATValid(t *testing.T) {
+	g := RMAT(10, 8, 0, 0, 0, 7)
+	if g.N != 1024 {
+		t.Fatalf("N = %d, want 1024", g.N)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicates/self-loops shave some edges; most must survive.
+	if want := int64(8 * 1024 * 8 / 10); g.M() < want {
+		t.Fatalf("M = %d, want most of %d", g.M(), 8*1024)
+	}
+}
+
+func TestRMATSkewedDegrees(t *testing.T) {
+	// The point of RMAT: a heavy-tailed degree distribution. The top 1%
+	// of nodes must hold far more than 1% of the edge endpoints, unlike
+	// an Erdős–Rényi graph of the same density.
+	g := RMAT(12, 16, 0, 0, 0, 3)
+	degs := make([]int, g.N)
+	total := 0
+	for v := 0; v < g.N; v++ {
+		degs[v] = g.Degree(v)
+		total += degs[v]
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(degs)))
+	top := g.N / 100
+	topSum := 0
+	for _, d := range degs[:top] {
+		topSum += d
+	}
+	share := float64(topSum) / float64(total)
+	if share < 0.05 {
+		t.Fatalf("top 1%% of nodes hold %.1f%% of endpoints; distribution not skewed", 100*share)
+	}
+}
+
+func TestRMATDeterminism(t *testing.T) {
+	a := RMAT(8, 4, 0, 0, 0, 11)
+	b := RMAT(8, 4, 0, 0, 0, 11)
+	if a.M() != b.M() {
+		t.Fatalf("same seed, different edge counts")
+	}
+	for i := range a.Targets {
+		if a.Targets[i] != b.Targets[i] || a.Weights[i] != b.Weights[i] {
+			t.Fatalf("same seed, different edges at %d", i)
+		}
+	}
+}
+
+func TestRMATValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { RMAT(-1, 4, 0, 0, 0, 1) },
+		func() { RMAT(31, 4, 0, 0, 0, 1) },
+		func() { RMAT(4, 4, 0.5, 0.5, 0.3, 1) },
+		func() { RMAT(4, 4, -0.1, 0.2, 0.2, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid RMAT parameters accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}

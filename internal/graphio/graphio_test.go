@@ -1,0 +1,92 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/sssp"
+)
+
+func TestRoundTrip(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.ErdosRenyi(100, 0.2, 1),
+		graph.Grid(7, 9, 2),
+		graph.FromEdges(3, [][3]float64{{0, 1, 0.125}, {1, 2, 3.5}}),
+		graph.FromEdges(1, nil),
+	} {
+		var buf bytes.Buffer
+		if err := WriteGr(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadGr(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.N != g.N || len(back.Targets) != len(g.Targets) {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+				back.N, len(back.Targets), g.N, len(g.Targets))
+		}
+		// Shortest paths are the semantic content; compare them.
+		if g.N > 0 {
+			want, _ := sssp.Dijkstra(g, 0)
+			got, _ := sssp.Dijkstra(back, 0)
+			if !sssp.Equal(want, got, 0) {
+				t.Fatal("round trip changed shortest path distances")
+			}
+		}
+	}
+}
+
+func TestReadClassicIntegerWeights(t *testing.T) {
+	in := `c example
+p sp 3 4
+a 1 2 5
+a 2 1 5
+a 2 3 7
+a 3 2 7
+`
+	g, err := ReadGr(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 || g.M() != 2 {
+		t.Fatalf("N=%d M=%d", g.N, g.M())
+	}
+	dist, _ := sssp.Dijkstra(g, 0)
+	if dist[2] != 12 {
+		t.Fatalf("dist[2] = %v, want 12", dist[2])
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"arc before problem":  "a 1 2 3\n",
+		"malformed problem":   "p xx 3 3\n",
+		"bad node count":      "p sp -1 0\n",
+		"arc count mismatch":  "p sp 2 5\na 1 2 1\na 2 1 1\n",
+		"node out of range":   "p sp 2 2\na 1 3 1\na 3 1 1\n",
+		"non-positive weight": "p sp 2 2\na 1 2 0\na 2 1 0\n",
+		"unknown record":      "p sp 1 0\nz boom\n",
+		"asymmetric arcs":     "p sp 2 1\na 1 2 1\n",
+		"missing problem":     "c nothing\n",
+		"malformed arc":       "p sp 2 1\na 1 two 1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadGr(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	in := "c hello\n\nc world\np sp 2 2\n\na 1 2 0.5\na 2 1 0.5\n"
+	g, err := ReadGr(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 1 {
+		t.Fatalf("M = %d", g.M())
+	}
+}

@@ -1,0 +1,117 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/sched"
+	"repro/internal/sssp"
+	"repro/internal/stats"
+)
+
+// GranConfig parameterizes the task-granularity experiment (GRAN in
+// DESIGN.md). Section 5.5 observes that "the minimum k required to match
+// work-stealing performance in the hybrid data structure is dependent on
+// task granularity: the more fine-grained tasks are, the higher the
+// minimum required k". The experiment measures, for several artificial
+// per-task work sizes, the hybrid/work-stealing time ratio across k.
+type GranConfig struct {
+	Common Common
+	Places int
+	Ks     []int
+	// SpinWorks are the artificial per-relaxation work sizes (units of a
+	// small arithmetic loop; 0 = the natural fine granularity).
+	SpinWorks []int
+}
+
+// DefaultGran returns a moderate default configuration.
+func DefaultGran() GranConfig {
+	return GranConfig{
+		Common:    Common{N: 10000, EdgeP: 0.5, Graphs: 5, Seed: 20140215},
+		Places:    16,
+		Ks:        []int{8, 64, 512, 4096, 32768},
+		SpinWorks: []int{0, 64, 512},
+	}
+}
+
+// GranPoint is one measured (granularity, k) cell.
+type GranPoint struct {
+	SpinWork  int
+	K         int
+	WSTime    float64 // work-stealing reference (k-independent), seconds
+	HybTime   float64 // hybrid at this k, seconds
+	Ratio     float64 // HybTime / WSTime; ≤ 1 means hybrid matches WS
+	HybWasted float64 // hybrid nodes relaxed − n
+}
+
+// Gran runs the granularity experiment.
+func Gran(cfg GranConfig) ([]GranPoint, error) {
+	type key struct{ spin, k int }
+	hyb := map[key]*stats.Sample{}
+	wasted := map[key]*stats.Sample{}
+	ws := map[int]*stats.Sample{}
+	for gi := 0; gi < cfg.Common.Graphs; gi++ {
+		g := cfg.Common.graph(gi)
+		for _, spin := range cfg.SpinWorks {
+			res, err := sssp.Parallel(g, 0, sssp.Options{
+				Places: cfg.Places, Strategy: sched.WorkStealing,
+				K: 512, Seed: cfg.Common.Seed + uint64(gi), SpinWork: spin,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if ws[spin] == nil {
+				ws[spin] = &stats.Sample{}
+			}
+			ws[spin].Add(res.Elapsed.Seconds())
+			for _, k := range cfg.Ks {
+				res, err := sssp.Parallel(g, 0, sssp.Options{
+					Places: cfg.Places, Strategy: sched.Hybrid,
+					K: k, KMax: maxInt(512, k),
+					Seed: cfg.Common.Seed + uint64(gi), SpinWork: spin,
+				})
+				if err != nil {
+					return nil, err
+				}
+				kk := key{spin, k}
+				if hyb[kk] == nil {
+					hyb[kk] = &stats.Sample{}
+					wasted[kk] = &stats.Sample{}
+				}
+				hyb[kk].Add(res.Elapsed.Seconds())
+				wasted[kk].Add(float64(res.NodesRelaxed) - float64(g.N))
+			}
+		}
+	}
+	var out []GranPoint
+	for _, spin := range cfg.SpinWorks {
+		for _, k := range cfg.Ks {
+			kk := key{spin, k}
+			w := ws[spin].Mean()
+			h := hyb[kk].Mean()
+			out = append(out, GranPoint{
+				SpinWork:  spin,
+				K:         k,
+				WSTime:    w,
+				HybTime:   h,
+				Ratio:     h / w,
+				HybWasted: wasted[kk].Mean(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// PrintGran renders the granularity table.
+func PrintGran(w io.Writer, points []GranPoint) error {
+	t := stats.Table{Header: []string{
+		"spin_work", "k", "ws_time_s", "hybrid_time_s", "hybrid/ws", "hybrid_wasted",
+	}}
+	for _, p := range points {
+		t.AddRow(stats.I(int64(p.SpinWork)), stats.I(int64(p.K)),
+			stats.F(p.WSTime, 4), stats.F(p.HybTime, 4),
+			stats.F(p.Ratio, 3), stats.F(p.HybWasted, 1))
+	}
+	fmt.Fprintln(w, "Granularity sweep (hybrid/ws <= 1 means hybrid matches work-stealing):")
+	return t.Fprint(w)
+}

@@ -1,0 +1,171 @@
+// Package kfifo implements a lock-free, k-relaxed FIFO queue in the style
+// of Kirsch, Lippautz and Payer, which the paper cites as the inspiration
+// for the centralized k-priority data structure's randomized in-window
+// insertion scheme (Section 4.1.1). It is provided as a standalone
+// substrate: the same unbounded segmented array, the same tail-window
+// protocol, but FIFO rather than priority semantics.
+//
+// Relaxation contract: elements within a window of k consecutive logical
+// positions may be reordered arbitrarily; ordering across windows is
+// strict. In a sequential execution the dequeue position of an element
+// differs from its enqueue position by less than 2k.
+package kfifo
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/segarray"
+	"repro/internal/xrand"
+)
+
+type item[T any] struct {
+	taken atomic.Int32
+	v     T
+}
+
+// Queue is a lock-free k-relaxed FIFO queue, safe for any number of
+// concurrent enqueuers and dequeuers.
+type Queue[T any] struct {
+	k    int64
+	arr  *segarray.Array[item[T]]
+	head atomic.Int64 // start of the oldest window that may hold live items
+	tail atomic.Int64 // start of the window enqueuers currently fill
+	rngs sync.Pool
+	size atomic.Int64
+
+	retireBusy atomic.Int32
+	cursor     *segarray.Cursor[item[T]] // guarded by retireBusy
+}
+
+// New returns a queue with relaxation window k (clamped to at least 1),
+// seeded deterministically from seed.
+func New[T any](k int, seed uint64) *Queue[T] {
+	if k < 1 {
+		k = 1
+	}
+	segSize := 8 * k
+	if segSize < 64 {
+		segSize = 64
+	}
+	q := &Queue[T]{
+		k: int64(k),
+		// One logical scanner ("place") suffices: the queue scans through
+		// head/tail indices, not cursors, so retirement is driven by a
+		// single internal cursor advanced alongside head.
+		arr: segarray.New[item[T]](segSize, 1),
+	}
+	var ctr atomic.Uint64
+	ctr.Store(seed)
+	q.rngs.New = func() any { return xrand.New(ctr.Add(0x9e3779b97f4a7c15)) }
+	return q
+}
+
+// K returns the relaxation parameter.
+func (q *Queue[T]) K() int { return int(q.k) }
+
+// Len returns the approximate number of stored elements.
+func (q *Queue[T]) Len() int { return int(q.size.Load()) }
+
+// Enqueue inserts v. The element is placed at a uniformly random free slot
+// within the current k-window starting at tail; if the window is full the
+// tail advances by k and the search restarts, exactly as in Listing 1 of
+// the paper (which borrowed the scheme from this queue).
+func (q *Queue[T]) Enqueue(v T) {
+	r := q.rngs.Get().(*xrand.Rand)
+	defer q.rngs.Put(r)
+	it := &item[T]{v: v}
+	for {
+		t := q.tail.Load()
+		off := int64(r.Intn(int(q.k)))
+		stale := false
+		for i := int64(0); i < q.k; i++ {
+			pos := t + (off+i)%q.k
+			slot, ok := q.arr.TrySlot(pos)
+			if !ok {
+				// Our tail read is so stale that the window has already
+				// been consumed and retired; reload and retry.
+				stale = true
+				break
+			}
+			if slot.CompareAndSwap(nil, it) {
+				q.size.Add(1)
+				return
+			}
+		}
+		if stale {
+			continue
+		}
+		// Window full: one thread will advance the tail; failing the CAS
+		// means somebody else did, which is equally good (lock-freedom).
+		q.tail.CompareAndSwap(t, t+q.k)
+	}
+}
+
+// Dequeue removes and returns an element. ok is false when the queue
+// appears empty. Emptiness is precise in quiescent states (no concurrent
+// enqueues); under concurrency a false-negative is possible and callers
+// are expected to retry, matching the spurious-failure allowance the
+// scheduling model grants pop operations.
+func (q *Queue[T]) Dequeue() (v T, ok bool) {
+	r := q.rngs.Get().(*xrand.Rand)
+	defer q.rngs.Put(r)
+	for {
+		h := q.head.Load()
+		t := q.tail.Load()
+		off := int64(r.Intn(int(q.k)))
+		allDead := true
+		for i := int64(0); i < q.k; i++ {
+			pos := h + (off+i)%q.k
+			it := q.arr.Peek(pos)
+			if it == nil {
+				allDead = false // slot may still be filled by an enqueuer
+				continue
+			}
+			if it.taken.Load() != 0 {
+				continue
+			}
+			if it.taken.CompareAndSwap(0, 1) {
+				q.size.Add(-1)
+				return it.v, true
+			}
+			// Lost the race; that dequeuer made progress.
+			allDead = false
+		}
+		if h == t {
+			// Head window is the tail window and held nothing takeable.
+			return v, false
+		}
+		if allDead {
+			// Every slot in the head window is occupied by a taken item
+			// and the tail has moved on: the window is exhausted forever
+			// (slots are never reset), so the head can advance.
+			if q.head.CompareAndSwap(h, h+q.k) {
+				q.advanceRetire(h + q.k)
+			}
+		}
+		// Either the head advanced (by us or a peer) or an in-flight
+		// operation will resolve the window; rescan.
+	}
+}
+
+// advanceRetire lets the single logical scanner release segments behind
+// the new head so the segmented array can retire them. Retirement is pure
+// memory hygiene, so it is guarded by a non-blocking try-flag: if another
+// dequeuer is already retiring, skipping is harmless — a later call will
+// catch the cursor up to the then-current head.
+func (q *Queue[T]) advanceRetire(newHead int64) {
+	if !q.retireBusy.CompareAndSwap(0, 1) {
+		return
+	}
+	defer q.retireBusy.Store(0)
+	if q.cursor == nil {
+		q.cursor = q.arr.NewCursor()
+	}
+	if h := q.head.Load(); h > newHead {
+		newHead = h
+	}
+	for q.cursor.Pos() < newHead {
+		q.cursor.Advance()
+	}
+}

@@ -1,0 +1,212 @@
+package kfifo
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSequentialAllElements(t *testing.T) {
+	for _, k := range []int{1, 2, 7, 64} {
+		q := New[int](k, 1)
+		const n = 1000
+		for i := 0; i < n; i++ {
+			q.Enqueue(i)
+		}
+		if q.Len() != n {
+			t.Fatalf("k=%d Len = %d, want %d", k, q.Len(), n)
+		}
+		seen := make([]bool, n)
+		for i := 0; i < n; i++ {
+			v, ok := q.Dequeue()
+			if !ok {
+				t.Fatalf("k=%d queue empty after %d dequeues", k, i)
+			}
+			if seen[v] {
+				t.Fatalf("k=%d element %d dequeued twice", k, v)
+			}
+			seen[v] = true
+		}
+		if _, ok := q.Dequeue(); ok {
+			t.Fatalf("k=%d dequeue succeeded on empty queue", k)
+		}
+	}
+}
+
+func TestK1IsStrictFIFO(t *testing.T) {
+	q := New[int](1, 42)
+	for i := 0; i < 500; i++ {
+		q.Enqueue(i)
+	}
+	for i := 0; i < 500; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("dequeue %d = %v,%v; k=1 must be strict FIFO", i, v, ok)
+		}
+	}
+}
+
+func TestRelaxationBoundSequential(t *testing.T) {
+	// Sequential relaxation contract: |dequeue position - enqueue
+	// position| < 2k.
+	for _, k := range []int{1, 4, 32, 128} {
+		q := New[int](k, 7)
+		const n = 4096
+		for i := 0; i < n; i++ {
+			q.Enqueue(i)
+		}
+		for j := 0; j < n; j++ {
+			v, ok := q.Dequeue()
+			if !ok {
+				t.Fatalf("k=%d early empty at %d", k, j)
+			}
+			d := v - j
+			if d < 0 {
+				d = -d
+			}
+			if d >= 2*k {
+				t.Fatalf("k=%d element %d dequeued at %d: displacement %d >= 2k", k, v, j, d)
+			}
+		}
+	}
+}
+
+func TestInterleavedSequential(t *testing.T) {
+	f := func(ops []bool, kSmall uint8) bool {
+		k := int(kSmall)%16 + 1
+		q := New[int](k, 3)
+		next := 0
+		live := map[int]bool{}
+		for _, enq := range ops {
+			if enq || len(live) == 0 {
+				q.Enqueue(next)
+				live[next] = true
+				next++
+			} else {
+				v, ok := q.Dequeue()
+				if !ok || !live[v] {
+					return false
+				}
+				delete(live, v)
+			}
+		}
+		for len(live) > 0 {
+			v, ok := q.Dequeue()
+			if !ok || !live[v] {
+				return false
+			}
+			delete(live, v)
+		}
+		_, ok := q.Dequeue()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentExactlyOnce(t *testing.T) {
+	const producers, consumers = 6, 6
+	const perP = 5000
+	q := New[int](64, 11)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perP; i++ {
+				q.Enqueue(p*perP + i)
+			}
+		}(p)
+	}
+	var mu sync.Mutex
+	got := map[int]int{}
+	var cwg sync.WaitGroup
+	done := make(chan struct{})
+	for c := 0; c < consumers; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			local := map[int]int{}
+			for {
+				v, ok := q.Dequeue()
+				if ok {
+					local[v]++
+					continue
+				}
+				select {
+				case <-done:
+					if v, ok := q.Dequeue(); ok { // final drain after quiescence
+						local[v]++
+						continue
+					}
+					mu.Lock()
+					for k, n := range local {
+						got[k] += n
+					}
+					mu.Unlock()
+					return
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	cwg.Wait()
+	if len(got) != producers*perP {
+		t.Fatalf("dequeued %d distinct values, want %d", len(got), producers*perP)
+	}
+	for v, n := range got {
+		if n != 1 {
+			t.Fatalf("value %d dequeued %d times", v, n)
+		}
+	}
+}
+
+func TestSegmentsRetire(t *testing.T) {
+	q := New[int](8, 5)
+	// Push/pop far more elements than fit a segment; retained segment
+	// count must stay bounded rather than growing with total throughput.
+	for round := 0; round < 200; round++ {
+		for i := 0; i < 64; i++ {
+			q.Enqueue(i)
+		}
+		for i := 0; i < 64; i++ {
+			if _, ok := q.Dequeue(); !ok {
+				t.Fatal("unexpected empty")
+			}
+		}
+	}
+	if segs := q.arr.Segments(); segs > 4 {
+		t.Fatalf("retained %d segments after drain; retirement is not keeping up", segs)
+	}
+}
+
+func TestLenApproximation(t *testing.T) {
+	q := New[string](16, 1)
+	q.Enqueue("a")
+	q.Enqueue("b")
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", q.Len())
+	}
+	q.Dequeue()
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", q.Len())
+	}
+}
+
+func BenchmarkEnqueueDequeue(b *testing.B) {
+	q := New[int](64, 1)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if i%2 == 0 {
+				q.Enqueue(i)
+			} else {
+				q.Dequeue()
+			}
+			i++
+		}
+	})
+}

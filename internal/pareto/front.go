@@ -1,0 +1,115 @@
+// Package pareto implements the multi-objective shortest path extension
+// the paper's conclusion announces as future work (§6): "we plan to
+// provide k-relaxed Pareto priority queues with guarantees that can then
+// be used for parallelization of a multi-objective shortest path search",
+// citing Sanders & Mandow's parallel label-setting algorithm.
+//
+// The package provides bi-objective graphs, Pareto front maintenance, a
+// sequential label-setting solver (Martins' algorithm) as the exactness
+// oracle, and a parallel label-correcting solver built on the priority
+// scheduler: every label is a task prioritized lexicographically by cost,
+// tentative per-node fronts prune dominated labels, and labels that get
+// dominated while queued are dead tasks eliminated lazily — the same
+// re-insert/eliminate pattern the SSSP application uses for distance
+// improvements.
+package pareto
+
+import "sort"
+
+// Cost is one bi-objective cost vector.
+type Cost struct {
+	C1, C2 float64
+}
+
+// Dominates reports whether c dominates o: no worse in both objectives
+// and strictly better in at least one.
+func (c Cost) Dominates(o Cost) bool {
+	return c.C1 <= o.C1 && c.C2 <= o.C2 && (c.C1 < o.C1 || c.C2 < o.C2)
+}
+
+// Front is a Pareto front of cost vectors, maintained as the classic
+// staircase: sorted by C1 ascending with C2 strictly descending. The zero
+// value is an empty front. Not safe for concurrent use; the parallel
+// solver guards each node's front with its own mutex.
+type Front struct {
+	pts []Cost
+}
+
+// Len returns the number of non-dominated points.
+func (f *Front) Len() int { return len(f.pts) }
+
+// Points returns the front's points sorted by C1 (not to be mutated).
+func (f *Front) Points() []Cost { return f.pts }
+
+// DominatedBy reports whether c is dominated by (or equal to) a point of
+// the front. Equal points count as dominated: re-inserting an existing
+// cost is never useful work.
+func (f *Front) DominatedBy(c Cost) bool {
+	// First point with C1 > c.C1; every point before has C1 ≤ c.C1, and
+	// the staircase makes the last of those the one with minimal C2.
+	i := sort.Search(len(f.pts), func(i int) bool { return f.pts[i].C1 > c.C1 })
+	if i == 0 {
+		return false
+	}
+	p := f.pts[i-1]
+	return p.C2 <= c.C2
+}
+
+// Contains reports whether the exact point c is currently on the front.
+func (f *Front) Contains(c Cost) bool {
+	i := sort.Search(len(f.pts), func(i int) bool { return f.pts[i].C1 >= c.C1 })
+	for ; i < len(f.pts) && f.pts[i].C1 == c.C1; i++ {
+		if f.pts[i].C2 == c.C2 {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert adds c if it is not dominated, removing any points c dominates.
+// It reports whether the front changed (i.e. c is now on the front).
+func (f *Front) Insert(c Cost) bool {
+	if f.DominatedBy(c) {
+		return false
+	}
+	// Position by C1.
+	i := sort.Search(len(f.pts), func(i int) bool { return f.pts[i].C1 >= c.C1 })
+	// Remove points dominated by c: they start at i (C1 ≥ c.C1) and run
+	// while C2 ≥ c.C2.
+	j := i
+	for j < len(f.pts) && f.pts[j].C2 >= c.C2 {
+		j++
+	}
+	if i == j {
+		f.pts = append(f.pts, Cost{})
+		copy(f.pts[i+1:], f.pts[i:])
+		f.pts[i] = c
+	} else {
+		f.pts[i] = c
+		f.pts = append(f.pts[:i+1], f.pts[j:]...)
+	}
+	return true
+}
+
+// Equal reports whether two fronts contain exactly the same points.
+func (f *Front) Equal(o *Front) bool {
+	if len(f.pts) != len(o.pts) {
+		return false
+	}
+	for i := range f.pts {
+		if f.pts[i] != o.pts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// validate checks the staircase invariant (for tests).
+func (f *Front) validate() bool {
+	for i := 1; i < len(f.pts); i++ {
+		if f.pts[i].C1 <= f.pts[i-1].C1 || f.pts[i].C2 >= f.pts[i-1].C2 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,196 @@
+package pareto
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/pq"
+	"repro/internal/sched"
+	"repro/internal/xrand"
+)
+
+// BiGraph is an undirected graph whose edges carry two independent
+// positive weights. The structure (CSR layout, first weight) is a plain
+// graph.Graph; W2 runs parallel to its Weights array.
+type BiGraph struct {
+	G  *graph.Graph
+	W2 []float64
+}
+
+// RandomBi generates an Erdős–Rényi bi-objective graph: G(n, p) with both
+// weights uniform in ]0, 1], deterministically from seed.
+func RandomBi(n int, p float64, seed uint64) BiGraph {
+	g := graph.ErdosRenyi(n, p, seed)
+	w2 := make([]float64, len(g.Weights))
+	// Mirror the symmetry of the first weight: entries come in (u→v, v→u)
+	// pairs at unknown offsets, so derive the second weight from the
+	// unordered pair via a stateless hash, like the first generator does.
+	for u := 0; u < g.N; u++ {
+		ts, _ := g.Neighbors(u)
+		base := g.RowPtr[u]
+		for i, v := range ts {
+			a, b := u, int(v)
+			if a > b {
+				a, b = b, a
+			}
+			sm := xrand.NewSplitMix64(seed ^ 0xabcdabcd ^ (uint64(a)<<32 | uint64(uint32(b))))
+			w2[base+int64(i)] = 1.0 - float64(sm.Next()>>11)*(1.0/(1<<53))
+		}
+	}
+	return BiGraph{G: g, W2: w2}
+}
+
+// Label is one Pareto-optimal path candidate to a node.
+type Label struct {
+	Node int32
+	Cost Cost
+}
+
+// lexLess orders labels lexicographically by (C1, C2) — the standard
+// label-setting priority.
+func lexLess(a, b Label) bool {
+	if a.Cost.C1 != b.Cost.C1 {
+		return a.Cost.C1 < b.Cost.C1
+	}
+	return a.Cost.C2 < b.Cost.C2
+}
+
+// Sequential computes the exact Pareto front of path costs from src to
+// every node with Martins' label-setting algorithm. Returns the fronts
+// and the number of labels processed (the useful-work measure: one per
+// Pareto-optimal label).
+func Sequential(bg BiGraph, src int) ([]Front, int64) {
+	g := bg.G
+	fronts := make([]Front, g.N)
+	h := pq.NewBinHeap(lexLess)
+	h.Push(Label{Node: int32(src)})
+	var processed int64
+	for {
+		l, ok := h.Pop()
+		if !ok {
+			break
+		}
+		// Lexicographic order makes popped non-dominated labels final.
+		if fronts[l.Node].DominatedBy(l.Cost) {
+			continue // lazily deleted dominated label
+		}
+		fronts[l.Node].Insert(l.Cost)
+		processed++
+		ts, ws := g.Neighbors(int(l.Node))
+		for i, t := range ts {
+			nc := Cost{C1: l.Cost.C1 + ws[i], C2: l.Cost.C2 + bg.W2[g.RowPtr[l.Node]+int64(i)]}
+			if !fronts[t].DominatedBy(nc) {
+				h.Push(Label{Node: t, Cost: nc})
+			}
+		}
+	}
+	return fronts, processed
+}
+
+// Options configures the parallel solver.
+type Options struct {
+	// Places is the number of workers.
+	Places int
+	// Strategy selects the scheduling data structure.
+	Strategy sched.Strategy
+	// K is the relaxation parameter.
+	K int
+	// Seed drives scheduling randomness.
+	Seed uint64
+}
+
+// Result reports a parallel multi-objective run.
+type Result struct {
+	// Fronts is the exact Pareto front per node.
+	Fronts []Front
+	// LabelsProcessed counts executed label expansions (useful + useless;
+	// the sequential optimum is one per Pareto-optimal label).
+	LabelsProcessed int64
+	// Sched carries the scheduler statistics.
+	Sched sched.RunStats
+}
+
+// lockedFront pairs a tentative front with its lock; parallel workers
+// touch fronts of arbitrary nodes, so synchronization is per node.
+type lockedFront struct {
+	mu sync.Mutex
+	f  Front
+	_  [32]byte
+}
+
+// Parallel computes the same fronts with the task scheduler: labels are
+// tasks, prioritized lexicographically; a pushed label is immediately
+// inserted into the target's tentative front (label-correcting), so a
+// label that has been dominated while waiting is dead and is lazily
+// eliminated via the Stale predicate — the §5.1 pattern applied to Pareto
+// sets instead of scalar distances.
+func Parallel(bg BiGraph, src int, opt Options) (Result, error) {
+	g := bg.G
+	if src < 0 || src >= g.N {
+		return Result{}, fmt.Errorf("pareto: source %d out of range", src)
+	}
+	fronts := make([]lockedFront, g.N)
+
+	stale := func(l Label) bool {
+		lf := &fronts[l.Node]
+		lf.mu.Lock()
+		ok := lf.f.Contains(l.Cost)
+		lf.mu.Unlock()
+		return !ok
+	}
+
+	var processed atomic.Int64
+
+	cfg := sched.Config[Label]{
+		Places:   opt.Places,
+		Strategy: opt.Strategy,
+		K:        opt.K,
+		Less:     lexLess,
+		Stale:    stale,
+		Seed:     opt.Seed,
+		Execute: func(ctx *sched.Ctx[Label], l Label) {
+			lf := &fronts[l.Node]
+			lf.mu.Lock()
+			live := lf.f.Contains(l.Cost)
+			lf.mu.Unlock()
+			if !live {
+				return // dominated while queued: dead label
+			}
+			processed.Add(1)
+			ts, ws := g.Neighbors(int(l.Node))
+			for i, t := range ts {
+				nc := Cost{
+					C1: l.Cost.C1 + ws[i],
+					C2: l.Cost.C2 + bg.W2[g.RowPtr[l.Node]+int64(i)],
+				}
+				tf := &fronts[t]
+				tf.mu.Lock()
+				improved := tf.f.Insert(nc)
+				tf.mu.Unlock()
+				if improved {
+					ctx.Spawn(Label{Node: t, Cost: nc})
+				}
+			}
+		},
+	}
+	s, err := sched.New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	fronts[src].f.Insert(Cost{})
+	st, err := s.Run(Label{Node: int32(src)})
+	if err != nil {
+		return Result{}, err
+	}
+	out := Result{
+		Fronts:          make([]Front, g.N),
+		LabelsProcessed: processed.Load(),
+		Sched:           st,
+	}
+	for i := range fronts {
+		out.Fronts[i] = fronts[i].f
+	}
+	return out, nil
+}

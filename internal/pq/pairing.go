@@ -1,0 +1,127 @@
+package pq
+
+// PairingHeap is a pointer-based pairing heap. Push and Peek are O(1);
+// Pop is O(log n) amortized. It exists as a second, structurally unrelated
+// implementation of Queue so that the two can cross-check each other in
+// property tests, and because pointer heaps behave differently under the
+// reference-heavy workloads of the hybrid data structure (many small
+// melds), which the ablation benchmarks explore.
+type PairingHeap[T any] struct {
+	less func(a, b T) bool
+	root *pairNode[T]
+	n    int
+	free *pairNode[T] // freelist to reduce allocation churn
+}
+
+type pairNode[T any] struct {
+	v       T
+	child   *pairNode[T]
+	sibling *pairNode[T]
+}
+
+// NewPairingHeap returns an empty pairing heap ordered by less.
+func NewPairingHeap[T any](less func(a, b T) bool) *PairingHeap[T] {
+	return &PairingHeap[T]{less: less}
+}
+
+// Len reports the number of stored elements.
+func (h *PairingHeap[T]) Len() int { return h.n }
+
+// Push inserts v.
+func (h *PairingHeap[T]) Push(v T) {
+	n := h.alloc(v)
+	h.root = h.meld(h.root, n)
+	h.n++
+}
+
+// Peek returns the minimum element without removing it.
+func (h *PairingHeap[T]) Peek() (v T, ok bool) {
+	if h.root == nil {
+		return v, false
+	}
+	return h.root.v, true
+}
+
+// Pop removes and returns the minimum element.
+func (h *PairingHeap[T]) Pop() (v T, ok bool) {
+	if h.root == nil {
+		return v, false
+	}
+	old := h.root
+	v = old.v
+	h.root = h.mergePairs(old.child)
+	h.n--
+	h.release(old)
+	return v, true
+}
+
+// Clear removes all elements.
+func (h *PairingHeap[T]) Clear() {
+	h.root = nil
+	h.free = nil
+	h.n = 0
+}
+
+func (h *PairingHeap[T]) alloc(v T) *pairNode[T] {
+	if n := h.free; n != nil {
+		h.free = n.sibling
+		n.v = v
+		n.child, n.sibling = nil, nil
+		return n
+	}
+	return &pairNode[T]{v: v}
+}
+
+func (h *PairingHeap[T]) release(n *pairNode[T]) {
+	var zero T
+	n.v = zero
+	n.child = nil
+	n.sibling = h.free
+	h.free = n
+}
+
+func (h *PairingHeap[T]) meld(a, b *pairNode[T]) *pairNode[T] {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if h.less(b.v, a.v) {
+		a, b = b, a
+	}
+	b.sibling = a.child
+	a.child = b
+	return a
+}
+
+// mergePairs implements the standard two-pass pairing combine, iteratively
+// to avoid stack growth on adversarial shapes.
+func (h *PairingHeap[T]) mergePairs(first *pairNode[T]) *pairNode[T] {
+	if first == nil {
+		return nil
+	}
+	// Pass 1: meld siblings in pairs, collecting the results.
+	var pairs []*pairNode[T]
+	for first != nil {
+		a := first
+		b := a.sibling
+		if b == nil {
+			a.sibling = nil
+			pairs = append(pairs, a)
+			break
+		}
+		next := b.sibling
+		a.sibling, b.sibling = nil, nil
+		pairs = append(pairs, h.meld(a, b))
+		first = next
+	}
+	// Pass 2: meld right to left.
+	root := pairs[len(pairs)-1]
+	for i := len(pairs) - 2; i >= 0; i-- {
+		root = h.meld(pairs[i], root)
+	}
+	return root
+}
+
+var _ Queue[int] = (*PairingHeap[int])(nil)

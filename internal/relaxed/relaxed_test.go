@@ -1,0 +1,172 @@
+package relaxed
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/core/dstest"
+	"repro/internal/xrand"
+)
+
+func less(a, b int64) bool { return a < b }
+
+func TestConformanceSampleAll(t *testing.T) {
+	// SampleAll pops are exact in quiescent states, so the structure
+	// passes the full suite including single-place strict ordering.
+	dstest.Run(t, "Relaxed", func(opts core.Options[int64]) (core.DS[int64], error) {
+		d, err := New(opts)
+		if err != nil {
+			return nil, err
+		}
+		return d, nil
+	})
+}
+
+func TestConformanceSampleTwo(t *testing.T) {
+	// SampleTwo is only probabilistically ordered, so the strict local
+	// ordering check is skipped (see Flags.NoLocalOrdering).
+	dstest.RunFlags(t, "RelaxedSampleTwo", func(opts core.Options[int64]) (core.DS[int64], error) {
+		d, err := NewWithLanes(opts, DefaultLaneFactor*opts.Places, SampleTwo)
+		if err != nil {
+			return nil, err
+		}
+		return d, nil
+	}, dstest.Flags{NoLocalOrdering: true})
+}
+
+func TestSingleLaneIsStrict(t *testing.T) {
+	d, err := NewWithLanes(core.Options[int64]{Places: 1, Less: less, Seed: 1}, 1, SampleTwo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(2)
+	const n = 1000
+	want := make([]int64, n)
+	for i := range want {
+		want[i] = int64(r.Intn(1 << 20))
+		d.Push(0, 0, want[i])
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := 0; i < n; i++ {
+		v, ok := d.Pop(0)
+		if !ok || v != want[i] {
+			t.Fatalf("pop %d = %v,%v want %v (one lane must be a strict PQ)", i, v, ok, want[i])
+		}
+	}
+}
+
+// TestQuiescentExactness is the structural property in its sequential
+// limit: with no concurrent operations in flight, SampleAll pops must
+// return the exact global minimum across all lanes, for any lane count.
+func TestQuiescentExactness(t *testing.T) {
+	for _, lanes := range []int{1, 2, 4, 16} {
+		d, err := NewWithLanes(core.Options[int64]{Places: 1, Less: less, Seed: uint64(lanes)}, lanes, SampleAll)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := xrand.New(uint64(lanes) * 7)
+		live := map[int64]bool{}
+		next := int64(0)
+		for step := 0; step < 8000; step++ {
+			if len(live) == 0 || r.Intn(2) == 0 {
+				v := int64(r.Intn(1<<15))<<16 | next
+				next++
+				d.Push(0, 0, v)
+				live[v] = true
+			} else {
+				v, ok := d.Pop(0)
+				if !ok {
+					t.Fatalf("lanes=%d spurious failure with %d live items and no concurrency",
+						lanes, len(live))
+				}
+				for l := range live {
+					if l < v {
+						t.Fatalf("lanes=%d pop returned %d but %d is live and smaller", lanes, v, l)
+					}
+				}
+				delete(live, v)
+			}
+		}
+	}
+}
+
+// TestSampleTwoRankErrorIsSmallOnAverage characterizes the probabilistic
+// mode: average rank error well below the lane count.
+func TestSampleTwoRankErrorIsSmallOnAverage(t *testing.T) {
+	const lanes = 8
+	d, err := NewWithLanes(core.Options[int64]{Places: 1, Less: less, Seed: 6}, lanes, SampleTwo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(7)
+	live := map[int64]bool{}
+	next := int64(0)
+	totalRank, pops := 0, 0
+	for step := 0; step < 20000; step++ {
+		if len(live) < 64 || r.Intn(2) == 0 {
+			v := int64(r.Intn(1<<15))<<16 | next
+			next++
+			d.Push(0, 0, v)
+			live[v] = true
+		} else {
+			v, ok := d.Pop(0)
+			if !ok {
+				continue
+			}
+			rank := 0
+			for l := range live {
+				if l < v {
+					rank++
+				}
+			}
+			totalRank += rank
+			pops++
+			delete(live, v)
+		}
+	}
+	if pops == 0 {
+		t.Fatal("no pops")
+	}
+	avg := float64(totalRank) / float64(pops)
+	if avg > 2*lanes {
+		t.Fatalf("average rank error %.2f far exceeds lane count %d; sampling is broken", avg, lanes)
+	}
+}
+
+// TestAgeIndependence distinguishes structural from temporal relaxation:
+// an item's age never forces synchronization — there are no publishes or
+// tail advances — and an arbitrarily old, low-priority item is simply
+// returned when it becomes the minimum, exactly once.
+func TestAgeIndependence(t *testing.T) {
+	d, err := NewWithLanes(core.Options[int64]{Places: 1, Less: less, Seed: 5}, 2, SampleAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const old = int64(1) << 40 // worst priority, pushed first
+	d.Push(0, 0, old)
+	for i := int64(0); i < 1000; i++ {
+		d.Push(0, 0, i)
+		if v, ok := d.Pop(0); !ok || v == old {
+			t.Fatalf("pop = %v,%v: the old worst-priority item must not surface "+
+				"while better items are live", v, ok)
+		}
+	}
+	v, ok := d.Pop(0)
+	if !ok || v != old {
+		t.Fatalf("final pop = %v,%v, want the old item %d", v, ok, old)
+	}
+	if s := d.Stats(); s.Publishes != 0 || s.TailAdvances != 0 {
+		t.Fatal("structural queue must have no temporal bookkeeping counters")
+	}
+}
+
+func TestLanesAccessor(t *testing.T) {
+	d, err := New(core.Options[int64]{Places: 3, Less: less})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Lanes() != 3*DefaultLaneFactor {
+		t.Fatalf("Lanes = %d, want %d", d.Lanes(), 3*DefaultLaneFactor)
+	}
+}

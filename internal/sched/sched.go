@@ -1,0 +1,336 @@
+// Package sched implements the task scheduling system of Section 2: a
+// help-first, async-finish scheduler in which each place (one thread of
+// execution plus its local data structures) repeatedly pops a task from a
+// priority scheduling data structure and executes it to completion.
+//
+// Newly spawned tasks are stored for later execution by any place while
+// the spawning task proceeds with its continuation (help-first scheduling,
+// Guo et al.); work-first is not viable for priority scheduling since it
+// fixes a depth-first execution order (§2).
+//
+// Tasks can be synchronized with finish regions: Ctx.Finish runs a body
+// and then blocks until every task transitively spawned inside the region
+// has executed — "blocks" meaning the place keeps popping and executing
+// other tasks while it waits (work-helping), so no place ever idles inside
+// a finish.
+//
+// Termination: the scheduler counts outstanding tasks globally; pops are
+// allowed to fail spuriously (§2.1), so a failed pop is always a retry
+// with bounded backoff, and workers exit only when the count reaches zero.
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/core/centralized"
+	"repro/internal/core/globalpq"
+	"repro/internal/core/hybrid"
+	"repro/internal/core/wsprio"
+	"repro/internal/relaxed"
+	"repro/internal/xrand"
+)
+
+// Strategy selects the priority scheduling data structure backing the
+// scheduler (§3).
+type Strategy int
+
+const (
+	// WorkStealing: per-place priority queues with steal-half; local
+	// prioritization only (§3.1).
+	WorkStealing Strategy = iota
+	// Centralized: the centralized k-priority data structure; global
+	// priority order relaxed by at most k ignored newest tasks (§3.2).
+	Centralized
+	// Hybrid: the hybrid k-priority data structure; at most k newest tasks
+	// per place ignored, ρ = P·k (§3.3).
+	Hybrid
+	// Relaxed: the structurally ρ-relaxed priority queue of §5.3 (future
+	// work in the paper, implemented here as an extension; see
+	// internal/relaxed).
+	Relaxed
+	// WorkStealingStealOne: ablation — steal a single task instead of
+	// half. Not in the paper; quantifies the steal-half choice.
+	WorkStealingStealOne
+	// HybridNoSpy: ablation — hybrid structure with spying disabled
+	// (idle places rely on published lists only).
+	HybridNoSpy
+	// GlobalHeap: baseline — a single shared strict priority queue
+	// (ρ = 0), the design the paper's introduction argues against
+	// (Lenharth et al.: contention on the top element).
+	GlobalHeap
+)
+
+// String returns the strategy name used in reports.
+func (s Strategy) String() string {
+	switch s {
+	case WorkStealing:
+		return "work-stealing"
+	case Centralized:
+		return "centralized"
+	case Hybrid:
+		return "hybrid"
+	case Relaxed:
+		return "relaxed"
+	case WorkStealingStealOne:
+		return "ws-steal-one"
+	case HybridNoSpy:
+		return "hybrid-no-spy"
+	case GlobalHeap:
+		return "global-heap"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// Config configures a Scheduler.
+type Config[T any] struct {
+	// Places is the number of worker threads of execution (the paper's P).
+	Places int
+	// Strategy selects the backing data structure.
+	Strategy Strategy
+	// K is the default relaxation parameter used by Ctx.Spawn; Ctx.SpawnK
+	// overrides it per task. The paper's experiments use k = 512.
+	K int
+	// KMax bounds per-task k for the centralized structure (default 512).
+	KMax int
+	// Less is the priority function: Less(a, b) means a runs before b.
+	Less func(a, b T) bool
+	// Execute runs one task. It may spawn further tasks through ctx.
+	Execute func(ctx *Ctx[T], v T)
+	// Stale optionally marks dead tasks for lazy elimination (§5.1).
+	Stale func(T) bool
+	// LocalQueue selects the sequential local priority queue kind.
+	LocalQueue core.LocalQueueKind
+	// Seed drives all internal randomization.
+	Seed uint64
+}
+
+// envelope wraps a task with the finish region it belongs to.
+type envelope[T any] struct {
+	v   T
+	fin *finishRegion
+}
+
+// finishRegion counts the outstanding tasks transitively spawned inside
+// one finish scope.
+type finishRegion struct {
+	pending atomic.Int64
+}
+
+// Scheduler executes task-parallel computations over a priority
+// scheduling data structure.
+type Scheduler[T any] struct {
+	cfg      Config[T]
+	ds       core.DS[envelope[T]]
+	pending  atomic.Int64
+	active   atomic.Bool
+	elim     atomic.Int64
+	spawned  atomic.Int64
+	executed atomic.Int64
+}
+
+// New constructs a scheduler. The data structure instance is created here
+// and reused across sequential Run calls.
+func New[T any](cfg Config[T]) (*Scheduler[T], error) {
+	if cfg.Places < 1 {
+		return nil, fmt.Errorf("sched: Places = %d, need at least 1", cfg.Places)
+	}
+	if cfg.Less == nil {
+		return nil, fmt.Errorf("sched: Less function is required")
+	}
+	if cfg.Execute == nil {
+		return nil, fmt.Errorf("sched: Execute function is required")
+	}
+	if cfg.K < 0 {
+		return nil, fmt.Errorf("sched: K = %d, must be non-negative", cfg.K)
+	}
+	s := &Scheduler[T]{cfg: cfg}
+
+	opts := core.Options[envelope[T]]{
+		Places:     cfg.Places,
+		Less:       func(a, b envelope[T]) bool { return cfg.Less(a.v, b.v) },
+		KMax:       cfg.KMax,
+		LocalQueue: cfg.LocalQueue,
+		Seed:       cfg.Seed,
+	}
+	if cfg.Stale != nil {
+		opts.Stale = func(e envelope[T]) bool { return cfg.Stale(e.v) }
+		opts.OnEliminate = func(e envelope[T]) {
+			// A lazily eliminated task counts as finished without running.
+			e.fin.pending.Add(-1)
+			s.pending.Add(-1)
+			s.elim.Add(1)
+		}
+	}
+
+	var (
+		ds  core.DS[envelope[T]]
+		err error
+	)
+	switch cfg.Strategy {
+	case WorkStealing:
+		ds, err = wsprio.New(opts)
+	case WorkStealingStealOne:
+		ds, err = wsprio.NewStealOne(opts)
+	case Centralized:
+		ds, err = centralized.New(opts)
+	case Hybrid:
+		ds, err = hybrid.New(opts)
+	case HybridNoSpy:
+		ds, err = hybrid.NewNoSpy(opts)
+	case Relaxed:
+		ds, err = relaxed.New(opts)
+	case GlobalHeap:
+		ds, err = globalpq.New(opts)
+	default:
+		err = fmt.Errorf("sched: unknown strategy %d", int(cfg.Strategy))
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.ds = ds
+	return s, nil
+}
+
+// RunStats summarizes one Run.
+type RunStats struct {
+	Elapsed    time.Duration
+	Executed   int64 // tasks run by Execute
+	Eliminated int64 // tasks retired as stale without running
+	Spawned    int64 // tasks pushed (roots + spawns)
+	DS         core.Stats
+}
+
+// Run executes the computation seeded by the given root tasks and blocks
+// until every transitively spawned task has finished. Run may be called
+// repeatedly, but not concurrently.
+func (s *Scheduler[T]) Run(roots ...T) (RunStats, error) {
+	if len(roots) == 0 {
+		return RunStats{}, fmt.Errorf("sched: Run needs at least one root task")
+	}
+	if !s.active.CompareAndSwap(false, true) {
+		return RunStats{}, fmt.Errorf("sched: Run called concurrently")
+	}
+	defer s.active.Store(false)
+
+	dsBefore := s.ds.Stats()
+	elimBefore := s.elim.Load()
+	execBefore := s.executed.Load()
+	spawnBefore := s.spawned.Load()
+	rootFin := &finishRegion{}
+	rootFin.pending.Store(int64(len(roots)))
+	s.pending.Store(int64(len(roots)))
+	s.spawned.Add(int64(len(roots)))
+	for i, r := range roots {
+		s.ds.Push(i%s.cfg.Places, s.cfg.K, envelope[T]{v: r, fin: rootFin})
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	seeds := xrand.New(s.cfg.Seed ^ 0xabcdef)
+	for pl := 0; pl < s.cfg.Places; pl++ {
+		wg.Add(1)
+		go func(pl int, rng *xrand.Rand) {
+			defer wg.Done()
+			ctx := &Ctx[T]{s: s, place: pl, rng: rng}
+			s.workLoop(ctx, func() bool { return s.pending.Load() == 0 })
+		}(pl, seeds.Split())
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	return RunStats{
+		Elapsed:    elapsed,
+		Executed:   s.executed.Load() - execBefore,
+		Eliminated: s.elim.Load() - elimBefore,
+		Spawned:    s.spawned.Load() - spawnBefore,
+		DS:         s.ds.Stats().Sub(dsBefore),
+	}, nil
+}
+
+// workLoop pops and executes tasks until done() reports completion,
+// applying bounded backoff on spurious pop failures. It is used both by
+// the top-level workers and by places waiting inside a finish region
+// (work-helping), so executed tasks are accounted on the scheduler.
+func (s *Scheduler[T]) workLoop(ctx *Ctx[T], done func() bool) {
+	fails := 0
+	for {
+		if done() {
+			return
+		}
+		e, ok := s.ds.Pop(ctx.place)
+		if !ok {
+			fails++
+			backoff(fails)
+			continue
+		}
+		fails = 0
+		prev := ctx.fin
+		ctx.fin = e.fin
+		s.cfg.Execute(ctx, e.v)
+		ctx.fin = prev
+		e.fin.pending.Add(-1)
+		s.pending.Add(-1)
+		s.executed.Add(1)
+	}
+}
+
+// backoff implements the idle policy: spin briefly, then yield, then
+// sleep. Pops are cheap (a failed pop in the centralized structure is one
+// random probe), so the spin phase is short.
+func backoff(fails int) {
+	switch {
+	case fails < 16:
+		// busy retry
+	case fails < 256:
+		runtime.Gosched()
+	default:
+		time.Sleep(20 * time.Microsecond)
+	}
+}
+
+// Stats exposes the backing data structure's cumulative counters.
+func (s *Scheduler[T]) Stats() core.Stats { return s.ds.Stats() }
+
+// Ctx is the per-place execution context passed to Execute.
+type Ctx[T any] struct {
+	s     *Scheduler[T]
+	place int
+	fin   *finishRegion
+	rng   *xrand.Rand
+}
+
+// Place returns the executing place's id in [0, Places).
+func (c *Ctx[T]) Place() int { return c.place }
+
+// Rand returns the place-private deterministic RNG.
+func (c *Ctx[T]) Rand() *xrand.Rand { return c.rng }
+
+// Spawn stores v for later execution with the scheduler's default k.
+func (c *Ctx[T]) Spawn(v T) { c.SpawnK(c.s.cfg.K, v) }
+
+// SpawnK stores v for later execution with an explicit per-task k
+// (the data structure model supports choosing k per task, §1).
+func (c *Ctx[T]) SpawnK(k int, v T) {
+	c.fin.pending.Add(1)
+	c.s.pending.Add(1)
+	c.s.spawned.Add(1)
+	c.s.ds.Push(c.place, k, envelope[T]{v: v, fin: c.fin})
+}
+
+// Finish runs body and then waits until all tasks transitively spawned
+// within it have executed, helping with any available work while waiting
+// (the blocking synchronization primitive of the async-finish model, §2).
+func (c *Ctx[T]) Finish(body func()) {
+	parent := c.fin
+	region := &finishRegion{}
+	c.fin = region
+	body()
+	c.s.workLoop(c, func() bool { return region.pending.Load() == 0 })
+	c.fin = parent
+}

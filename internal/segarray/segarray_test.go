@@ -1,0 +1,255 @@
+package segarray
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestSegSizeRounding(t *testing.T) {
+	cases := map[int]int64{0: 8, 1: 8, 8: 8, 9: 16, 100: 128, 1024: 1024}
+	for in, want := range cases {
+		if got := New[int](in, 1).SegSize(); got != want {
+			t.Errorf("SegSize(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestSlotStoreLoad(t *testing.T) {
+	a := New[int](16, 1)
+	for i := int64(0); i < 100; i++ {
+		v := int(i * 3)
+		a.Slot(i).Store(&v)
+	}
+	for i := int64(0); i < 100; i++ {
+		p := a.Peek(i)
+		if p == nil || *p != int(i*3) {
+			t.Fatalf("Peek(%d) = %v", i, p)
+		}
+	}
+}
+
+func TestPeekUnallocated(t *testing.T) {
+	a := New[int](16, 1)
+	if p := a.Peek(1000); p != nil {
+		t.Fatalf("Peek past end = %v, want nil", p)
+	}
+	if p := a.Peek(5); p != nil {
+		t.Fatalf("Peek of empty slot = %v, want nil", p)
+	}
+}
+
+func TestSparseGrowth(t *testing.T) {
+	a := New[int](8, 1)
+	v := 7
+	a.Slot(1000).Store(&v)
+	if p := a.Peek(1000); p == nil || *p != 7 {
+		t.Fatalf("Peek(1000) = %v", p)
+	}
+	// All intermediate segments must have been materialized: slots exist.
+	if p := a.Peek(500); p != nil {
+		t.Fatalf("Peek(500) = %v, want nil (empty slot)", p)
+	}
+	if got := a.Segments(); got != 1000/8+1 {
+		t.Fatalf("Segments = %d, want %d", got, 1000/8+1)
+	}
+}
+
+func TestConcurrentUniqueClaims(t *testing.T) {
+	// Many goroutines CAS-claim slots; every slot must be claimed by at
+	// most one goroutine, and all segments appended consistently.
+	const goroutines = 8
+	const perG = 2000
+	a := New[int](64, goroutines)
+	var wg sync.WaitGroup
+	claims := make([][]int64, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := xrand.New(uint64(g) + 1)
+			mine := make([]int64, 0, perG)
+			for i := 0; i < perG; i++ {
+				for {
+					pos := int64(r.Intn(goroutines * perG))
+					v := g
+					if a.Slot(pos).CompareAndSwap(nil, &v) {
+						mine = append(mine, pos)
+						break
+					}
+				}
+			}
+			claims[g] = mine
+		}(g)
+	}
+	wg.Wait()
+	seen := map[int64]int{}
+	for g, mine := range claims {
+		for _, pos := range mine {
+			if prev, dup := seen[pos]; dup {
+				t.Fatalf("slot %d claimed by both %d and %d", pos, prev, g)
+			}
+			seen[pos] = g
+			if p := a.Peek(pos); p == nil || *p != g {
+				t.Fatalf("slot %d content = %v, want %d", pos, p, g)
+			}
+		}
+	}
+	if len(seen) != goroutines*perG {
+		t.Fatalf("claimed %d slots, want %d", len(seen), goroutines*perG)
+	}
+}
+
+func TestCursorScan(t *testing.T) {
+	a := New[int](16, 1)
+	c := a.NewCursor()
+	const n = 500
+	for i := int64(0); i < n; i++ {
+		v := int(i)
+		a.Slot(i).Store(&v)
+	}
+	for i := int64(0); i < n; i++ {
+		if c.Pos() != i {
+			t.Fatalf("cursor at %d, want %d", c.Pos(), i)
+		}
+		if p := c.Load(); p == nil || *p != int(i) {
+			t.Fatalf("cursor Load at %d = %v", i, p)
+		}
+		c.Advance()
+	}
+}
+
+func TestRetirementSinglePlace(t *testing.T) {
+	a := New[int](8, 1)
+	c := a.NewCursor()
+	for i := int64(0); i < 100; i++ {
+		v := 1
+		a.Slot(i).Store(&v)
+	}
+	for i := 0; i < 96; i++ {
+		c.Advance()
+	}
+	// Storing up to pos 99 allocated 13 segments (bases 0..96). The cursor
+	// now sits at pos 96, having left the 12 segments before it, all of
+	// which must have been retired.
+	if got := a.Segments(); got != 1 {
+		t.Fatalf("Segments after scan = %d, want 1", got)
+	}
+	if p := a.Peek(0); p != nil {
+		t.Fatalf("Peek(0) after retirement = %v, want nil", p)
+	}
+}
+
+func TestRetirementWaitsForAllPlaces(t *testing.T) {
+	a := New[int](8, 2)
+	c1 := a.NewCursor()
+	c2 := a.NewCursor()
+	for i := int64(0); i < 32; i++ {
+		v := 1
+		a.Slot(i).Store(&v)
+	}
+	before := a.Segments()
+	for i := 0; i < 16; i++ {
+		c1.Advance()
+	}
+	if got := a.Segments(); got != before {
+		t.Fatalf("segments retired with one place still behind: %d -> %d", before, got)
+	}
+	for i := 0; i < 16; i++ {
+		c2.Advance()
+	}
+	if got := a.Segments(); got >= before {
+		t.Fatalf("segments not retired after all places passed: %d -> %d", before, got)
+	}
+}
+
+func TestConcurrentCursorsAndWriters(t *testing.T) {
+	const places = 6
+	a := New[int64](64, places)
+	var tail atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Writers fill slots sequentially, advancing tail.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := int64(0); i < 20000; i++ {
+			v := i
+			a.Slot(i).Store(&v)
+			tail.Store(i + 1)
+		}
+		close(stop)
+	}()
+	var total atomic.Int64
+	for p := 0; p < places; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := a.NewCursor()
+			for {
+				t := tail.Load()
+				for c.Pos() < t {
+					if v := c.Load(); v != nil && *v != c.Pos() {
+						panic("cursor read wrong value")
+					}
+					total.Add(1)
+					c.Advance()
+				}
+				select {
+				case <-stop:
+					if c.Pos() >= tail.Load() {
+						return
+					}
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := total.Load(); got != places*20000 {
+		t.Fatalf("scanned %d slots, want %d", got, places*20000)
+	}
+}
+
+func TestQuickSlotRoundTrip(t *testing.T) {
+	a := New[uint64](32, 1)
+	f := func(positions []uint16) bool {
+		for _, pp := range positions {
+			pos := int64(pp)
+			v := uint64(pos) * 2654435761
+			a.Slot(pos).Store(&v)
+			got := a.Peek(pos)
+			if got == nil || *got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSlotSequential(b *testing.B) {
+	a := New[int](4096, 1)
+	v := 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Slot(int64(i)).Store(&v)
+	}
+}
+
+func BenchmarkPeekNearTail(b *testing.B) {
+	a := New[int](4096, 1)
+	v := 1
+	for i := int64(0); i < 10000; i++ {
+		a.Slot(i).Store(&v)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.Peek(9000 + int64(i%512))
+	}
+}

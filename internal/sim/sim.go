@@ -1,0 +1,232 @@
+// Package sim implements the phase-wise execution simulator of Section
+// 5.4, which bridges the theoretical model (§5.2) and the hardware
+// experiments (§5.5).
+//
+// Model: all active nodes live in a single array sorted by tentative
+// distance. Execution proceeds in phases; in each phase the first P nodes
+// of the array are relaxed. With ρ > 0, newly activated nodes are marked
+// with a sequence id (nodes activated in the same phase are shuffled
+// before ids are assigned, to ensure randomness); the ρ nodes with the
+// highest sequence ids are stored separately from the sorted array — they
+// are the nodes a ρ-relaxed data structure may fail to see. Two
+// exceptions, both from the paper: the node with the globally lowest
+// tentative distance is always placed in the visible array (a k-priority
+// pop never ignores the minimum when everything older is drained), with a
+// deterministic tie-break so exactly one node qualifies; and when the
+// visible array holds fewer than P nodes, the remaining places relax a
+// random selection of the hidden nodes.
+//
+// A node whose tentative distance is updated re-enters as a *new* active
+// node (fresh sequence id): in the real data structures an update spawns
+// a new task — which is among the newest — and the superseded task is
+// eliminated lazily.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/sssp"
+	"repro/internal/xrand"
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// P is the number of places (nodes relaxed per phase).
+	P int
+	// Rho is the relaxation: how many of the newest active nodes are
+	// hidden from the sorted array (ρ = 0 simulates an ideal priority
+	// queue; the paper uses 0, 128, 512).
+	Rho int
+	// Seed drives the shuffles and the random padding selection.
+	Seed uint64
+}
+
+// PhaseStats records one phase of the simulation.
+type PhaseStats struct {
+	// Relaxed is the number of nodes relaxed this phase (≤ P).
+	Relaxed int
+	// Settled counts relaxed nodes whose tentative distance was already
+	// final — the useful work; Relaxed − Settled is the useless work.
+	Settled int
+	// HStar is h*_t: the difference between the largest and smallest
+	// tentative distance among the relaxed nodes (Figure 3, middle).
+	HStar float64
+	// Dists holds the tentative distances of the relaxed nodes, sorted
+	// ascending — the dt(j) values the theoretical bound consumes.
+	Dists []float64
+}
+
+// Result of a full simulation.
+type Result struct {
+	Phases []PhaseStats
+	// TotalRelaxed is the sum of per-phase relaxations (the simulated
+	// analogue of the "nodes relaxed" metric).
+	TotalRelaxed int
+	// TotalSettled is the sum of per-phase settled counts; equals the
+	// number of reachable nodes (every reachable node settles exactly
+	// once).
+	TotalSettled int
+}
+
+type activeNode struct {
+	node int32
+	seq  int64
+}
+
+// Run simulates the phase-wise parallel SSSP on g from src. The exact
+// final distances are computed internally with Dijkstra to classify
+// settled nodes.
+func Run(g *graph.Graph, src int, cfg Config) (Result, error) {
+	if cfg.P < 1 {
+		return Result{}, fmt.Errorf("sim: P = %d, need at least 1", cfg.P)
+	}
+	if cfg.Rho < 0 {
+		return Result{}, fmt.Errorf("sim: negative Rho")
+	}
+	final, _ := sssp.Dijkstra(g, src)
+	r := xrand.New(cfg.Seed)
+
+	dist := make([]float64, g.N)
+	for i := range dist {
+		dist[i] = sssp.Inf
+	}
+	dist[src] = 0
+
+	// isActive tracks membership; visible is kept sorted by (dist, node);
+	// hidden holds at most ρ entries, the highest sequence ids.
+	isActive := make([]bool, g.N)
+	var visible []activeNode
+	var hidden []activeNode
+	var seq int64
+
+	isActive[src] = true
+	visible = append(visible, activeNode{node: int32(src)})
+
+	lessByDist := func(a, b activeNode) bool {
+		if dist[a.node] != dist[b.node] {
+			return dist[a.node] < dist[b.node]
+		}
+		return a.node < b.node // deterministic tie-break
+	}
+
+	var res Result
+	for len(visible)+len(hidden) > 0 {
+		sort.Slice(visible, func(i, j int) bool { return lessByDist(visible[i], visible[j]) })
+
+		// Selection: the first P visible nodes; if fewer are visible, the
+		// remaining places relax a random selection of the hidden nodes.
+		sel := visible
+		if len(sel) > cfg.P {
+			sel = sel[:cfg.P]
+		}
+		selected := append([]activeNode(nil), sel...)
+		visible = visible[len(selected):]
+		if pad := cfg.P - len(selected); pad > 0 && len(hidden) > 0 {
+			r.Shuffle(len(hidden), func(i, j int) { hidden[i], hidden[j] = hidden[j], hidden[i] })
+			take := pad
+			if take > len(hidden) {
+				take = len(hidden)
+			}
+			selected = append(selected, hidden[:take]...)
+			hidden = hidden[take:]
+		}
+
+		// Relax the selection.
+		ps := PhaseStats{Relaxed: len(selected)}
+		lo, hi := sssp.Inf, 0.0
+		updatedSet := map[int32]bool{}
+		for _, an := range selected {
+			d := dist[an.node]
+			if d < lo {
+				lo = d
+			}
+			if d > hi {
+				hi = d
+			}
+			if d == final[an.node] {
+				ps.Settled++
+			}
+			ps.Dists = append(ps.Dists, d)
+			isActive[an.node] = false // relaxed; reactivated only on update
+		}
+		for _, an := range selected {
+			d := dist[an.node]
+			ts, ws := g.Neighbors(int(an.node))
+			for i, t := range ts {
+				if nd := d + ws[i]; nd < dist[t] {
+					dist[t] = nd
+					updatedSet[t] = true
+				}
+			}
+		}
+		if len(selected) > 0 {
+			ps.HStar = hi - lo
+		}
+		sort.Float64s(ps.Dists)
+		res.Phases = append(res.Phases, ps)
+		res.TotalRelaxed += ps.Relaxed
+		res.TotalSettled += ps.Settled
+
+		// Updated nodes (re-)enter as new actives with fresh sequence
+		// ids, shuffled first.
+		updated := make([]int32, 0, len(updatedSet))
+		for nd := range updatedSet {
+			updated = append(updated, nd)
+		}
+		sort.Slice(updated, func(i, j int) bool { return updated[i] < updated[j] })
+		r.Shuffle(len(updated), func(i, j int) { updated[i], updated[j] = updated[j], updated[i] })
+		for _, nd := range updated {
+			if isActive[nd] {
+				// Already pending: the old entry is superseded (dead task);
+				// drop it from whichever buffer holds it.
+				visible = removeNode(visible, nd)
+				hidden = removeNode(hidden, nd)
+			}
+			isActive[nd] = true
+			seq++
+			hidden = append(hidden, activeNode{node: nd, seq: seq})
+		}
+
+		// Only the ρ newest stay hidden; older ones become visible.
+		if excess := len(hidden) - cfg.Rho; excess > 0 {
+			sort.Slice(hidden, func(i, j int) bool { return hidden[i].seq < hidden[j].seq })
+			visible = append(visible, hidden[:excess]...)
+			hidden = append([]activeNode(nil), hidden[excess:]...)
+		}
+
+		// Exception: the node with the globally lowest tentative distance
+		// is always visible (guaranteed to be relaxed next phase).
+		if len(hidden) > 0 {
+			minIdx := -1
+			for i := range hidden {
+				if minIdx < 0 || lessByDist(hidden[i], hidden[minIdx]) {
+					minIdx = i
+				}
+			}
+			hiddenMin := hidden[minIdx]
+			isMin := true
+			for i := range visible {
+				if lessByDist(visible[i], hiddenMin) {
+					isMin = false
+					break
+				}
+			}
+			if isMin {
+				visible = append(visible, hiddenMin)
+				hidden = append(hidden[:minIdx], hidden[minIdx+1:]...)
+			}
+		}
+	}
+	return res, nil
+}
+
+func removeNode(list []activeNode, node int32) []activeNode {
+	for i := range list {
+		if list[i].node == node {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}

@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/sssp"
+)
+
+func TestIdealSimulatorSettlesEveryReachableNodeOnce(t *testing.T) {
+	g := graph.ErdosRenyi(300, 0.1, 1)
+	_, reachable := sssp.Dijkstra(g, 0)
+	res, err := Run(g, 0, Config{P: 8, Rho: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(res.TotalSettled) != reachable {
+		t.Fatalf("settled %d nodes, want %d", res.TotalSettled, reachable)
+	}
+	if res.TotalRelaxed < res.TotalSettled {
+		t.Fatalf("relaxed %d < settled %d", res.TotalRelaxed, res.TotalSettled)
+	}
+}
+
+func TestP1IsDijkstra(t *testing.T) {
+	// With one place and ρ = 0 the simulation is exactly Dijkstra: every
+	// relaxation settles and the relaxation count equals reachability.
+	g := graph.ErdosRenyi(200, 0.2, 2)
+	_, reachable := sssp.Dijkstra(g, 0)
+	res, err := Run(g, 0, Config{P: 1, Rho: 0, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(res.TotalRelaxed) != reachable || res.TotalRelaxed != res.TotalSettled {
+		t.Fatalf("relaxed %d settled %d, want both %d",
+			res.TotalRelaxed, res.TotalSettled, reachable)
+	}
+	for i, ph := range res.Phases {
+		if ph.Relaxed != 1 || ph.Settled != 1 || ph.HStar != 0 {
+			t.Fatalf("phase %d: %+v, want single settled relaxation", i, ph)
+		}
+	}
+}
+
+func TestRhoConservation(t *testing.T) {
+	// Whatever the relaxation, every reachable node must settle exactly
+	// once and the run must terminate.
+	g := graph.ErdosRenyi(300, 0.1, 3)
+	_, reachable := sssp.Dijkstra(g, 0)
+	for _, rho := range []int{0, 8, 64, 512} {
+		res, err := Run(g, 0, Config{P: 16, Rho: rho, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(res.TotalSettled) != reachable {
+			t.Fatalf("rho=%d settled %d, want %d", rho, res.TotalSettled, reachable)
+		}
+	}
+}
+
+func TestMoreRelaxationNeverHelps(t *testing.T) {
+	// Statistical sanity on a fixed seed set: total relaxations with
+	// large ρ must not fall below the ideal (ρ=0) count — hiding nodes can
+	// only create premature (useless) relaxations.
+	g := graph.ErdosRenyi(400, 0.3, 5)
+	ideal, err := Run(g, 0, Config{P: 32, Rho: 0, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relaxed, err := Run(g, 0, Config{P: 32, Rho: 256, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relaxed.TotalRelaxed < ideal.TotalRelaxed {
+		t.Fatalf("rho=256 relaxed %d < ideal %d", relaxed.TotalRelaxed, ideal.TotalRelaxed)
+	}
+}
+
+func TestPhaseInvariants(t *testing.T) {
+	g := graph.ErdosRenyi(300, 0.2, 7)
+	res, err := Run(g, 0, Config{P: 20, Rho: 32, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ph := range res.Phases {
+		if ph.Relaxed > 20 {
+			t.Fatalf("phase %d relaxed %d > P", i, ph.Relaxed)
+		}
+		if ph.Settled > ph.Relaxed {
+			t.Fatalf("phase %d settled %d > relaxed %d", i, ph.Settled, ph.Relaxed)
+		}
+		if len(ph.Dists) != ph.Relaxed {
+			t.Fatalf("phase %d dists %d != relaxed %d", i, len(ph.Dists), ph.Relaxed)
+		}
+		for j := 1; j < len(ph.Dists); j++ {
+			if ph.Dists[j] < ph.Dists[j-1] {
+				t.Fatalf("phase %d dists not sorted", i)
+			}
+		}
+		if ph.Relaxed > 0 && ph.HStar != ph.Dists[len(ph.Dists)-1]-ph.Dists[0] {
+			t.Fatalf("phase %d HStar %v != spread %v", i, ph.HStar,
+				ph.Dists[len(ph.Dists)-1]-ph.Dists[0])
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g := graph.ErdosRenyi(200, 0.3, 9)
+	a, err := Run(g, 0, Config{P: 16, Rho: 64, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(g, 0, Config{P: 16, Rho: 64, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Phases) != len(b.Phases) || a.TotalRelaxed != b.TotalRelaxed {
+		t.Fatal("same seed, different run")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	g := graph.ErdosRenyi(10, 0.5, 1)
+	if _, err := Run(g, 0, Config{P: 0}); err == nil {
+		t.Fatal("P=0 accepted")
+	}
+	if _, err := Run(g, 0, Config{P: 1, Rho: -1}); err == nil {
+		t.Fatal("negative rho accepted")
+	}
+}
+
+func TestDisconnectedGraph(t *testing.T) {
+	g := graph.FromEdges(5, [][3]float64{{0, 1, 1}, {1, 2, 1}})
+	res, err := Run(g, 0, Config{P: 4, Rho: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalSettled != 3 {
+		t.Fatalf("settled %d, want 3 (nodes 3,4 unreachable)", res.TotalSettled)
+	}
+}

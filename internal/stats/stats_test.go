@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	if s.N() != 0 || s.Mean() != 0 || s.Std() != 0 {
+		t.Fatalf("empty sample: N=%d mean=%v std=%v", s.N(), s.Mean(), s.Std())
+	}
+	if !math.IsInf(s.Min(), 1) || !math.IsInf(s.Max(), -1) {
+		t.Fatalf("empty extremes: %v %v", s.Min(), s.Max())
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 || s.Mean() != 5 {
+		t.Fatalf("N=%d mean=%v", s.N(), s.Mean())
+	}
+	// Sample std of this classic set is sqrt(32/7).
+	if got, want := s.Std(), math.Sqrt(32.0/7); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("std = %v, want %v", got, want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min=%v max=%v", s.Min(), s.Max())
+	}
+}
+
+func TestSampleSingleObservation(t *testing.T) {
+	var s Sample
+	s.Add(3.5)
+	if s.Mean() != 3.5 || s.Std() != 0 {
+		t.Fatalf("mean=%v std=%v", s.Mean(), s.Std())
+	}
+}
+
+func TestSampleQuickMeanInRange(t *testing.T) {
+	f := func(xs []float64) bool {
+		var s Sample
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, x := range xs {
+			// The accumulator works in differences (x − m), which is an
+			// inherent float64 overflow for opposite signs near
+			// ±MaxFloat64; the harness only aggregates times and counts,
+			// so constrain the property to magnitudes that subtraction
+			// can represent.
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e150 {
+				continue
+			}
+			s.Add(x)
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		if s.N() == 0 {
+			return true
+		}
+		m := s.Mean()
+		return m >= lo-1e-9*math.Abs(lo)-1e-9 && m <= hi+1e-9*math.Abs(hi)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableFprint(t *testing.T) {
+	tb := Table{Header: []string{"name", "value"}}
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b", "22222")
+	var buf bytes.Buffer
+	if err := tb.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Fatalf("header line %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatalf("separator line %q", lines[1])
+	}
+	// Columns aligned: "value" starts at the same offset in all rows.
+	col := strings.Index(lines[0], "value")
+	if lines[2][col:col+1] != "1" && !strings.HasPrefix(lines[2][col:], "1") {
+		t.Fatalf("misaligned row %q (col %d)", lines[2], col)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := Table{Header: []string{"a", "b"}}
+	tb.AddRow("1", "2")
+	var buf bytes.Buffer
+	if err := tb.FprintCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "a,b\n1,2\n" {
+		t.Fatalf("CSV = %q", got)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(3.14159, 2) != "3.14" {
+		t.Fatalf("F = %q", F(3.14159, 2))
+	}
+	if I(-7) != "-7" {
+		t.Fatalf("I = %q", I(-7))
+	}
+}

@@ -1,0 +1,119 @@
+// Package theory evaluates the upper bound of Theorem 5 (§5.2.2) on the
+// useless work performed per phase by the phase-wise parallel SSSP on an
+// Erdős–Rényi graph G(n, p):
+//
+//	Wt ≤ Σ_{j∈Rt} [ 1 − Π_{i<j} Π_{L=1}^{n−1} (1 − (p·h_t(i,j))^L / L!)^{(n−2)!/(n−1−L)!} ]
+//
+// with h_t(i,j) = d_t(j) − d_t(i) the gap between the tentative distances
+// of the i-th and j-th ranked relaxed nodes. The inner product over path
+// lengths L is evaluated in log space: the exponent A_L = (n−2)!/(n−1−L)!
+// grows like n^(L−1) while x_L = (p·h)^L/L! shrinks factorially, so each
+// factor contributes ≈ −A_L·x_L = −(n·p·h)^L/(n·L!) to the log and the
+// series is summed until it is numerically exhausted.
+//
+// The simpler h*-form of Remark 1 substitutes the per-pair gap with
+// h*_t = d_t(max) − d_t(min) over the relaxed set.
+package theory
+
+import "math"
+
+// PairLogProb returns log of Π_{L=1}^{n−1} (1 − (p·h)^L / L!)^{(n−2)!/(n−1−L)!},
+// the lower bound on the probability that no invalidating path of weight
+// less than h exists between one fixed pair of active nodes. Returns 0
+// (probability 1) when h ≤ 0 and −Inf when some factor vanishes.
+func PairLogProb(n int, p, h float64) float64 {
+	if h <= 0 || p <= 0 {
+		return 0
+	}
+	if h > 1 {
+		// The derivation conditions on h ≤ 1 (edge weights live in ]0,1]);
+		// larger gaps cannot be bounded and count as certainly unsettled.
+		return math.Inf(-1)
+	}
+	logph := math.Log(p * h)
+	logA := 0.0    // log A_1, A_1 = (n−2)!/(n−2)! = 1
+	logFact := 0.0 // log L!
+	sum := 0.0
+	maxL := n - 1
+	for L := 1; L <= maxL; L++ {
+		logFact += math.Log(float64(L))
+		logx := float64(L)*logph - logFact
+		if logx >= 0 {
+			// x_L ≥ 1: the factor (1 − x_L) is non-positive; the bound
+			// degenerates to probability zero.
+			return math.Inf(-1)
+		}
+		x := math.Exp(logx)
+		var term float64
+		if logA > 600 || x < 1e-12 {
+			// A_L too large to represent or x tiny: use log1p(−x) ≈ −x,
+			// so A_L·log1p(−x) ≈ −exp(logA + logx).
+			term = -math.Exp(logA + logx)
+		} else {
+			term = math.Exp(logA) * math.Log1p(-x)
+		}
+		sum += term
+		if math.IsInf(sum, -1) {
+			return sum
+		}
+		// The magnitude of term behaves like (n·p·h)^L/(n·L!): it grows to
+		// a mode near L ≈ n·p·h and then decays factorially. Stop once past
+		// the mode and negligible.
+		if float64(L) > float64(n)*p*h && math.Abs(term) < 1e-15*(1+math.Abs(sum)) {
+			break
+		}
+		// log A_{L+1} = log A_L + log(n−1−(L+1)+... ) = + log(n−1−L).
+		if n-1-L > 0 {
+			logA += math.Log(float64(n - 1 - L))
+		} else {
+			break
+		}
+	}
+	return sum
+}
+
+// SettledLogProb returns log of the lower bound on the probability that
+// the j-th ranked node (1-based) of the relaxed set is settled, given the
+// sorted tentative distances dts of the relaxed nodes:
+//
+//	log q_j ≥ Σ_{i<j} PairLogProb(n, p, dts[j−1] − dts[i−1]).
+func SettledLogProb(n int, p float64, dts []float64, j int) float64 {
+	sum := 0.0
+	dj := dts[j-1]
+	for i := 0; i < j-1; i++ {
+		sum += PairLogProb(n, p, dj-dts[i])
+		if math.IsInf(sum, -1) {
+			return sum
+		}
+	}
+	return sum
+}
+
+// UselessWorkBound evaluates Theorem 5 for one phase: the expected number
+// of relaxed-but-unsettled nodes, given the sorted tentative distances of
+// the relaxed nodes. The companion lower bound on settled nodes is
+// len(dts) − UselessWorkBound(...).
+func UselessWorkBound(n int, p float64, dts []float64) float64 {
+	w := 0.0
+	for j := 1; j <= len(dts); j++ {
+		w += 1 - math.Exp(SettledLogProb(n, p, dts, j))
+	}
+	return w
+}
+
+// UselessWorkBoundSimple is Remark 1's weaker form: every pair gap is
+// replaced by hstar, so q_j ≥ S(hstar)^(j−1).
+func UselessWorkBoundSimple(n int, p float64, relaxed int, hstar float64) float64 {
+	logS := PairLogProb(n, p, hstar)
+	w := 0.0
+	for j := 1; j <= relaxed; j++ {
+		w += 1 - math.Exp(float64(j-1)*logS)
+	}
+	return w
+}
+
+// SettledLowerBound is the per-phase companion of UselessWorkBound:
+// a lower bound on the number of settled nodes among the relaxed ones.
+func SettledLowerBound(n int, p float64, dts []float64) float64 {
+	return float64(len(dts)) - UselessWorkBound(n, p, dts)
+}

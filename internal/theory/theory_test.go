@@ -1,0 +1,175 @@
+package theory
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+func TestPairLogProbBasics(t *testing.T) {
+	if got := PairLogProb(1000, 0.5, 0); got != 0 {
+		t.Fatalf("h=0: log prob = %v, want 0", got)
+	}
+	if got := PairLogProb(1000, 0, 0.5); got != 0 {
+		t.Fatalf("p=0: log prob = %v, want 0", got)
+	}
+	if got := PairLogProb(1000, 0.5, 1.5); !math.IsInf(got, -1) {
+		t.Fatalf("h>1: log prob = %v, want -Inf", got)
+	}
+	// Must be a log-probability: ≤ 0.
+	for _, h := range []float64{1e-6, 1e-4, 0.01, 0.1, 0.5, 1.0} {
+		lp := PairLogProb(10000, 0.5, h)
+		if lp > 0 || math.IsNaN(lp) {
+			t.Fatalf("h=%v: log prob = %v, not a log-probability", h, lp)
+		}
+	}
+}
+
+func TestPairLogProbMonotoneInH(t *testing.T) {
+	// Larger gaps admit more invalidating paths: probability decreases.
+	prev := 0.0
+	for _, h := range []float64{1e-5, 1e-4, 1e-3, 1e-2, 0.05, 0.2, 0.8} {
+		lp := PairLogProb(10000, 0.5, h)
+		if lp > prev+1e-12 {
+			t.Fatalf("h=%v: log prob %v > previous %v; must be nonincreasing", h, lp, prev)
+		}
+		prev = lp
+	}
+}
+
+func TestPairLogProbFirstOrderAsymptotics(t *testing.T) {
+	// For tiny h the L=1 term dominates: q ≈ (1−p·h) and the higher-L
+	// terms contribute ≈ −(n·p·h)^L/(n·L!). Against an explicit partial
+	// sum for moderate n, the implementation must agree closely.
+	n, p, h := 500, 0.5, 1e-4
+	got := PairLogProb(n, p, h)
+	want := 0.0
+	logA := 0.0
+	logFact := 0.0
+	for L := 1; L <= 60; L++ {
+		logFact += math.Log(float64(L))
+		x := math.Exp(float64(L)*math.Log(p*h) - logFact)
+		want += math.Exp(logA) * math.Log1p(-x)
+		if n-1-L > 0 {
+			logA += math.Log(float64(n - 1 - L))
+		}
+	}
+	if math.Abs(got-want) > 1e-9*math.Abs(want)+1e-15 {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestUselessWorkBoundProperties(t *testing.T) {
+	n, p := 10000, 0.5
+	// All gaps zero: every node settled, zero useless work.
+	same := make([]float64, 80)
+	if w := UselessWorkBound(n, p, same); w != 0 {
+		t.Fatalf("zero gaps: W = %v, want 0", w)
+	}
+	// Wide spread: close to everything after the first may be unsettled.
+	wide := make([]float64, 80)
+	for i := range wide {
+		wide[i] = float64(i) * 0.0125
+	}
+	w := UselessWorkBound(n, p, wide)
+	if w < 70 || w > 79.0001 {
+		t.Fatalf("wide gaps: W = %v, want close to 79", w)
+	}
+	// Bound is within [0, len-?]: j=1 always settled (no i<j).
+	if w > float64(len(wide)-1) {
+		t.Fatalf("W = %v exceeds len−1", w)
+	}
+}
+
+func TestSimpleFormIsWeaker(t *testing.T) {
+	// Remark 1: substituting every pair gap with h* can only increase the
+	// bound on useless work.
+	n, p := 10000, 0.5
+	r := xrand.New(3)
+	for trial := 0; trial < 20; trial++ {
+		dts := make([]float64, 40)
+		d := 0.0
+		for i := range dts {
+			d += r.Float64() * 0.0005
+			dts[i] = d
+		}
+		hstar := dts[len(dts)-1] - dts[0]
+		exact := UselessWorkBound(n, p, dts)
+		simple := UselessWorkBoundSimple(n, p, len(dts), hstar)
+		if simple+1e-9 < exact {
+			t.Fatalf("trial %d: simple form %v < pairwise form %v", trial, simple, exact)
+		}
+	}
+}
+
+func TestBoundHoldsAgainstSimulation(t *testing.T) {
+	// The point of Figure 3 (right): per phase, the theoretical lower
+	// bound on settled nodes must lie below (or at) the simulated count.
+	// The bound is probabilistic (an expectation); per-phase noise on a
+	// single graph is real, so we compare per-phase with a small slack and
+	// in aggregate strictly.
+	g := graph.ErdosRenyi(1000, 0.5, 7)
+	res, err := sim.Run(g, 0, sim.Config{P: 16, Rho: 0, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumSim, sumBound := 0.0, 0.0
+	for i, ph := range res.Phases {
+		if ph.Relaxed == 0 {
+			continue
+		}
+		bound := SettledLowerBound(g.N, 0.5, ph.Dists)
+		sumSim += float64(ph.Settled)
+		sumBound += bound
+		if bound > float64(ph.Settled)+4 {
+			t.Fatalf("phase %d: lower bound %.2f far above simulated settled %d",
+				i, bound, ph.Settled)
+		}
+	}
+	// Theorem 5 bounds the expectation over the G(n,p) ensemble under
+	// Conjecture 1 (asymptotic in n); a single instance at n=1000 can sit
+	// a fraction of a percent on either side, so allow expectation-level
+	// slack.
+	if sumBound > 1.01*sumSim+5 {
+		t.Fatalf("aggregate: bound %.1f above simulation %.1f beyond expectation slack",
+			sumBound, sumSim)
+	}
+	// And it must not be vacuous: the bound should capture most of the
+	// settled work on a dense random graph.
+	if sumBound < 0.5*sumSim {
+		t.Fatalf("aggregate bound %.1f is vacuous versus simulation %.1f", sumBound, sumSim)
+	}
+}
+
+// TestCorollary1MonteCarlo validates Corollary 1 (§5.2.3): conditioned on
+// a random path's L−1-prefix and final edge both weighing < h, the whole
+// path weighs < h with probability exactly 1/L.
+func TestCorollary1MonteCarlo(t *testing.T) {
+	r := xrand.New(9)
+	const h = 0.3
+	for _, L := range []int{2, 3, 4} {
+		accepted, hits := 0, 0
+		for accepted < 20000 {
+			prefix := 0.0
+			for i := 0; i < L-1; i++ {
+				prefix += r.Float64Open()
+			}
+			last := r.Float64Open()
+			if prefix >= h || last >= h {
+				continue
+			}
+			accepted++
+			if prefix+last < h {
+				hits++
+			}
+		}
+		got := float64(hits) / float64(accepted)
+		want := 1.0 / float64(L)
+		if math.Abs(got-want) > 0.015 {
+			t.Fatalf("L=%d: P(total<h | parts<h) = %.4f, want %.4f", L, got, want)
+		}
+	}
+}

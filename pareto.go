@@ -1,0 +1,71 @@
+package repro
+
+import (
+	"repro/internal/pareto"
+)
+
+// ParetoCost is a bi-objective cost vector.
+type ParetoCost = pareto.Cost
+
+// ParetoFront is a set of mutually non-dominated cost vectors (see the
+// promoted methods: Len, Points, Insert, DominatedBy, Contains, Equal).
+type ParetoFront = pareto.Front
+
+// BiGraph is an undirected graph with two independent positive edge
+// weights, the input of the multi-objective shortest path search.
+type BiGraph = pareto.BiGraph
+
+// RandomBiGraph generates an Erdős–Rényi bi-objective graph with both
+// weights uniform in ]0, 1].
+func RandomBiGraph(n int, p float64, seed uint64) BiGraph {
+	return pareto.RandomBi(n, p, seed)
+}
+
+// MultiObjectiveOptions configures SolveMultiObjective.
+type MultiObjectiveOptions struct {
+	// Places is the number of workers.
+	Places int
+	// Strategy selects the scheduling data structure.
+	Strategy Strategy
+	// K is the relaxation parameter.
+	K int
+	// Seed drives scheduling randomness.
+	Seed uint64
+}
+
+// MultiObjectiveResult reports a parallel multi-objective run.
+type MultiObjectiveResult struct {
+	// Fronts is the exact Pareto front of path costs per node.
+	Fronts []ParetoFront
+	// LabelsProcessed counts executed label expansions; the sequential
+	// optimum is one per Pareto-optimal label.
+	LabelsProcessed int64
+}
+
+// MultiObjectiveSequential computes exact Pareto fronts of path costs
+// from src with Martins' label-setting algorithm, returning the fronts
+// and the number of labels processed.
+func MultiObjectiveSequential(g BiGraph, src int) ([]ParetoFront, int64) {
+	return pareto.Sequential(g, src)
+}
+
+// SolveMultiObjective computes the same fronts in parallel on the task
+// scheduler — the paper's announced future-work application (§6):
+// multi-objective shortest path search over relaxed Pareto priority
+// queues. Labels are tasks ordered lexicographically by cost; labels
+// dominated while queued are dead tasks, eliminated lazily.
+func SolveMultiObjective(g BiGraph, src int, opt MultiObjectiveOptions) (MultiObjectiveResult, error) {
+	res, err := pareto.Parallel(g, src, pareto.Options{
+		Places:   opt.Places,
+		Strategy: opt.Strategy,
+		K:        opt.K,
+		Seed:     opt.Seed,
+	})
+	if err != nil {
+		return MultiObjectiveResult{}, err
+	}
+	return MultiObjectiveResult{
+		Fronts:          res.Fronts,
+		LabelsProcessed: res.LabelsProcessed,
+	}, nil
+}

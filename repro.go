@@ -1,0 +1,239 @@
+// Package repro is a Go implementation of the lock-free data structures
+// for task-based priority scheduling by Wimmer, Cederman, Versaci, Träff
+// and Tsigas (PPoPP 2014, arXiv:1312.2501), together with everything their
+// evaluation depends on: a help-first async-finish task scheduler, the
+// parallel single-source shortest path application, Erdős–Rényi graph
+// generation, the phase-wise execution simulator, and the Theorem 5 bound
+// on useless work.
+//
+// Three data structures with different scalability/ordering trade-offs are
+// provided, plus one extension:
+//
+//   - WorkStealing: per-place priority queues with steal-half; local
+//     prioritization only, no ordering guarantee across places.
+//   - Centralized: a single ρ-relaxed global priority order; each pop may
+//     miss at most the k newest tasks.
+//   - Hybrid: work-stealing-like locality with ρ = P·k guarantees; idle
+//     places "spy" references to other places' tasks without taking them.
+//   - Relaxed: a structurally ρ-relaxed queue (the paper's §5.3 future
+//     work): no temporal bookkeeping at all.
+//
+// Quick start:
+//
+//	s, _ := repro.NewScheduler(repro.SchedulerConfig[int]{
+//		Places:   8,
+//		Strategy: repro.Hybrid,
+//		K:        512,
+//		Less:     func(a, b int) bool { return a < b },
+//		Execute: func(ctx repro.Ctx[int], job int) {
+//			if job > 0 {
+//				ctx.Spawn(job - 1) // higher priority (smaller) first
+//			}
+//		},
+//	})
+//	stats, _ := s.Run(100)
+//
+// See examples/ for complete programs and cmd/ for the binaries that
+// regenerate the paper's figures.
+package repro
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/core/centralized"
+	"repro/internal/core/hybrid"
+	"repro/internal/core/wsprio"
+	"repro/internal/relaxed"
+	"repro/internal/sched"
+)
+
+// Strategy selects a priority scheduling data structure.
+type Strategy = sched.Strategy
+
+// The available strategies. See the package documentation for trade-offs.
+const (
+	WorkStealing         = sched.WorkStealing
+	Centralized          = sched.Centralized
+	Hybrid               = sched.Hybrid
+	Relaxed              = sched.Relaxed
+	WorkStealingStealOne = sched.WorkStealingStealOne
+	HybridNoSpy          = sched.HybridNoSpy
+	GlobalHeap           = sched.GlobalHeap
+)
+
+// LocalQueueKind selects the sequential priority queue used for
+// place-local components.
+type LocalQueueKind = core.LocalQueueKind
+
+// Place-local priority queue implementations.
+const (
+	BinaryHeap    = core.BinaryHeap
+	PairingHeap   = core.PairingHeap
+	SkipListQueue = core.SkipListQueue
+)
+
+// DSStats aggregates data structure operation counters.
+type DSStats = core.Stats
+
+// Ctx is the execution context passed to task bodies. It is a tiny value
+// wrapper; copying it is free.
+type Ctx[T any] struct {
+	inner *sched.Ctx[T]
+}
+
+// Place returns the executing place id in [0, Places).
+func (c Ctx[T]) Place() int { return c.inner.Place() }
+
+// Spawn stores v for later execution with the scheduler's default k.
+func (c Ctx[T]) Spawn(v T) { c.inner.Spawn(v) }
+
+// SpawnK stores v with an explicit per-task relaxation parameter.
+func (c Ctx[T]) SpawnK(k int, v T) { c.inner.SpawnK(k, v) }
+
+// Finish runs body and waits (helping with other work) until all tasks
+// transitively spawned inside have completed.
+func (c Ctx[T]) Finish(body func()) { c.inner.Finish(body) }
+
+// SchedulerConfig configures NewScheduler.
+type SchedulerConfig[T any] struct {
+	// Places is the number of parallel workers (the paper's P).
+	Places int
+	// Strategy selects the backing data structure.
+	Strategy Strategy
+	// K is the default relaxation parameter for Spawn (paper: 512).
+	K int
+	// KMax bounds per-task k for the centralized structure (default 512).
+	KMax int
+	// Less is the priority function: Less(a, b) schedules a before b.
+	Less func(a, b T) bool
+	// Execute runs one task; it may spawn more via ctx.
+	Execute func(ctx Ctx[T], v T)
+	// Stale optionally marks superseded tasks for lazy elimination.
+	Stale func(T) bool
+	// LocalQueue selects the place-local priority queue implementation.
+	LocalQueue LocalQueueKind
+	// Seed makes scheduling randomness reproducible.
+	Seed uint64
+}
+
+// RunStats summarizes a completed Run.
+type RunStats struct {
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+	// Executed counts tasks that ran.
+	Executed int64
+	// Eliminated counts stale tasks retired without running.
+	Eliminated int64
+	// Spawned counts all tasks pushed (roots included).
+	Spawned int64
+	// DS carries the data structure's operation counters for the run.
+	DS DSStats
+}
+
+// Scheduler executes priority-scheduled task-parallel computations.
+type Scheduler[T any] struct {
+	inner *sched.Scheduler[T]
+}
+
+// NewScheduler builds a scheduler over the selected data structure.
+func NewScheduler[T any](cfg SchedulerConfig[T]) (*Scheduler[T], error) {
+	inner, err := sched.New(sched.Config[T]{
+		Places:     cfg.Places,
+		Strategy:   cfg.Strategy,
+		K:          cfg.K,
+		KMax:       cfg.KMax,
+		Less:       cfg.Less,
+		Stale:      cfg.Stale,
+		LocalQueue: cfg.LocalQueue,
+		Seed:       cfg.Seed,
+		Execute: func(ic *sched.Ctx[T], v T) {
+			cfg.Execute(Ctx[T]{inner: ic}, v)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Scheduler[T]{inner: inner}, nil
+}
+
+// Run executes the computation seeded by roots and blocks until every
+// transitively spawned task has finished. Sequential reuse is allowed.
+func (s *Scheduler[T]) Run(roots ...T) (RunStats, error) {
+	st, err := s.inner.Run(roots...)
+	if err != nil {
+		return RunStats{}, err
+	}
+	return RunStats{
+		Elapsed:    st.Elapsed,
+		Executed:   st.Executed,
+		Eliminated: st.Eliminated,
+		Spawned:    st.Spawned,
+		DS:         st.DS,
+	}, nil
+}
+
+// Stats returns the backing data structure's cumulative counters.
+func (s *Scheduler[T]) Stats() DSStats { return s.inner.Stats() }
+
+// PriorityDS is the raw data structure interface (§2.1) for callers who
+// want the queues without the scheduler: push and pop are always executed
+// in the context of a place id in [0, places), and each place id must be
+// used by one goroutine at a time. Pop may fail spuriously under
+// concurrency; at quiescence emptiness is exact.
+type PriorityDS[T any] interface {
+	Push(place int, k int, v T)
+	Pop(place int) (v T, ok bool)
+	Stats() DSStats
+}
+
+// DSConfig configures a standalone data structure.
+type DSConfig[T any] struct {
+	// Places is the number of cooperating place ids.
+	Places int
+	// Less is the priority function.
+	Less func(a, b T) bool
+	// Stale optionally marks superseded tasks; OnEliminate observes their
+	// retirement.
+	Stale       func(T) bool
+	OnEliminate func(T)
+	// KMax bounds per-task k (centralized only; default 512).
+	KMax int
+	// LocalQueue selects the place-local priority queue implementation.
+	LocalQueue LocalQueueKind
+	// Seed drives internal randomization.
+	Seed uint64
+}
+
+func (c DSConfig[T]) options() core.Options[T] {
+	return core.Options[T]{
+		Places:      c.Places,
+		Less:        c.Less,
+		Stale:       c.Stale,
+		OnEliminate: c.OnEliminate,
+		KMax:        c.KMax,
+		LocalQueue:  c.LocalQueue,
+		Seed:        c.Seed,
+	}
+}
+
+// NewCentralizedDS builds the centralized k-priority data structure.
+func NewCentralizedDS[T any](cfg DSConfig[T]) (PriorityDS[T], error) {
+	return centralized.New(cfg.options())
+}
+
+// NewHybridDS builds the hybrid k-priority data structure.
+func NewHybridDS[T any](cfg DSConfig[T]) (PriorityDS[T], error) {
+	return hybrid.New(cfg.options())
+}
+
+// NewWorkStealingDS builds the priority work-stealing data structure.
+func NewWorkStealingDS[T any](cfg DSConfig[T]) (PriorityDS[T], error) {
+	return wsprio.New(cfg.options())
+}
+
+// NewRelaxedDS builds the structurally ρ-relaxed priority queue (§5.3
+// extension).
+func NewRelaxedDS[T any](cfg DSConfig[T]) (PriorityDS[T], error) {
+	return relaxed.New(cfg.options())
+}

@@ -1,0 +1,228 @@
+package repro_test
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"repro"
+)
+
+func TestPublicSchedulerAllStrategies(t *testing.T) {
+	for _, strategy := range []repro.Strategy{
+		repro.WorkStealing, repro.Centralized, repro.Hybrid, repro.Relaxed,
+		repro.WorkStealingStealOne, repro.HybridNoSpy, repro.GlobalHeap,
+	} {
+		strategy := strategy
+		t.Run(strategy.String(), func(t *testing.T) {
+			var executed atomic.Int64
+			s, err := repro.NewScheduler(repro.SchedulerConfig[int]{
+				Places:   4,
+				Strategy: strategy,
+				K:        32,
+				Less:     func(a, b int) bool { return a < b },
+				Execute: func(ctx repro.Ctx[int], v int) {
+					executed.Add(1)
+					if v > 0 {
+						ctx.Spawn(v - 1)
+						ctx.SpawnK(8, v-1)
+					}
+				},
+				Seed: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := s.Run(10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := int64(1)<<11 - 1 // binary tree of depth 10
+			if st.Executed != want || executed.Load() != want {
+				t.Fatalf("executed %d (%d), want %d", st.Executed, executed.Load(), want)
+			}
+			if st.DS.Pushes != want {
+				t.Fatalf("DS pushes %d, want %d", st.DS.Pushes, want)
+			}
+		})
+	}
+}
+
+func TestPublicSchedulerValidation(t *testing.T) {
+	_, err := repro.NewScheduler(repro.SchedulerConfig[int]{Places: 0})
+	if err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestPublicCtxFinishAndPlace(t *testing.T) {
+	var leaves atomic.Int64
+	var order []string
+	s, err := repro.NewScheduler(repro.SchedulerConfig[string]{
+		Places:   2,
+		Strategy: repro.Hybrid,
+		K:        4,
+		Less:     func(a, b string) bool { return a < b },
+		Execute: func(ctx repro.Ctx[string], v string) {
+			if p := ctx.Place(); p < 0 || p > 1 {
+				t.Errorf("place %d out of range", p)
+			}
+			if v == "root" {
+				ctx.Finish(func() {
+					ctx.Spawn("leaf")
+					ctx.Spawn("leaf")
+				})
+				order = append(order, "after-finish")
+				return
+			}
+			leaves.Add(1)
+		},
+		Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run("root"); err != nil {
+		t.Fatal(err)
+	}
+	if leaves.Load() != 2 || len(order) != 1 {
+		t.Fatalf("leaves=%d order=%v", leaves.Load(), order)
+	}
+}
+
+func TestPublicDSHandles(t *testing.T) {
+	builders := map[string]func(repro.DSConfig[int64]) (repro.PriorityDS[int64], error){
+		"centralized":   repro.NewCentralizedDS[int64],
+		"hybrid":        repro.NewHybridDS[int64],
+		"work-stealing": repro.NewWorkStealingDS[int64],
+		"relaxed":       repro.NewRelaxedDS[int64],
+	}
+	for name, build := range builders {
+		name, build := name, build
+		t.Run(name, func(t *testing.T) {
+			var eliminated atomic.Int64
+			d, err := build(repro.DSConfig[int64]{
+				Places:      2,
+				Less:        func(a, b int64) bool { return a < b },
+				Stale:       func(v int64) bool { return v == 13 },
+				OnEliminate: func(int64) { eliminated.Add(1) },
+				Seed:        3,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := int64(0); i < 50; i++ {
+				d.Push(int(i)%2, 8, i)
+			}
+			got := map[int64]bool{}
+			fails := 0
+			for len(got) < 49 && fails < 1<<15 {
+				pl := len(got) % 2
+				if v, ok := d.Pop(pl); ok {
+					if got[v] {
+						t.Fatalf("duplicate %d", v)
+					}
+					got[v] = true
+					fails = 0
+				} else {
+					fails++
+				}
+			}
+			if len(got) != 49 {
+				t.Fatalf("drained %d of 49 live tasks", len(got))
+			}
+			if got[13] {
+				t.Fatal("stale task 13 delivered")
+			}
+			if eliminated.Load() != 1 {
+				t.Fatalf("eliminated %d, want 1", eliminated.Load())
+			}
+			s := d.Stats()
+			if s.Pushes != 50 || s.Pops != 49 || s.Eliminated != 1 {
+				t.Fatalf("stats %+v", s)
+			}
+		})
+	}
+}
+
+func TestPublicGraphAndSSSP(t *testing.T) {
+	g := repro.ErdosRenyi(400, 0.3, 7)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 400 {
+		t.Fatalf("N = %d", g.N)
+	}
+	want, reachable := repro.Dijkstra(g, 0)
+	if reachable != 400 {
+		t.Fatalf("reachable %d (dense graph should be connected)", reachable)
+	}
+	res, err := repro.SolveSSSP(g, 0, repro.SSSPOptions{
+		Places: 4, Strategy: repro.Centralized, K: 64, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(want[i]-res.Dist[i]) > 1e-9 {
+			t.Fatalf("dist[%d] = %v, want %v", i, res.Dist[i], want[i])
+		}
+	}
+	if res.NodesRelaxed < 400 {
+		t.Fatalf("relaxed %d < n", res.NodesRelaxed)
+	}
+	if res.Executed+res.Eliminated != res.Spawned {
+		t.Fatalf("task accounting broken: %d + %d != %d",
+			res.Executed, res.Eliminated, res.Spawned)
+	}
+}
+
+func TestPublicDeltaStepping(t *testing.T) {
+	g := repro.GridGraph(15, 15, 9)
+	want, _ := repro.Dijkstra(g, 0)
+	got, relaxed := repro.DeltaStepping(g, 0, 0.25)
+	for i := range want {
+		if math.Abs(want[i]-got[i]) > 1e-12 {
+			t.Fatalf("delta-stepping dist[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if relaxed < int64(g.N) {
+		t.Fatalf("relaxed %d < n", relaxed)
+	}
+}
+
+func TestPublicSimulateAndTheory(t *testing.T) {
+	g := repro.ErdosRenyi(500, 0.5, 10)
+	res, err := repro.Simulate(g, 0, repro.SimConfig{P: 16, Rho: 32, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalSettled != 500 {
+		t.Fatalf("settled %d, want 500", res.TotalSettled)
+	}
+	if res.TotalRelaxed < res.TotalSettled {
+		t.Fatalf("relaxed %d < settled %d", res.TotalRelaxed, res.TotalSettled)
+	}
+	// Theory on a mid-run phase: bound between 0 and phase size; settled
+	// lower bound consistent with useless-work bound.
+	ph := res.Phases[len(res.Phases)/2]
+	if ph.Relaxed == 0 {
+		t.Skip("empty mid phase")
+	}
+	w := repro.UselessWorkBound(g.N, 0.5, ph.Dists)
+	s := repro.SettledLowerBound(g.N, 0.5, ph.Dists)
+	if w < 0 || w > float64(ph.Relaxed) {
+		t.Fatalf("useless work bound %v outside [0,%d]", w, ph.Relaxed)
+	}
+	if math.Abs(w+s-float64(ph.Relaxed)) > 1e-9 {
+		t.Fatalf("bounds inconsistent: %v + %v != %d", w, s, ph.Relaxed)
+	}
+}
+
+func TestPublicGraphFromEdges(t *testing.T) {
+	g := repro.GraphFromEdges(3, [][3]float64{{0, 1, 0.5}, {1, 2, 0.5}})
+	dist, _ := repro.Dijkstra(g, 0)
+	if dist[2] != 1.0 {
+		t.Fatalf("dist[2] = %v, want 1", dist[2])
+	}
+}
