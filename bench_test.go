@@ -16,6 +16,7 @@
 //	EXT-MOSP             -> BenchmarkMultiObjective/*
 //	GLOBAL-PQ            -> BenchmarkGlobalHeapBaseline/*
 //	GRAN                 -> BenchmarkGranularity/*
+//	SERVE                -> BenchmarkServeMode/*, BenchmarkServeOpenLoop/*
 package repro_test
 
 import (
@@ -23,9 +24,12 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro"
 	"repro/internal/harness"
+	"repro/internal/load"
+	"repro/internal/sched"
 	"repro/internal/sssp"
 )
 
@@ -404,5 +408,88 @@ func dsCfg() repro.DSConfig[int64] {
 		Places: dsPlaces(),
 		Less:   func(a, b int64) bool { return a < b },
 		Seed:   1,
+	}
+}
+
+// BenchmarkServeMode measures the open-system serving path (SERVE):
+// b.N prioritized tasks submitted from GOMAXPROCS concurrent producers
+// into a serving scheduler, including the final drain — the end-to-end
+// cost of Submit → DS → worker execution, per task, for each headline
+// strategy.
+func BenchmarkServeMode(b *testing.B) {
+	strategies := []repro.Strategy{
+		repro.WorkStealing, repro.Centralized, repro.Hybrid,
+		repro.GlobalHeap, repro.Relaxed,
+	}
+	for _, strat := range strategies {
+		b.Run(strat.String(), func(b *testing.B) {
+			var executed atomic.Int64
+			s, err := repro.NewScheduler(repro.SchedulerConfig[int64]{
+				Places:    dsPlaces(),
+				Strategy:  strat,
+				K:         512,
+				Injectors: dsPlaces(),
+				Less:      func(a, x int64) bool { return a < x },
+				Execute:   func(ctx repro.Ctx[int64], v int64) { executed.Add(1) },
+				Seed:      1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.Start(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var seq atomic.Int64
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					v := seq.Add(1)
+					if err := s.Submit(v % 4096); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			if err := s.Drain(); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if _, err := s.Stop(); err != nil {
+				b.Fatal(err)
+			}
+			if executed.Load() != int64(b.N) {
+				b.Fatalf("executed %d of %d", executed.Load(), b.N)
+			}
+		})
+	}
+}
+
+// BenchmarkServeOpenLoop runs the full load-generator pipeline (SERVE):
+// Poisson arrivals, latency histogram and rank-error tracking — and
+// reports the achieved throughput and sojourn percentiles as metrics.
+// One generator run per benchmark iteration.
+func BenchmarkServeOpenLoop(b *testing.B) {
+	for _, strat := range []repro.Strategy{repro.Hybrid, repro.Relaxed} {
+		b.Run(strat.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := load.Run(load.Config{
+					Strategy:  sched.Strategy(strat),
+					Producers: 2,
+					Duration:  200 * time.Millisecond,
+					Arrival:   load.Poisson,
+					Rate:      50000,
+					Seed:      uint64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(res.ThroughputPerSec, "tasks/s")
+					b.ReportMetric(res.SojournNs.P50, "p50ns")
+					b.ReportMetric(res.SojournNs.P99, "p99ns")
+					b.ReportMetric(res.RankErrMean, "rankerr")
+				}
+			}
+		})
 	}
 }

@@ -1,0 +1,217 @@
+// Command loadgen drives the open-system serving mode: a streaming load
+// generator submits prioritized tasks into a serving scheduler following
+// a configurable arrival process, and the run reports sojourn-latency
+// percentiles (p50/p95/p99) and pop rank error per configuration — the
+// throughput-versus-ordering-quality trade-off the relaxed structures
+// are built around.
+//
+// The sweep is the cross product of strategies × producer counts ×
+// arrival rates; results are emitted as a JSON array on stdout with a
+// human-readable summary table on stderr.
+//
+// Usage:
+//
+//	loadgen [-strategy all] [-rate 100000] [-producers 4] [-duration 2s]
+//	        [-places N] [-k 512] [-arrival poisson|bursty|closed-loop]
+//	        [-dist uniform|skewed|ramp] [-window 64] [-on 10ms] [-off 10ms]
+//	        [-spin 0] [-ranksample 1] [-seed 20140215]
+//
+// -strategy, -rate and -producers accept comma-separated lists;
+// "-strategy all" expands to the five headline strategies
+// (work-stealing, centralized, hybrid, global-heap, relaxed).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/load"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// allStrategies is the headline five: the paper's three, the strict
+// global heap baseline, and the structural extension.
+var allStrategies = []sched.Strategy{
+	sched.WorkStealing, sched.Centralized, sched.Hybrid,
+	sched.GlobalHeap, sched.Relaxed,
+}
+
+func parseStrategies(s string) ([]sched.Strategy, error) {
+	if strings.TrimSpace(s) == "all" {
+		return allStrategies, nil
+	}
+	byName := map[string]sched.Strategy{
+		"work-stealing": sched.WorkStealing,
+		"centralized":   sched.Centralized,
+		"hybrid":        sched.Hybrid,
+		"relaxed":       sched.Relaxed,
+		"ws-steal-one":  sched.WorkStealingStealOne,
+		"global-heap":   sched.GlobalHeap,
+	}
+	var out []sched.Strategy
+	for _, name := range strings.Split(s, ",") {
+		st, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown strategy %q", name)
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+func parseArrival(s string) (load.Arrival, error) {
+	switch s {
+	case "poisson":
+		return load.Poisson, nil
+	case "bursty":
+		return load.Bursty, nil
+	case "closed-loop", "closed":
+		return load.ClosedLoop, nil
+	}
+	return 0, fmt.Errorf("unknown arrival process %q", s)
+}
+
+func parseDist(s string) (load.PrioDist, error) {
+	switch s {
+	case "uniform":
+		return load.UniformPrio, nil
+	case "skewed":
+		return load.SkewedPrio, nil
+	case "ramp":
+		return load.RampPrio, nil
+	}
+	return 0, fmt.Errorf("unknown priority distribution %q", s)
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+	var (
+		strategy   = flag.String("strategy", "all", "strategies to sweep (comma list or \"all\")")
+		rates      = flag.String("rate", "100000", "aggregate arrival rates in tasks/s (comma list)")
+		producers  = flag.String("producers", "4", "producer goroutine counts (comma list)")
+		duration   = flag.Duration("duration", 2*time.Second, "traffic duration per configuration")
+		places     = flag.Int("places", 0, "worker places (0 = GOMAXPROCS)")
+		k          = flag.Int("k", 512, "relaxation parameter (-1 = strict k=0)")
+		arrival    = flag.String("arrival", "poisson", "arrival process: poisson, bursty, closed-loop")
+		dist       = flag.String("dist", "uniform", "priority distribution: uniform, skewed, ramp")
+		window     = flag.Int("window", 64, "closed-loop outstanding tasks per producer")
+		onPeriod   = flag.Duration("on", 10*time.Millisecond, "bursty on-period")
+		offPeriod  = flag.Duration("off", 10*time.Millisecond, "bursty off-period")
+		spin       = flag.Int("spin", 0, "synthetic work iterations per task")
+		rankSample = flag.Int("ranksample", 1, "measure rank error on every Nth task")
+		seed       = flag.Uint64("seed", 20140215, "base random seed")
+	)
+	flag.Parse()
+
+	stratList, err := parseStrategies(*strategy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rateList, err := parseFloats(*rates)
+	if err != nil {
+		log.Fatalf("bad -rate: %v", err)
+	}
+	prodList, err := parseInts(*producers)
+	if err != nil {
+		log.Fatalf("bad -producers: %v", err)
+	}
+	arr, err := parseArrival(*arrival)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pd, err := parseDist(*dist)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var results []load.Result
+	table := &stats.Table{Header: []string{
+		"strategy", "producers", "rate", "throughput/s",
+		"p50(us)", "p95(us)", "p99(us)", "rank-err-mean", "rank-err-max",
+	}}
+	for _, strat := range stratList {
+		for _, np := range prodList {
+			for _, rate := range rateList {
+				fmt.Fprintf(os.Stderr, "loadgen: %s producers=%d rate=%.0f arrival=%s dist=%s duration=%s\n",
+					strat, np, rate, arr, pd, *duration)
+				res, err := load.Run(load.Config{
+					Strategy:   strat,
+					Places:     *places,
+					K:          *k,
+					Producers:  np,
+					Duration:   *duration,
+					Arrival:    arr,
+					Rate:       rate,
+					OnPeriod:   *onPeriod,
+					OffPeriod:  *offPeriod,
+					Window:     *window,
+					Dist:       pd,
+					WorkSpin:   *spin,
+					RankSample: *rankSample,
+					Seed:       *seed,
+				})
+				if err != nil {
+					log.Fatalf("%s: %v", strat, err)
+				}
+				results = append(results, res)
+				rateCell := stats.F(rate, 0)
+				if arr == load.ClosedLoop {
+					rateCell = "closed" // the rate flag is ignored
+				}
+				table.AddRow(
+					res.Strategy,
+					stats.I(int64(res.Producers)),
+					rateCell,
+					stats.F(res.ThroughputPerSec, 0),
+					stats.F(res.SojournNs.P50/1e3, 1),
+					stats.F(res.SojournNs.P95/1e3, 1),
+					stats.F(res.SojournNs.P99/1e3, 1),
+					stats.F(res.RankErrMean, 1),
+					stats.I(res.RankErrMax),
+				)
+			}
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintln(os.Stderr)
+	if err := table.Fprint(os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}

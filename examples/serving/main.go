@@ -1,0 +1,135 @@
+// Serving: the open-system mode. Instead of seeding a computation and
+// draining it to quiescence (Run), the scheduler is started as a
+// long-running service and external producer goroutines stream
+// prioritized requests into it — the regime a production task scheduler
+// actually operates in, and the one where the relaxation trade-off shows
+// up as tail latency.
+//
+// The walkthrough: Start a scheduler, submit Poisson traffic from a few
+// producers for a while, Drain, Stop, and report sojourn-latency
+// percentiles per strategy. For a heavier-duty version of this loop —
+// arrival processes, priority distributions, rank-error tracking — see
+// cmd/loadgen and internal/load.
+//
+// Run with:
+//
+//	go run ./examples/serving [-rate 20000] [-producers 4] [-duration 1s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro"
+)
+
+// request is what a serving workload submits: a priority and the
+// submission timestamp the latency measurement needs.
+type request struct {
+	prio int64
+	enq  time.Duration // since process epoch
+}
+
+func main() {
+	var (
+		rate      = flag.Float64("rate", 20000, "aggregate arrival rate, requests/s")
+		producers = flag.Int("producers", 4, "producer goroutines")
+		places    = flag.Int("places", 4, "worker places")
+		duration  = flag.Duration("duration", time.Second, "traffic duration")
+	)
+	flag.Parse()
+
+	epoch := time.Now()
+	for _, strategy := range []repro.Strategy{
+		repro.WorkStealing, repro.Centralized, repro.Hybrid, repro.GlobalHeap, repro.Relaxed,
+	} {
+		// One latency histogram per place: Execute runs on worker places
+		// only, so each histogram stays single-writer.
+		hists := make([]*repro.Histogram, *places)
+		for i := range hists {
+			hists[i] = repro.NewHistogram()
+		}
+
+		s, err := repro.NewScheduler(repro.SchedulerConfig[request]{
+			Places:    *places,
+			Strategy:  strategy,
+			K:         512,
+			Injectors: *producers,
+			Less:      func(a, b request) bool { return a.prio < b.prio },
+			Execute: func(ctx repro.Ctx[request], r request) {
+				hists[ctx.Place()].Observe(float64(time.Since(epoch) - r.enq))
+			},
+			Seed: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Open the doors and stream Poisson traffic from the producers.
+		if err := s.Start(); err != nil {
+			log.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for p := 0; p < *producers; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				perProducer := *rate / float64(*producers)
+				next := time.Since(epoch)
+				deadline := next + *duration
+				rng := uint64(p)*0x9e3779b97f4a7c15 + 1
+				for {
+					// Exponential inter-arrival via a tiny inline LCG.
+					rng = rng*6364136223846793005 + 1442695040888963407
+					u := float64(rng>>11)/(1<<53) + 1e-18
+					next += time.Duration(-math.Log(u) / perProducer * 1e9)
+					if next >= deadline {
+						return
+					}
+					// Sleep off the bulk of the wait, yield the rest:
+					// busy-waiting here would starve the workers on small
+					// machines.
+					for {
+						ahead := next - time.Since(epoch)
+						if ahead <= 0 {
+							break
+						}
+						if ahead > 200*time.Microsecond {
+							time.Sleep(ahead - 100*time.Microsecond)
+						} else {
+							runtime.Gosched()
+						}
+					}
+					req := request{prio: int64(rng >> 44), enq: time.Since(epoch)}
+					if err := s.Submit(req); err != nil {
+						log.Fatal(err)
+					}
+				}
+			}(p)
+		}
+		wg.Wait()
+
+		// Everything accepted must finish before the numbers are read.
+		if err := s.Drain(); err != nil {
+			log.Fatal(err)
+		}
+		st, err := s.Stop()
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		merged := repro.NewHistogram()
+		for _, h := range hists {
+			merged.Merge(h)
+		}
+		sum := merged.Summarize()
+		fmt.Printf("%-14s served %6d requests in %7.1f ms   sojourn p50 %7.1fus  p95 %7.1fus  p99 %7.1fus\n",
+			strategy, st.Executed, st.Elapsed.Seconds()*1e3,
+			sum.P50/1e3, sum.P95/1e3, sum.P99/1e3)
+	}
+}

@@ -50,6 +50,9 @@ func RunFlags(t *testing.T, name string, mk Factory, f Flags) {
 	}
 	t.Run(name+"/ConcurrentExactlyOnce", func(t *testing.T) { concurrentExactlyOnce(t, mk) })
 	t.Run(name+"/ConcurrentProducerConsumer", func(t *testing.T) { producerConsumer(t, mk) })
+	if !f.NoCrossPlaceDrain {
+		t.Run(name+"/ExternalInjection", func(t *testing.T) { externalInjection(t, mk) })
+	}
 	t.Run(name+"/ConcurrentStaleFlips", func(t *testing.T) { concurrentStaleFlips(t, mk) })
 	t.Run(name+"/StatsAccounting", func(t *testing.T) { statsAccounting(t, mk) })
 	t.Run(name+"/SmallLiveSetChurn", func(t *testing.T) { smallLiveSetChurn(t, mk) })
@@ -344,6 +347,93 @@ func producerConsumer(t *testing.T, mk Factory) {
 		t.Fatalf("pushed %d, popped %d distinct %d", pushed.Load(), popped.Load(), len(merged))
 	}
 	for v, c := range merged {
+		if c != 1 {
+			t.Fatalf("task %d delivered %d times", v, c)
+		}
+	}
+}
+
+// externalInjection models the open-system serve mode: dedicated
+// injector places push tasks (and never pop) while worker places pop
+// (and never push), concurrently; afterwards a drain to empty must
+// account for every task exactly once. This is the pattern
+// sched.Scheduler's Submit path relies on, so it is pinned here at the
+// data structure contract level. Skipped under NoCrossPlaceDrain:
+// a structure that cannot hand tasks to other places cannot serve
+// external traffic at all.
+func externalInjection(t *testing.T, mk Factory) {
+	const workers, injectors = 4, 2
+	perInjector := 15000
+	if testing.Short() {
+		perInjector = 3000
+	}
+	total := injectors * perInjector
+	d := mustNew(t, mk, core.Options[int64]{Places: workers + injectors, Seed: 26})
+
+	var producing atomic.Int32
+	producing.Store(injectors)
+	var wg sync.WaitGroup
+	for inj := 0; inj < injectors; inj++ {
+		wg.Add(1)
+		go func(inj int) {
+			defer wg.Done()
+			defer producing.Add(-1)
+			r := xrand.New(uint64(inj)*101 + 1)
+			for i := 0; i < perInjector; i++ {
+				d.Push(workers+inj, 1+r.Intn(512), int64(inj*perInjector+i))
+			}
+		}(inj)
+	}
+
+	counts := make([][]int64, workers)
+	for pl := 0; pl < workers; pl++ {
+		wg.Add(1)
+		go func(pl int) {
+			defer wg.Done()
+			var mine []int64
+			fails := 0
+			for {
+				if v, ok := d.Pop(pl); ok {
+					mine = append(mine, v)
+					fails = 0
+					continue
+				}
+				if producing.Load() > 0 {
+					// Spurious failure while traffic still flows: yield so
+					// the injector goroutines get cycles on small machines.
+					runtime.Gosched()
+					continue
+				}
+				fails++
+				if fails > 1<<14 {
+					break
+				}
+			}
+			counts[pl] = mine
+		}(pl)
+	}
+	wg.Wait()
+
+	// Drain-to-empty at quiescence: whatever the workers left behind must
+	// surface now, from a worker place.
+	leftovers := popAll(d, 0, 1<<15)
+	seen := make(map[int64]int, total)
+	delivered := 0
+	for _, mine := range counts {
+		for _, v := range mine {
+			seen[v]++
+			delivered++
+		}
+	}
+	for _, v := range leftovers {
+		seen[v]++
+		delivered++
+	}
+	if delivered != total {
+		t.Fatalf("delivered %d of %d injected tasks (%d drained after quiescence)",
+			delivered, total, len(leftovers))
+	}
+	for v, c := range seen {
 		if c != 1 {
 			t.Fatalf("task %d delivered %d times", v, c)
 		}

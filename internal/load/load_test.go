@@ -1,0 +1,238 @@
+package load
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/xrand"
+)
+
+func shortDur(t *testing.T) time.Duration {
+	if testing.Short() {
+		return 50 * time.Millisecond
+	}
+	return 200 * time.Millisecond
+}
+
+// TestRunPoissonAllServingStrategies: the whole pipeline — serve, pace,
+// instrument, drain — must hold for every strategy the serve mode
+// supports, with every submitted task executed.
+func TestRunPoissonAllServingStrategies(t *testing.T) {
+	for _, strat := range []sched.Strategy{
+		sched.WorkStealing, sched.Centralized, sched.Hybrid,
+		sched.Relaxed, sched.GlobalHeap,
+	} {
+		strat := strat
+		t.Run(strat.String(), func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(Config{
+				Strategy:  strat,
+				Places:    4,
+				Producers: 2,
+				Duration:  shortDur(t),
+				Arrival:   Poisson,
+				Rate:      20000,
+				Seed:      1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Submitted == 0 {
+				t.Fatal("no tasks submitted")
+			}
+			if res.Executed != res.Submitted {
+				t.Fatalf("executed %d != submitted %d", res.Executed, res.Submitted)
+			}
+			if res.SojournNs.N != uint64(res.Executed) {
+				t.Fatalf("histogram saw %d of %d executions", res.SojournNs.N, res.Executed)
+			}
+			s := res.SojournNs
+			if !(s.P50 <= s.P95 && s.P95 <= s.P99) {
+				t.Fatalf("percentiles not monotone: %+v", s)
+			}
+			if res.RankErrSamples != res.Executed {
+				t.Fatalf("rank sampled %d of %d (RankSample=1)", res.RankErrSamples, res.Executed)
+			}
+			if res.RankErrMean < 0 {
+				t.Fatalf("negative mean rank error %v", res.RankErrMean)
+			}
+		})
+	}
+}
+
+func TestRunBursty(t *testing.T) {
+	res, err := Run(Config{
+		Strategy:  sched.Hybrid,
+		Places:    2,
+		Producers: 2,
+		Duration:  shortDur(t),
+		Arrival:   Bursty,
+		Rate:      20000,
+		OnPeriod:  5 * time.Millisecond,
+		OffPeriod: 5 * time.Millisecond,
+		Dist:      SkewedPrio,
+		Seed:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed != res.Submitted || res.Submitted == 0 {
+		t.Fatalf("executed %d / submitted %d", res.Executed, res.Submitted)
+	}
+	// Half the time is silence, so the achieved count must stay clearly
+	// under the open-loop target for the full window.
+	target := res.TargetRate * res.ElapsedSec
+	if float64(res.Submitted) > 0.8*target {
+		t.Fatalf("bursty submitted %d, suspiciously close to continuous target %.0f", res.Submitted, target)
+	}
+}
+
+func TestRunClosedLoop(t *testing.T) {
+	const producers, window = 3, 16
+	res, err := Run(Config{
+		Strategy:  sched.Centralized,
+		Places:    2,
+		Producers: producers,
+		Duration:  shortDur(t),
+		Arrival:   ClosedLoop,
+		Window:    window,
+		WorkSpin:  200,
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed != res.Submitted || res.Submitted == 0 {
+		t.Fatalf("executed %d / submitted %d", res.Executed, res.Submitted)
+	}
+	if res.TargetRate != 0 {
+		t.Fatalf("closed-loop reported target rate %v", res.TargetRate)
+	}
+	// The live set can never exceed the aggregate window, so neither can
+	// the rank error (which counts a strict subset of the live set).
+	if res.RankErrMax > producers*window {
+		t.Fatalf("rank error %d exceeds closed-loop window %d", res.RankErrMax, producers*window)
+	}
+}
+
+func TestRankErrorZeroWhenSequential(t *testing.T) {
+	// A closed loop of one: the live set never holds more than one task,
+	// so no popped task can ever have a better-priority task pending and
+	// the rank error is identically zero.
+	res, err := Run(Config{
+		Strategy:  sched.GlobalHeap,
+		Places:    1,
+		Producers: 1,
+		Duration:  shortDur(t),
+		Arrival:   ClosedLoop,
+		Window:    1,
+		Seed:      4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RankErrMean != 0 || res.RankErrMax != 0 {
+		t.Fatalf("rank error %v/%d with a single-task closed loop", res.RankErrMean, res.RankErrMax)
+	}
+}
+
+func TestStrictKSentinel(t *testing.T) {
+	// K < 0 requests strict k = 0 (zero means "default 512"), and the
+	// effective value is what the result reports.
+	cfg, err := Config{K: -1}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.K != 0 {
+		t.Fatalf("K=-1 normalized to %d, want 0", cfg.K)
+	}
+	cfg, err = Config{}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.K != 512 {
+		t.Fatalf("K=0 normalized to %d, want 512", cfg.K)
+	}
+	res, err := Run(Config{
+		Strategy:  sched.Centralized,
+		Places:    2,
+		Producers: 1,
+		Duration:  shortDur(t),
+		Rate:      5000,
+		K:         -1,
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 0 {
+		t.Fatalf("result reports k=%d for a strict run", res.K)
+	}
+	if res.Executed != res.Submitted || res.Submitted == 0 {
+		t.Fatalf("executed %d / submitted %d", res.Executed, res.Submitted)
+	}
+}
+
+func TestRankSampling(t *testing.T) {
+	res, err := Run(Config{
+		Strategy:   sched.WorkStealing,
+		Places:     2,
+		Producers:  1,
+		Duration:   shortDur(t),
+		Rate:       20000,
+		RankSample: 10,
+		Seed:       5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RankErrSamples > res.Executed/10+1 {
+		t.Fatalf("sampled %d of %d with RankSample=10", res.RankErrSamples, res.Executed)
+	}
+}
+
+func TestDrawPrioBounds(t *testing.T) {
+	for _, dist := range []PrioDist{UniformPrio, SkewedPrio, RampPrio} {
+		cfg, err := Config{Dist: dist, Duration: time.Second}.withDefaults()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := newTracker(cfg)
+		rng := xrand.New(6)
+		for i := 0; i < 50000; i++ {
+			at := int64(i) * int64(cfg.Duration) / 50000
+			p := tr.drawPrio(rng, at)
+			if p < 0 || p >= cfg.PrioRange {
+				t.Fatalf("%v: priority %d out of [0, %d)", dist, p, cfg.PrioRange)
+			}
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{PrioRange: 3},  // not a power of two
+		{PrioRange: 64}, // below the rank-bucket resolution
+		{Producers: -1},
+		{WorkSpin: -1},
+		{RankSample: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestArrivalAndDistStrings(t *testing.T) {
+	if Poisson.String() != "poisson" || Bursty.String() != "bursty" || ClosedLoop.String() != "closed-loop" {
+		t.Fatal("arrival names changed")
+	}
+	if UniformPrio.String() != "uniform" || SkewedPrio.String() != "skewed" || RampPrio.String() != "ramp" {
+		t.Fatal("dist names changed")
+	}
+	if Arrival(9).String() == "" || PrioDist(9).String() == "" {
+		t.Fatal("unknown values must still render")
+	}
+}

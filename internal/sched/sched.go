@@ -106,6 +106,17 @@ type Config[T any] struct {
 	Stale func(T) bool
 	// LocalQueue selects the sequential local priority queue kind.
 	LocalQueue core.LocalQueueKind
+	// Injectors is the number of external submission lanes used by the
+	// open-system serve mode (Start/Submit/Drain/Stop). Submissions from
+	// producer goroutines outside the worker places are pushed through
+	// dedicated injector places — the data structure contract requires a
+	// place to be operated by one goroutine at a time, so external pushes
+	// cannot share the workers' place ids. More injectors means less
+	// contention between concurrent producers. 0 (the default) allocates
+	// none and leaves the data structure's place count untouched —
+	// identical to a closed-world scheduler — but Start then fails; set
+	// Injectors ≥ 1 (≈ the expected producer count) to serve.
+	Injectors int
 	// Seed drives all internal randomization.
 	Seed uint64
 }
@@ -132,6 +143,21 @@ type Scheduler[T any] struct {
 	elim     atomic.Int64
 	spawned  atomic.Int64
 	executed atomic.Int64
+
+	// Serve-mode state (see serve.go). serveMu guards the Start/Stop
+	// lifecycle; accepting and stopping gate the Submit and worker-exit
+	// hot paths without taking it.
+	serveMu   sync.Mutex
+	started   bool
+	serving   atomic.Bool
+	accepting atomic.Bool
+	stopping  atomic.Bool
+	workers   sync.WaitGroup
+	injectors []*injector
+	nextInj   atomic.Uint64
+	serveFin  *finishRegion
+	serveT0   time.Time
+	serveBase RunStats
 }
 
 // New constructs a scheduler. The data structure instance is created here
@@ -149,10 +175,17 @@ func New[T any](cfg Config[T]) (*Scheduler[T], error) {
 	if cfg.K < 0 {
 		return nil, fmt.Errorf("sched: K = %d, must be non-negative", cfg.K)
 	}
+	if cfg.Injectors < 0 {
+		return nil, fmt.Errorf("sched: Injectors = %d, must be non-negative", cfg.Injectors)
+	}
 	s := &Scheduler[T]{cfg: cfg}
+	for i := 0; i < cfg.Injectors; i++ {
+		// Injector lanes occupy the place ids past the worker places.
+		s.injectors = append(s.injectors, &injector{place: cfg.Places + i})
+	}
 
 	opts := core.Options[envelope[T]]{
-		Places:     cfg.Places,
+		Places:     cfg.Places + cfg.Injectors,
 		Less:       func(a, b envelope[T]) bool { return cfg.Less(a.v, b.v) },
 		KMax:       cfg.KMax,
 		LocalQueue: cfg.LocalQueue,

@@ -1,0 +1,179 @@
+// Open-system serving mode. The paper's experiments (and Run) are
+// closed-world: a fixed task set is seeded, the workers drain it to
+// quiescence and exit when the outstanding count reaches zero. A
+// production scheduler instead runs continuously while tasks arrive from
+// outside the worker places — the regime in which relaxed priority
+// queues are actually deployed (Postnikova et al. evaluate exactly this
+// open-system rank-error-vs-throughput trade-off).
+//
+// Serve mode keeps the same data structure and work loop but changes the
+// termination protocol: workers treat an empty structure as "wait for
+// traffic" rather than "done", and exit only after Stop has been called
+// AND the outstanding count has reached zero. External producers submit
+// through dedicated injector places (the DS contract makes each place
+// single-owner, so producers cannot push on the workers' place ids);
+// each injector lane is a mutex-guarded place id past the worker places,
+// and Submit rotates over the lanes so concurrent producers mostly hit
+// different locks.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// Serve-mode lifecycle errors.
+var (
+	// ErrNotServing is returned by Submit, SubmitK and Drain when the
+	// scheduler has not been started (or has been stopped).
+	ErrNotServing = errors.New("sched: scheduler is not serving (call Start first)")
+	// ErrAlreadyServing is returned by Start when the scheduler is
+	// already serving.
+	ErrAlreadyServing = errors.New("sched: scheduler is already serving")
+)
+
+// injector is one external submission lane: a mutex-guarded place id.
+// The mutex serializes concurrent producers on the same lane, restoring
+// the single-owner-per-place contract for external pushes.
+type injector struct {
+	mu    sync.Mutex
+	place int
+}
+
+// Start switches the scheduler into serving mode: the worker places
+// start running and keep running — through empty periods — until Stop.
+// Tasks are injected with Submit/SubmitK from any goroutine. Start and
+// Run are mutually exclusive; a started scheduler must be Stopped before
+// Run can be used again. Config.Injectors must be ≥ 1.
+//
+// Retrieval caveat for WorkStealing: injected tasks are obtained only by
+// steals, and a worker steals only when its local queue is empty. A
+// workload whose tasks continuously spawn successors can therefore keep
+// every local queue non-empty and starve external submissions; prefer
+// the k-priority strategies for self-sustaining serve workloads, or
+// spawn follow-up work via Submit instead of Ctx.Spawn.
+func (s *Scheduler[T]) Start() error {
+	s.serveMu.Lock()
+	defer s.serveMu.Unlock()
+	if s.started {
+		return ErrAlreadyServing
+	}
+	if len(s.injectors) == 0 {
+		return fmt.Errorf("sched: serve mode needs Config.Injectors ≥ 1 (external submission lanes)")
+	}
+	if s.cfg.Strategy == HybridNoSpy {
+		// Without spying, tasks parked at an injector place can only be
+		// popped by that place's owner — and injector places never pop,
+		// so submitted tasks would be stranded forever.
+		return fmt.Errorf("sched: strategy %s cannot serve: injected tasks are only visible to their birth place", s.cfg.Strategy)
+	}
+	if !s.active.CompareAndSwap(false, true) {
+		return fmt.Errorf("sched: cannot Start while Run is in progress")
+	}
+	s.started = true
+	s.stopping.Store(false)
+	s.serveFin = &finishRegion{}
+	s.serveT0 = time.Now()
+	s.serveBase = RunStats{
+		Executed:   s.executed.Load(),
+		Eliminated: s.elim.Load(),
+		Spawned:    s.spawned.Load(),
+		DS:         s.ds.Stats(),
+	}
+
+	seeds := xrand.New(s.cfg.Seed ^ 0x5e7e5e7e)
+	for pl := 0; pl < s.cfg.Places; pl++ {
+		s.workers.Add(1)
+		go func(pl int, rng *xrand.Rand) {
+			defer s.workers.Done()
+			ctx := &Ctx[T]{s: s, place: pl, rng: rng}
+			s.workLoop(ctx, func() bool {
+				return s.stopping.Load() && s.pending.Load() == 0
+			})
+		}(pl, seeds.Split())
+	}
+	s.serving.Store(true)
+	s.accepting.Store(true)
+	return nil
+}
+
+// Submit stores v for execution by the serving workers with the
+// scheduler's default k. It is safe to call from any number of
+// goroutines concurrently. It fails with ErrNotServing outside a
+// Start/Stop window; a task whose Submit returned nil is guaranteed to
+// be executed (or staleness-eliminated) before Stop returns.
+func (s *Scheduler[T]) Submit(v T) error { return s.SubmitK(s.cfg.K, v) }
+
+// SubmitK stores v with an explicit per-task relaxation parameter k.
+func (s *Scheduler[T]) SubmitK(k int, v T) error {
+	// Count the task before checking the gate: once pending is raised,
+	// workers (and Stop) will not conclude quiescence until it is either
+	// pushed and executed, or rolled back on the rejection path below.
+	s.pending.Add(1)
+	if !s.accepting.Load() {
+		s.pending.Add(-1)
+		return ErrNotServing
+	}
+	s.serveFin.pending.Add(1)
+	s.spawned.Add(1)
+	inj := s.injectors[s.nextInj.Add(1)%uint64(len(s.injectors))]
+	inj.mu.Lock()
+	s.ds.Push(inj.place, k, envelope[T]{v: v, fin: s.serveFin})
+	inj.mu.Unlock()
+	return nil
+}
+
+// Drain blocks until the scheduler observes a quiescent instant: every
+// task submitted before that instant has been executed (or eliminated).
+// The scheduler keeps serving — Drain does not stop the workers and
+// concurrent producers may keep submitting, in which case Drain returns
+// at the first moment the outstanding count touches zero.
+func (s *Scheduler[T]) Drain() error {
+	if !s.serving.Load() {
+		return ErrNotServing
+	}
+	fails := 0
+	for s.pending.Load() != 0 {
+		fails++
+		backoff(fails)
+	}
+	return nil
+}
+
+// Stop closes the submission gate, waits until every accepted task has
+// executed, and shuts the workers down. It is idempotent: extra Stops
+// (including on a never-started scheduler) return zero stats and no
+// error. After Stop, the scheduler can be started again or used with Run.
+func (s *Scheduler[T]) Stop() (RunStats, error) {
+	s.serveMu.Lock()
+	defer s.serveMu.Unlock()
+	if !s.started {
+		return RunStats{}, nil
+	}
+	s.accepting.Store(false)
+	s.stopping.Store(true)
+	s.workers.Wait()
+	s.started = false
+	s.serving.Store(false)
+	s.active.Store(false)
+	st := RunStats{
+		Elapsed:    time.Since(s.serveT0),
+		Executed:   s.executed.Load() - s.serveBase.Executed,
+		Eliminated: s.elim.Load() - s.serveBase.Eliminated,
+		Spawned:    s.spawned.Load() - s.serveBase.Spawned,
+		DS:         s.ds.Stats().Sub(s.serveBase.DS),
+	}
+	return st, nil
+}
+
+// Serving reports whether the scheduler is between Start and Stop.
+func (s *Scheduler[T]) Serving() bool { return s.serving.Load() }
+
+// Pending returns the number of submitted-or-spawned tasks not yet
+// executed. It is a monitoring signal (e.g. for backpressure decisions);
+// under concurrency the value is immediately stale.
+func (s *Scheduler[T]) Pending() int64 { return s.pending.Load() }

@@ -1,0 +1,365 @@
+package sched
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// serveStrategies are the strategies the serve mode supports (all except
+// hybrid-no-spy, whose injected tasks would be stranded at their birth
+// place).
+var serveStrategies = []Strategy{
+	WorkStealing, Centralized, Hybrid, Relaxed, WorkStealingStealOne, GlobalHeap,
+}
+
+func TestSubmitBeforeStartRejected(t *testing.T) {
+	s, err := New(Config[int64]{
+		Places:  2,
+		Less:    intLess,
+		Execute: func(ctx *Ctx[int64], v int64) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(1); !errors.Is(err, ErrNotServing) {
+		t.Fatalf("Submit before Start: err = %v, want ErrNotServing", err)
+	}
+	if err := s.SubmitK(8, 1); !errors.Is(err, ErrNotServing) {
+		t.Fatalf("SubmitK before Start: err = %v, want ErrNotServing", err)
+	}
+	if err := s.Drain(); !errors.Is(err, ErrNotServing) {
+		t.Fatalf("Drain before Start: err = %v, want ErrNotServing", err)
+	}
+}
+
+func TestServeDrainExecutesAllSubmitted(t *testing.T) {
+	for _, strat := range serveStrategies {
+		strat := strat
+		t.Run(strat.String(), func(t *testing.T) {
+			t.Parallel()
+			var executed atomic.Int64
+			s, err := New(Config[int64]{
+				Places:    4,
+				Strategy:  strat,
+				K:         64,
+				Less:      intLess,
+				Injectors: 1,
+				Execute:   func(ctx *Ctx[int64], v int64) { executed.Add(1) },
+				Seed:      11,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Start(); err != nil {
+				t.Fatal(err)
+			}
+			const n = 5000
+			for i := int64(0); i < n; i++ {
+				if err := s.Submit(i); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := s.Drain(); err != nil {
+				t.Fatal(err)
+			}
+			if got := executed.Load(); got != n {
+				t.Fatalf("Drain returned with %d of %d tasks executed", got, n)
+			}
+			st, err := s.Stop()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Executed != n || st.Spawned != n {
+				t.Fatalf("Stop stats executed=%d spawned=%d, want %d/%d",
+					st.Executed, st.Spawned, n, n)
+			}
+		})
+	}
+}
+
+func TestServeTasksMaySpawn(t *testing.T) {
+	// Submitted tasks can spawn children through the usual Ctx API; Drain
+	// must wait for the whole transitive closure, not just the submitted
+	// roots.
+	var executed atomic.Int64
+	s, err := New(Config[int64]{
+		Places:    4,
+		Strategy:  Hybrid,
+		K:         16,
+		Less:      intLess,
+		Injectors: 1,
+		Execute: func(ctx *Ctx[int64], v int64) {
+			executed.Add(1)
+			if v > 0 {
+				ctx.Spawn(v - 1)
+				ctx.Spawn(v - 1)
+			}
+		},
+		Seed: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	const roots, depth = 20, 6
+	for i := 0; i < roots; i++ {
+		if err := s.Submit(depth); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(roots) * (1<<(depth+1) - 1)
+	if got := executed.Load(); got != want {
+		t.Fatalf("Drain returned with %d of %d tasks executed", got, want)
+	}
+	if _, err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStopIdempotentAndRestartable(t *testing.T) {
+	var executed atomic.Int64
+	s, err := New(Config[int64]{
+		Places:    2,
+		Strategy:  Centralized,
+		Less:      intLess,
+		Injectors: 1,
+		Execute:   func(ctx *Ctx[int64], v int64) { executed.Add(1) },
+		Seed:      13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stop before any Start is a no-op.
+	if _, err := s.Stop(); err != nil {
+		t.Fatalf("Stop on never-started scheduler: %v", err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); !errors.Is(err, ErrAlreadyServing) {
+		t.Fatalf("second Start: err = %v, want ErrAlreadyServing", err)
+	}
+	if err := s.Submit(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.Stop(); err != nil {
+			t.Fatalf("repeat Stop %d: %v", i, err)
+		}
+	}
+	if err := s.Submit(2); !errors.Is(err, ErrNotServing) {
+		t.Fatalf("Submit after Stop: err = %v, want ErrNotServing", err)
+	}
+	if executed.Load() != 1 {
+		t.Fatalf("executed %d, want 1", executed.Load())
+	}
+
+	// The scheduler is reusable: serve again, then run closed-world.
+	if err := s.Start(); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	if err := s.Submit(3); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Executed != 1 {
+		t.Fatalf("second session executed %d, want 1", st.Executed)
+	}
+	rst, err := s.Run(4, 5)
+	if err != nil {
+		t.Fatalf("Run after serve sessions: %v", err)
+	}
+	if rst.Executed != 2 {
+		t.Fatalf("Run executed %d, want 2", rst.Executed)
+	}
+}
+
+func TestServeExcludesRun(t *testing.T) {
+	s, err := New(Config[int64]{
+		Places:    2,
+		Less:      intLess,
+		Injectors: 1,
+		Execute:   func(ctx *Ctx[int64], v int64) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(1); err == nil {
+		t.Fatal("Run accepted while serving")
+	}
+	if _, err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeRejectsHybridNoSpy(t *testing.T) {
+	s, err := New(Config[int64]{
+		Places:    2,
+		Strategy:  HybridNoSpy,
+		Less:      intLess,
+		Injectors: 1,
+		Execute:   func(ctx *Ctx[int64], v int64) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err == nil {
+		t.Fatal("Start accepted hybrid-no-spy, whose injected tasks would strand")
+	}
+}
+
+func TestStartWithoutInjectorsRejected(t *testing.T) {
+	// The zero config allocates no injector lanes — the data structure
+	// keeps its closed-world geometry — so serving must be refused with
+	// an instructive error rather than failing at the first Submit.
+	s, err := New(Config[int64]{
+		Places:  2,
+		Less:    intLess,
+		Execute: func(ctx *Ctx[int64], v int64) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err == nil {
+		t.Fatal("Start accepted a scheduler with no injector lanes")
+	}
+	if s.Serving() {
+		t.Fatal("scheduler claims to be serving after rejected Start")
+	}
+}
+
+// TestServeStress floods the scheduler from concurrent producers while
+// workers execute, for every serving strategy — the test the -race CI
+// lane leans on. Every submitted value must be executed exactly once.
+func TestServeStress(t *testing.T) {
+	const producers = 4
+	perProducer := 20000
+	if testing.Short() {
+		perProducer = 4000
+	}
+	for _, strat := range serveStrategies {
+		strat := strat
+		t.Run(strat.String(), func(t *testing.T) {
+			t.Parallel()
+			total := producers * perProducer
+			seen := make([]atomic.Int32, total)
+			var executed atomic.Int64
+			s, err := New(Config[int64]{
+				Places:    4,
+				Strategy:  strat,
+				K:         128,
+				Less:      intLess,
+				Injectors: producers,
+				Execute: func(ctx *Ctx[int64], v int64) {
+					if seen[v].Add(1) != 1 {
+						t.Errorf("task %d executed more than once", v)
+					}
+					executed.Add(1)
+				},
+				Seed: 14,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Start(); err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for i := 0; i < perProducer; i++ {
+						v := int64(p*perProducer + i)
+						if err := s.SubmitK(1+int(v%512), v); err != nil {
+							t.Errorf("producer %d: %v", p, err)
+							return
+						}
+					}
+				}(p)
+			}
+			wg.Wait()
+			if err := s.Drain(); err != nil {
+				t.Fatal(err)
+			}
+			if got := executed.Load(); got != int64(total) {
+				t.Fatalf("executed %d of %d", got, total)
+			}
+			st, err := s.Stop()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Executed != int64(total) {
+				t.Fatalf("Stop stats executed = %d, want %d", st.Executed, total)
+			}
+		})
+	}
+}
+
+// TestServeDrainUnderTraffic checks Drain's contract while producers are
+// still active: it returns once a quiescent instant is observed, and all
+// tasks submitted before the Drain call have executed by then.
+func TestServeDrainUnderTraffic(t *testing.T) {
+	var executed atomic.Int64
+	s, err := New(Config[int64]{
+		Places:    4,
+		Strategy:  Relaxed,
+		Less:      intLess,
+		Injectors: 1,
+		Execute: func(ctx *Ctx[int64], v int64) {
+			executed.Add(1)
+			time.Sleep(10 * time.Microsecond)
+		},
+		Seed: 15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	const before = 500
+	for i := int64(0); i < before; i++ {
+		if err := s.Submit(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := executed.Load(); got < before {
+		t.Fatalf("Drain returned with %d of %d pre-drain tasks executed", got, before)
+	}
+	if _, err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigInjectorsValidation(t *testing.T) {
+	_, err := New(Config[int64]{
+		Places:    1,
+		Less:      intLess,
+		Execute:   func(ctx *Ctx[int64], v int64) {},
+		Injectors: -1,
+	})
+	if err == nil {
+		t.Fatal("Injectors=-1 accepted")
+	}
+}

@@ -1,0 +1,195 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram is a streaming quantile estimator over non-negative values,
+// built for the open-system load generator: latencies arrive one at a
+// time at six-figure rates, and the p50/p95/p99 summary is read once at
+// the end, so storing observations (as Sample does) is out and a fixed
+// set of geometric buckets is in.
+//
+// Buckets grow by a constant factor γ (DDSketch-style), so any quantile
+// is reported with bounded *relative* error (γ−1)/2 ≈ 1% regardless of
+// magnitude — the right guarantee for latencies, where p50 may be
+// microseconds and p99 milliseconds. Values in [0, 1) share the
+// underflow bucket: with nanosecond inputs that is sub-nanosecond and
+// never observed in practice.
+//
+// A Histogram is single-writer (one per place/goroutine); disjoint
+// instances are combined with Merge at collection time.
+type Histogram struct {
+	counts []uint64
+	n      uint64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+const (
+	// histGamma is the bucket growth factor: 2% wide buckets, ≈1%
+	// worst-case relative quantile error.
+	histGamma = 1.02
+	// histBuckets spans [1, γ^(histBuckets−1)) ≈ [1ns, 1.6e13ns ≈ 4.5h]
+	// for nanosecond inputs; larger values clamp into the last bucket.
+	histBuckets = 1536
+)
+
+var invLogGamma = 1 / math.Log(histGamma)
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{
+		counts: make([]uint64, histBuckets),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(x float64) int {
+	if !(x >= 1) { // NaN, negatives and [0,1) share the underflow bucket
+		return 0
+	}
+	b := int(math.Log(x)*invLogGamma) + 1
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// bucketValue returns the representative value of a bucket: the
+// geometric midpoint of its bounds [γ^(b−1), γ^b).
+func bucketValue(b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return math.Pow(histGamma, float64(b)-0.5)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	if x < 0 {
+		x = 0
+	}
+	h.counts[bucketOf(x)]++
+	h.n++
+	h.sum += x
+	if x < h.min {
+		h.min = x
+	}
+	if x > h.max {
+		h.max = x
+	}
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() uint64 { return h.n }
+
+// Mean returns the exact arithmetic mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Min returns the smallest observation (+Inf when empty).
+func (h *Histogram) Min() float64 { return h.min }
+
+// Max returns the largest observation (−Inf when empty).
+func (h *Histogram) Max() float64 { return h.max }
+
+// Quantile returns an estimate of the q-quantile (q in [0, 1]), with
+// relative error bounded by the bucket width. The estimate is clamped to
+// the observed [Min, Max] so extreme quantiles never exceed real data.
+// Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.n-1))
+	var seen uint64
+	for b, c := range h.counts {
+		seen += c
+		if seen > rank {
+			if b == histBuckets-1 {
+				// The top bucket is unbounded (it absorbs overflow), so
+				// its only honest representative is the observed max.
+				return h.max
+			}
+			v := bucketValue(b)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Merge folds other into h. The two histograms must come from the same
+// configuration (they always do: the geometry is package-level).
+func (h *Histogram) Merge(other *Histogram) {
+	for b, c := range other.counts {
+		h.counts[b] += c
+	}
+	h.n += other.n
+	h.sum += other.sum
+	if other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Summary is the fixed percentile report the serving experiments emit.
+type Summary struct {
+	N    uint64  `json:"n"`
+	Mean float64 `json:"mean"`
+	Min  float64 `json:"min"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+// Summarize extracts the standard percentile summary. Min/Max are 0 for
+// an empty histogram so the zero Summary marshals cleanly.
+func (h *Histogram) Summarize() Summary {
+	if h.n == 0 {
+		return Summary{}
+	}
+	return Summary{
+		N:    h.n,
+		Mean: h.Mean(),
+		Min:  h.min,
+		P50:  h.Quantile(0.50),
+		P95:  h.Quantile(0.95),
+		P99:  h.Quantile(0.99),
+		Max:  h.max,
+	}
+}
+
+// String renders the summary compactly (values printed as-is, in the
+// caller's unit).
+func (h *Histogram) String() string {
+	s := h.Summarize()
+	return fmt.Sprintf("n=%d mean=%.3g p50=%.3g p95=%.3g p99=%.3g max=%.3g",
+		s.N, s.Mean, s.P50, s.P95, s.P99, s.Max)
+}

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.N() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("empty histogram not zero: n=%d mean=%v p50=%v", h.N(), h.Mean(), h.Quantile(0.5))
+	}
+	if s := h.Summarize(); s != (Summary{}) {
+		t.Fatalf("empty Summarize = %+v", s)
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(1500)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if math.Abs(got-1500)/1500 > 0.02 {
+			t.Fatalf("Quantile(%v) = %v, want ≈1500", q, got)
+		}
+	}
+	if h.Min() != 1500 || h.Max() != 1500 || h.Mean() != 1500 {
+		t.Fatalf("min/max/mean = %v/%v/%v", h.Min(), h.Max(), h.Mean())
+	}
+}
+
+// TestHistogramRelativeError: against a known sample, every reported
+// quantile must be within the documented relative error of the exact
+// order statistic.
+func TestHistogramRelativeError(t *testing.T) {
+	r := xrand.New(42)
+	const n = 200000
+	xs := make([]float64, n)
+	h := NewHistogram()
+	for i := range xs {
+		// Log-uniform over [1e2, 1e9): spans many orders of magnitude,
+		// like nanosecond latencies do.
+		x := math.Pow(10, 2+7*r.Float64())
+		xs[i] = x
+		h.Observe(x)
+	}
+	sort.Float64s(xs)
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999} {
+		exact := xs[int(q*float64(n-1))]
+		got := h.Quantile(q)
+		if rel := math.Abs(got-exact) / exact; rel > 0.02 {
+			t.Fatalf("Quantile(%v) = %v, exact %v, relative error %.4f > 0.02", q, got, exact, rel)
+		}
+	}
+	if h.N() != n {
+		t.Fatalf("N = %d, want %d", h.N(), n)
+	}
+}
+
+func TestHistogramOutOfRange(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-5)         // clamps to 0
+	h.Observe(0)          // underflow bucket
+	h.Observe(0.25)       // sub-unit values share the underflow bucket
+	h.Observe(1e300)      // clamps into the last bucket
+	h.Observe(math.NaN()) // dropped
+	if h.N() != 4 {
+		t.Fatalf("N = %d, want 4", h.N())
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Fatalf("Quantile(0) = %v, want 0", got)
+	}
+	// The giant value must be clamped to the observed max, not the
+	// bucket's nominal bound.
+	if got := h.Quantile(1); got != 1e300 {
+		t.Fatalf("Quantile(1) = %v, want 1e300", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	r := xrand.New(7)
+	whole := NewHistogram()
+	parts := []*Histogram{NewHistogram(), NewHistogram(), NewHistogram()}
+	for i := 0; i < 30000; i++ {
+		x := float64(1 + r.Intn(1<<20))
+		whole.Observe(x)
+		parts[i%3].Observe(x)
+	}
+	merged := NewHistogram()
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	if merged.N() != whole.N() || merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Fatalf("merge changed n/min/max: %d/%v/%v vs %d/%v/%v",
+			merged.N(), merged.Min(), merged.Max(), whole.N(), whole.Min(), whole.Max())
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if merged.Quantile(q) != whole.Quantile(q) {
+			t.Fatalf("merge changed Quantile(%v): %v vs %v", q, merged.Quantile(q), whole.Quantile(q))
+		}
+	}
+	if math.Abs(merged.Mean()-whole.Mean()) > 1e-6*whole.Mean() {
+		t.Fatalf("merge changed mean: %v vs %v", merged.Mean(), whole.Mean())
+	}
+}
+
+func TestHistogramSummarizeOrdering(t *testing.T) {
+	r := xrand.New(9)
+	h := NewHistogram()
+	for i := 0; i < 10000; i++ {
+		h.Observe(float64(r.Intn(1 << 24)))
+	}
+	s := h.Summarize()
+	if !(s.Min <= s.P50 && s.P50 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.Max) {
+		t.Fatalf("percentiles not monotone: %+v", s)
+	}
+}

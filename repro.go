@@ -46,6 +46,7 @@ import (
 	"repro/internal/core/wsprio"
 	"repro/internal/relaxed"
 	"repro/internal/sched"
+	"repro/internal/stats"
 )
 
 // Strategy selects a priority scheduling data structure.
@@ -113,6 +114,12 @@ type SchedulerConfig[T any] struct {
 	Stale func(T) bool
 	// LocalQueue selects the place-local priority queue implementation.
 	LocalQueue LocalQueueKind
+	// Injectors is the number of external submission lanes for the serve
+	// mode (Start/Submit/Drain/Stop); more lanes reduce contention
+	// between concurrent Submit callers. The default 0 allocates none —
+	// closed-world Run is then bit-identical to a scheduler without
+	// serve support — and Start requires Injectors ≥ 1.
+	Injectors int
 	// Seed makes scheduling randomness reproducible.
 	Seed uint64
 }
@@ -146,6 +153,7 @@ func NewScheduler[T any](cfg SchedulerConfig[T]) (*Scheduler[T], error) {
 		Less:       cfg.Less,
 		Stale:      cfg.Stale,
 		LocalQueue: cfg.LocalQueue,
+		Injectors:  cfg.Injectors,
 		Seed:       cfg.Seed,
 		Execute: func(ic *sched.Ctx[T], v T) {
 			cfg.Execute(Ctx[T]{inner: ic}, v)
@@ -175,6 +183,68 @@ func (s *Scheduler[T]) Run(roots ...T) (RunStats, error) {
 
 // Stats returns the backing data structure's cumulative counters.
 func (s *Scheduler[T]) Stats() DSStats { return s.inner.Stats() }
+
+// Serve-mode lifecycle errors, re-exported from the scheduler core.
+var (
+	// ErrNotServing is returned by Submit, SubmitK and Drain when the
+	// scheduler is not between Start and Stop.
+	ErrNotServing = sched.ErrNotServing
+	// ErrAlreadyServing is returned by Start on a serving scheduler.
+	ErrAlreadyServing = sched.ErrAlreadyServing
+)
+
+// Start switches the scheduler into the open-system serving mode: worker
+// places run continuously — through empty periods — while tasks arrive
+// via Submit/SubmitK from any goroutine, until Stop. Start and Run are
+// mutually exclusive.
+func (s *Scheduler[T]) Start() error { return s.inner.Start() }
+
+// Submit stores v for execution by the serving workers with the default
+// k. Safe for any number of concurrent callers; a task whose Submit
+// returned nil is guaranteed to execute before Stop returns.
+func (s *Scheduler[T]) Submit(v T) error { return s.inner.Submit(v) }
+
+// SubmitK stores v with an explicit per-task relaxation parameter.
+func (s *Scheduler[T]) SubmitK(k int, v T) error { return s.inner.SubmitK(k, v) }
+
+// Drain blocks until every task submitted before some quiescent instant
+// has executed. The scheduler keeps serving.
+func (s *Scheduler[T]) Drain() error { return s.inner.Drain() }
+
+// Stop closes the submission gate, executes all accepted tasks, shuts
+// the workers down and reports the serve session's stats. Idempotent.
+func (s *Scheduler[T]) Stop() (RunStats, error) {
+	st, err := s.inner.Stop()
+	if err != nil {
+		return RunStats{}, err
+	}
+	return RunStats{
+		Elapsed:    st.Elapsed,
+		Executed:   st.Executed,
+		Eliminated: st.Eliminated,
+		Spawned:    st.Spawned,
+		DS:         st.DS,
+	}, nil
+}
+
+// Serving reports whether the scheduler is between Start and Stop.
+func (s *Scheduler[T]) Serving() bool { return s.inner.Serving() }
+
+// Pending returns the number of submitted-or-spawned tasks not yet
+// executed — a monitoring/backpressure signal, immediately stale under
+// concurrency.
+func (s *Scheduler[T]) Pending() int64 { return s.inner.Pending() }
+
+// Histogram is a streaming log-bucketed quantile estimator (≈1% relative
+// error) for latency-style measurements; see NewHistogram.
+type Histogram = stats.Histogram
+
+// HistogramSummary is the fixed p50/p95/p99 report a Histogram emits.
+type HistogramSummary = stats.Summary
+
+// NewHistogram returns an empty streaming histogram. A Histogram is
+// single-writer; merge per-goroutine instances with Merge.
+func NewHistogram() *Histogram { return stats.NewHistogram() }
 
 // PriorityDS is the raw data structure interface (§2.1) for callers who
 // want the queues without the scheduler: push and pop are always executed
