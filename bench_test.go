@@ -419,7 +419,7 @@ func dsCfg() repro.DSConfig[int64] {
 func BenchmarkServeMode(b *testing.B) {
 	strategies := []repro.Strategy{
 		repro.WorkStealing, repro.Centralized, repro.Hybrid,
-		repro.GlobalHeap, repro.Relaxed,
+		repro.GlobalHeap, repro.Relaxed, repro.RelaxedSampleTwo,
 	}
 	for _, strat := range strategies {
 		b.Run(strat.String(), func(b *testing.B) {
@@ -460,6 +460,52 @@ func BenchmarkServeMode(b *testing.B) {
 			if executed.Load() != int64(b.N) {
 				b.Fatalf("executed %d of %d", executed.Load(), b.N)
 			}
+		})
+	}
+}
+
+// BenchmarkServeSticky quantifies the sticky, batched MultiQueue hot
+// path (SERVE): closed-loop saturation traffic from 8 producers through
+// the relaxed strategies, unsticky/unbatched versus stickiness 4 with
+// batch 8. Reported metrics: sustained throughput (tasks/s) and the p99
+// sampled pop rank error (rank_p99) — the two sides of the trade-off,
+// so a throughput win that silently wrecks ordering quality is visible
+// in the same row. The CI bench job gates the relaxed rows of this
+// benchmark against the main-branch baseline.
+func BenchmarkServeSticky(b *testing.B) {
+	configs := []struct {
+		name         string
+		strat        repro.Strategy
+		stick, batch int
+	}{
+		{"relaxed-two/baseline", repro.RelaxedSampleTwo, 1, 1},
+		{"relaxed-two/sticky4-batch8", repro.RelaxedSampleTwo, 4, 8},
+		{"relaxed/baseline", repro.Relaxed, 1, 1},
+		{"relaxed/sticky4-batch8", repro.Relaxed, 4, 8},
+	}
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			var thr, rank float64
+			for i := 0; i < b.N; i++ {
+				res, err := load.Run(load.Config{
+					Strategy:   sched.Strategy(cfg.strat),
+					Producers:  8,
+					Duration:   250 * time.Millisecond,
+					Arrival:    load.ClosedLoop,
+					Window:     64,
+					Batch:      cfg.batch,
+					Stickiness: cfg.stick,
+					RankSample: 4,
+					Seed:       uint64(i) + 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				thr += res.ThroughputPerSec
+				rank += res.RankErr.P99
+			}
+			b.ReportMetric(thr/float64(b.N), "tasks/s")
+			b.ReportMetric(rank/float64(b.N), "rank_p99")
 		})
 	}
 }

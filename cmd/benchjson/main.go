@@ -1,0 +1,248 @@
+// Command benchjson turns `go test -bench` text output into a
+// machine-readable JSON summary, and optionally compares it against a
+// baseline summary, failing on throughput regressions. The CI bench job
+// uses it twice: once to publish BENCH_relaxed.json (the perf
+// trajectory artifact) and once to gate pull requests against the
+// cached main-branch baseline.
+//
+// Usage:
+//
+//	go test -bench . -count 5 | benchjson [-match relaxed] > BENCH.json
+//	benchjson -match relaxed -baseline main.json -max-regress 15 pr.txt
+//
+// Parsing: every `Benchmark<Name> <iters> <value> <unit> ...` line is
+// collected; repeated lines for one name (from -count > 1) are
+// aggregated, and each metric reports its median, min and max across
+// runs — medians, like benchstat, so one noisy run cannot fake or mask
+// a regression.
+//
+// Comparison: only speed-like metrics gate the build — ns/op (smaller
+// is better) and rate units ending in "/s" (bigger is better). A
+// benchmark regresses when its median moves in the bad direction by
+// more than -max-regress percent. Other metrics (rank errors, counter
+// metrics) are carried in the JSON for trend tracking but never fail
+// the build. Benchmarks present on only one side are reported and
+// skipped.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metric is one measured quantity of a benchmark across runs.
+type Metric struct {
+	Median float64   `json:"median"`
+	Min    float64   `json:"min"`
+	Max    float64   `json:"max"`
+	Values []float64 `json:"values"`
+}
+
+// Bench is one benchmark's aggregated result.
+type Bench struct {
+	Name    string            `json:"name"`
+	Runs    int               `json:"runs"`
+	Metrics map[string]Metric `json:"metrics"`
+}
+
+// benchLine matches `BenchmarkFoo/sub-16  123  456 ns/op  7.8 other/unit`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.+)$`)
+
+// parseBench extracts benchmark results from `go test -bench` output,
+// keeping only names matching the filter. Run order is preserved.
+func parseBench(r io.Reader, match *regexp.Regexp) ([]Bench, error) {
+	byName := map[string]*Bench{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil || !match.MatchString(m[1]) {
+			continue
+		}
+		name := m[1]
+		b := byName[name]
+		if b == nil {
+			b = &Bench{Name: name, Metrics: map[string]Metric{}}
+			byName[name] = b
+			order = append(order, name)
+		}
+		b.Runs++
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad value %q", name, fields[i])
+			}
+			mt := b.Metrics[fields[i+1]]
+			mt.Values = append(mt.Values, v)
+			b.Metrics[fields[i+1]] = mt
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]Bench, 0, len(order))
+	for _, name := range order {
+		b := byName[name]
+		for unit, mt := range b.Metrics {
+			sorted := append([]float64(nil), mt.Values...)
+			sort.Float64s(sorted)
+			mt.Min = sorted[0]
+			mt.Max = sorted[len(sorted)-1]
+			mid := len(sorted) / 2
+			if len(sorted)%2 == 1 {
+				mt.Median = sorted[mid]
+			} else {
+				mt.Median = (sorted[mid-1] + sorted[mid]) / 2
+			}
+			b.Metrics[unit] = mt
+		}
+		out = append(out, *b)
+	}
+	return out, nil
+}
+
+// delta is one gated comparison row.
+type delta struct {
+	Name      string
+	Unit      string
+	Old, New  float64
+	Pct       float64 // signed change in the bad direction: > 0 is worse
+	Regressed bool
+}
+
+// gated reports whether a metric unit participates in the regression
+// gate, and whether bigger values are better for it.
+func gated(unit string) (ok, biggerBetter bool) {
+	if unit == "ns/op" {
+		return true, false
+	}
+	if strings.HasSuffix(unit, "/s") {
+		return true, true
+	}
+	return false, false
+}
+
+// compare gates news against olds. Every returned delta is a gated
+// metric pair; missing counterparts are reported to w and skipped.
+func compare(w io.Writer, olds, news []Bench, maxRegressPct float64) []delta {
+	oldBy := map[string]Bench{}
+	for _, b := range olds {
+		oldBy[b.Name] = b
+	}
+	newBy := map[string]bool{}
+	for _, b := range news {
+		newBy[b.Name] = true
+	}
+	for _, ob := range olds {
+		if !newBy[ob.Name] {
+			// A renamed or deleted benchmark must not silently shrink
+			// the gate's coverage.
+			fmt.Fprintf(w, "benchjson: %s: in baseline but not in this run, skipping\n", ob.Name)
+		}
+	}
+	var ds []delta
+	for _, nb := range news {
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			fmt.Fprintf(w, "benchjson: %s: no baseline, skipping\n", nb.Name)
+			continue
+		}
+		for unit, nm := range nb.Metrics {
+			g, biggerBetter := gated(unit)
+			if !g {
+				continue
+			}
+			om, ok := ob.Metrics[unit]
+			if !ok || om.Median == 0 {
+				continue
+			}
+			pct := (nm.Median - om.Median) / om.Median * 100
+			if biggerBetter {
+				pct = -pct
+			}
+			ds = append(ds, delta{
+				Name: nb.Name, Unit: unit,
+				Old: om.Median, New: nm.Median,
+				Pct:       pct,
+				Regressed: pct > maxRegressPct,
+			})
+		}
+	}
+	return ds
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	var (
+		match      = flag.String("match", "", "only benchmarks whose name matches this regexp")
+		baseline   = flag.String("baseline", "", "baseline JSON to compare against (compare mode)")
+		maxRegress = flag.Float64("max-regress", 15, "compare mode: fail when a gated metric regresses by more than this percent")
+	)
+	flag.Parse()
+
+	re, err := regexp.Compile(*match)
+	if err != nil {
+		log.Fatalf("bad -match: %v", err)
+	}
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	benches, err := parseBench(in, re)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(benches) == 0 {
+		log.Fatal("no benchmark lines matched")
+	}
+
+	if *baseline == "" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(benches); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	raw, err := os.ReadFile(*baseline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var olds []Bench
+	if err := json.Unmarshal(raw, &olds); err != nil {
+		log.Fatalf("%s: %v", *baseline, err)
+	}
+	ds := compare(os.Stderr, olds, benches, *maxRegress)
+	bad := 0
+	for _, d := range ds {
+		verdict := "ok"
+		if d.Regressed {
+			verdict = "REGRESSED"
+			bad++
+		}
+		fmt.Printf("%-60s %12s  %14.4g -> %14.4g  %+7.2f%%  %s\n",
+			d.Name, d.Unit, d.Old, d.New, d.Pct, verdict)
+	}
+	if bad > 0 {
+		log.Fatalf("%d gated metric(s) regressed more than %.1f%%", bad, *maxRegress)
+	}
+	fmt.Printf("benchjson: %d gated metric(s) within %.1f%% of baseline\n", len(ds), *maxRegress)
+}

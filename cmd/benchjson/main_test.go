@@ -1,0 +1,148 @@
+package main
+
+import (
+	"io"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `
+goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkServeSticky/relaxed-two/baseline-16         	       5	 210000000 ns/op	    480000 tasks/s	       12.0 rank_p99
+BenchmarkServeSticky/relaxed-two/baseline-16         	       5	 200000000 ns/op	    500000 tasks/s	       10.0 rank_p99
+BenchmarkServeSticky/relaxed-two/baseline-16         	       5	 190000000 ns/op	    520000 tasks/s	       11.0 rank_p99
+BenchmarkExtensionStructural/hybrid-16               	      10	 100000000 ns/op	      1995 nodes_relaxed
+PASS
+`
+
+func mustParse(t *testing.T, text, match string) []Bench {
+	t.Helper()
+	bs, err := parseBench(strings.NewReader(text), regexp.MustCompile(match))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bs
+}
+
+func TestParseAggregatesRuns(t *testing.T) {
+	bs := mustParse(t, sampleOutput, "")
+	if len(bs) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(bs))
+	}
+	b := bs[0]
+	if b.Name != "BenchmarkServeSticky/relaxed-two/baseline-16" || b.Runs != 3 {
+		t.Fatalf("first bench = %s runs %d", b.Name, b.Runs)
+	}
+	ns := b.Metrics["ns/op"]
+	if ns.Median != 200000000 || ns.Min != 190000000 || ns.Max != 210000000 {
+		t.Fatalf("ns/op summary = %+v", ns)
+	}
+	if got := b.Metrics["tasks/s"].Median; got != 500000 {
+		t.Fatalf("tasks/s median = %v, want 500000", got)
+	}
+	if got := b.Metrics["rank_p99"].Median; got != 11 {
+		t.Fatalf("rank_p99 median = %v, want 11", got)
+	}
+}
+
+func TestParseMatchFilter(t *testing.T) {
+	bs := mustParse(t, sampleOutput, "relaxed")
+	if len(bs) != 1 || !strings.Contains(bs[0].Name, "relaxed-two") {
+		t.Fatalf("filtered parse = %+v", bs)
+	}
+}
+
+// TestCompareFailsOnInjectedRegression is the in-repo proof the CI gate
+// demanded by the acceptance criteria actually fires: an injected
+// throughput drop (and ns/op inflation) beyond 15% must be flagged,
+// while informational metrics like rank_p99 must not gate.
+func TestCompareFailsOnInjectedRegression(t *testing.T) {
+	base := mustParse(t, sampleOutput, "relaxed")
+	// Inject: 20% fewer tasks/s, 20% more ns/op, rank_p99 doubled.
+	injected := strings.NewReplacer(
+		"480000 tasks/s", "384000 tasks/s",
+		"500000 tasks/s", "400000 tasks/s",
+		"520000 tasks/s", "416000 tasks/s",
+		"210000000 ns/op", "252000000 ns/op",
+		"200000000 ns/op", "240000000 ns/op",
+		"190000000 ns/op", "228000000 ns/op",
+		"12.0 rank_p99", "24.0 rank_p99",
+		"10.0 rank_p99", "20.0 rank_p99",
+		"11.0 rank_p99", "22.0 rank_p99",
+	).Replace(sampleOutput)
+	ds := compare(io.Discard, base, mustParse(t, injected, "relaxed"), 15)
+	if len(ds) != 2 {
+		t.Fatalf("gated deltas = %+v, want ns/op and tasks/s only", ds)
+	}
+	regressed := 0
+	for _, d := range ds {
+		if d.Unit == "rank_p99" {
+			t.Fatalf("informational metric %s must not gate", d.Unit)
+		}
+		if d.Regressed {
+			regressed++
+		}
+		if d.Pct < 19 || d.Pct > 21 {
+			t.Fatalf("%s %s: bad-direction delta %.2f%%, want ≈20%%", d.Name, d.Unit, d.Pct)
+		}
+	}
+	if regressed != 2 {
+		t.Fatalf("%d metrics regressed, want 2", regressed)
+	}
+}
+
+// TestCompareWithinThresholdPasses: a 10% wobble under a 15% gate is
+// not a regression, in either direction.
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	base := mustParse(t, sampleOutput, "relaxed")
+	wobbled := strings.NewReplacer(
+		"480000 tasks/s", "432000 tasks/s",
+		"500000 tasks/s", "450000 tasks/s",
+		"520000 tasks/s", "468000 tasks/s",
+	).Replace(sampleOutput)
+	for _, d := range compare(io.Discard, base, mustParse(t, wobbled, "relaxed"), 15) {
+		if d.Regressed {
+			t.Fatalf("%s %s flagged at %.2f%% under a 15%% gate", d.Name, d.Unit, d.Pct)
+		}
+	}
+}
+
+// TestCompareImprovementNeverGates: faster and higher-throughput runs
+// must pass regardless of magnitude.
+func TestCompareImprovementNeverGates(t *testing.T) {
+	base := mustParse(t, sampleOutput, "relaxed")
+	improved := strings.NewReplacer(
+		"480000 tasks/s", "960000 tasks/s",
+		"500000 tasks/s", "1000000 tasks/s",
+		"520000 tasks/s", "1040000 tasks/s",
+		"210000000 ns/op", "105000000 ns/op",
+		"200000000 ns/op", "100000000 ns/op",
+		"190000000 ns/op", "95000000 ns/op",
+	).Replace(sampleOutput)
+	for _, d := range compare(io.Discard, base, mustParse(t, improved, "relaxed"), 15) {
+		if d.Regressed {
+			t.Fatalf("improvement flagged as regression: %+v", d)
+		}
+	}
+}
+
+func TestCompareMissingBaselineIsSkipped(t *testing.T) {
+	base := mustParse(t, sampleOutput, "hybrid")
+	news := mustParse(t, sampleOutput, "relaxed")
+	var log strings.Builder
+	if ds := compare(&log, base, news, 15); len(ds) != 0 {
+		t.Fatalf("deltas for baseline-less benchmarks: %+v", ds)
+	}
+	// Both directions must be visible: a benchmark with no baseline, and
+	// a baseline benchmark that vanished from the run (a rename must not
+	// silently shrink the gate's coverage).
+	if !strings.Contains(log.String(), "no baseline") {
+		t.Fatalf("missing no-baseline report in %q", log.String())
+	}
+	if !strings.Contains(log.String(), "in baseline but not in this run") {
+		t.Fatalf("missing vanished-benchmark report in %q", log.String())
+	}
+}

@@ -14,11 +14,16 @@
 //	loadgen [-strategy all] [-rate 100000] [-producers 4] [-duration 2s]
 //	        [-places N] [-k 512] [-arrival poisson|bursty|closed-loop]
 //	        [-dist uniform|skewed|ramp] [-window 64] [-on 10ms] [-off 10ms]
-//	        [-spin 0] [-ranksample 1] [-seed 20140215]
+//	        [-spin 0] [-ranksample 1] [-batch 1] [-stickiness 0]
+//	        [-seed 20140215]
 //
-// -strategy, -rate and -producers accept comma-separated lists;
-// "-strategy all" expands to the five headline strategies
-// (work-stealing, centralized, hybrid, global-heap, relaxed).
+// -strategy, -rate, -producers, -batch and -stickiness accept
+// comma-separated lists; "-strategy all" expands to the six headline
+// strategies (work-stealing, centralized, hybrid, global-heap, relaxed,
+// relaxed-two). -batch sets both the producers' submit batch and the
+// workers' pop batch; -stickiness sets the relaxed strategies' lane
+// stickiness S — together they sweep the MultiQueue throughput vs.
+// rank-error trade-off.
 package main
 
 import (
@@ -36,11 +41,12 @@ import (
 	"repro/internal/stats"
 )
 
-// allStrategies is the headline five: the paper's three, the strict
-// global heap baseline, and the structural extension.
+// allStrategies is the headline six: the paper's three, the strict
+// global heap baseline, and the two structural extensions (exhaustive
+// and two-choice sampling).
 var allStrategies = []sched.Strategy{
 	sched.WorkStealing, sched.Centralized, sched.Hybrid,
-	sched.GlobalHeap, sched.Relaxed,
+	sched.GlobalHeap, sched.Relaxed, sched.RelaxedSampleTwo,
 }
 
 func parseStrategies(s string) ([]sched.Strategy, error) {
@@ -52,6 +58,7 @@ func parseStrategies(s string) ([]sched.Strategy, error) {
 		"centralized":   sched.Centralized,
 		"hybrid":        sched.Hybrid,
 		"relaxed":       sched.Relaxed,
+		"relaxed-two":   sched.RelaxedSampleTwo,
 		"ws-steal-one":  sched.WorkStealingStealOne,
 		"global-heap":   sched.GlobalHeap,
 	}
@@ -131,6 +138,8 @@ func main() {
 		offPeriod  = flag.Duration("off", 10*time.Millisecond, "bursty off-period")
 		spin       = flag.Int("spin", 0, "synthetic work iterations per task")
 		rankSample = flag.Int("ranksample", 1, "measure rank error on every Nth task")
+		batches    = flag.String("batch", "1", "operation batch sizes: producer submit + worker pop batch (comma list)")
+		stickiness = flag.String("stickiness", "0", "relaxed lane stickiness S values, 0 = unsticky (comma list)")
 		seed       = flag.Uint64("seed", 20140215, "base random seed")
 	)
 	flag.Parse()
@@ -156,51 +165,77 @@ func main() {
 		log.Fatal(err)
 	}
 
+	batchList, err := parseInts(*batches)
+	if err != nil {
+		log.Fatalf("bad -batch: %v", err)
+	}
+	stickList, err := parseInts(*stickiness)
+	if err != nil {
+		log.Fatalf("bad -stickiness: %v", err)
+	}
+
 	var results []load.Result
 	table := &stats.Table{Header: []string{
-		"strategy", "producers", "rate", "throughput/s",
-		"p50(us)", "p95(us)", "p99(us)", "rank-err-mean", "rank-err-max",
+		"strategy", "producers", "rate", "batch", "stick", "throughput/s",
+		"p50(us)", "p95(us)", "p99(us)", "rank-err-mean", "rank-err-p99", "rank-err-max",
 	}}
 	for _, strat := range stratList {
 		for _, np := range prodList {
 			for _, rate := range rateList {
-				fmt.Fprintf(os.Stderr, "loadgen: %s producers=%d rate=%.0f arrival=%s dist=%s duration=%s\n",
-					strat, np, rate, arr, pd, *duration)
-				res, err := load.Run(load.Config{
-					Strategy:   strat,
-					Places:     *places,
-					K:          *k,
-					Producers:  np,
-					Duration:   *duration,
-					Arrival:    arr,
-					Rate:       rate,
-					OnPeriod:   *onPeriod,
-					OffPeriod:  *offPeriod,
-					Window:     *window,
-					Dist:       pd,
-					WorkSpin:   *spin,
-					RankSample: *rankSample,
-					Seed:       *seed,
-				})
-				if err != nil {
-					log.Fatalf("%s: %v", strat, err)
+				for _, batch := range batchList {
+					// Only the relaxed strategies consume the stickiness
+					// knob; for the others a stickiness sweep would re-run
+					// bit-identical configurations and emit rows that look
+					// like a measured tradeoff where none exists.
+					sticks := stickList
+					if strat != sched.Relaxed && strat != sched.RelaxedSampleTwo {
+						sticks = stickList[:1]
+					}
+					for _, stick := range sticks {
+						fmt.Fprintf(os.Stderr, "loadgen: %s producers=%d rate=%.0f batch=%d stickiness=%d arrival=%s dist=%s duration=%s\n",
+							strat, np, rate, batch, stick, arr, pd, *duration)
+						res, err := load.Run(load.Config{
+							Strategy:   strat,
+							Places:     *places,
+							K:          *k,
+							Producers:  np,
+							Duration:   *duration,
+							Arrival:    arr,
+							Rate:       rate,
+							OnPeriod:   *onPeriod,
+							OffPeriod:  *offPeriod,
+							Window:     *window,
+							Dist:       pd,
+							WorkSpin:   *spin,
+							RankSample: *rankSample,
+							Batch:      batch,
+							Stickiness: stick,
+							Seed:       *seed,
+						})
+						if err != nil {
+							log.Fatalf("%s: %v", strat, err)
+						}
+						results = append(results, res)
+						rateCell := stats.F(rate, 0)
+						if arr == load.ClosedLoop {
+							rateCell = "closed" // the rate flag is ignored
+						}
+						table.AddRow(
+							res.Strategy,
+							stats.I(int64(res.Producers)),
+							rateCell,
+							stats.I(int64(res.Batch)),
+							stats.I(int64(res.Stickiness)),
+							stats.F(res.ThroughputPerSec, 0),
+							stats.F(res.SojournNs.P50/1e3, 1),
+							stats.F(res.SojournNs.P95/1e3, 1),
+							stats.F(res.SojournNs.P99/1e3, 1),
+							stats.F(res.RankErrMean, 1),
+							stats.F(res.RankErr.P99, 0),
+							stats.I(res.RankErrMax),
+						)
+					}
 				}
-				results = append(results, res)
-				rateCell := stats.F(rate, 0)
-				if arr == load.ClosedLoop {
-					rateCell = "closed" // the rate flag is ignored
-				}
-				table.AddRow(
-					res.Strategy,
-					stats.I(int64(res.Producers)),
-					rateCell,
-					stats.F(res.ThroughputPerSec, 0),
-					stats.F(res.SojournNs.P50/1e3, 1),
-					stats.F(res.SojournNs.P95/1e3, 1),
-					stats.F(res.SojournNs.P99/1e3, 1),
-					stats.F(res.RankErrMean, 1),
-					stats.I(res.RankErrMax),
-				)
 			}
 		}
 	}

@@ -14,6 +14,13 @@
 // Run with:
 //
 //	go run ./examples/serving [-rate 20000] [-producers 4] [-duration 1s]
+//	                          [-batch 1] [-stickiness 0]
+//
+// -batch > 1 makes producers submit groups of requests through
+// SubmitAll (one injector episode per group) and workers pop groups per
+// lock episode; -stickiness S makes the relaxed strategies reuse a lane
+// for S consecutive operations. Both trade priority adherence for
+// throughput — compare the relaxed rows as the knobs change.
 package main
 
 import (
@@ -37,16 +44,19 @@ type request struct {
 
 func main() {
 	var (
-		rate      = flag.Float64("rate", 20000, "aggregate arrival rate, requests/s")
-		producers = flag.Int("producers", 4, "producer goroutines")
-		places    = flag.Int("places", 4, "worker places")
-		duration  = flag.Duration("duration", time.Second, "traffic duration")
+		rate       = flag.Float64("rate", 20000, "aggregate arrival rate, requests/s")
+		producers  = flag.Int("producers", 4, "producer goroutines")
+		places     = flag.Int("places", 4, "worker places")
+		duration   = flag.Duration("duration", time.Second, "traffic duration")
+		batch      = flag.Int("batch", 1, "submit/pop batch size (1 = unbatched)")
+		stickiness = flag.Int("stickiness", 0, "relaxed lane stickiness S (0 = unsticky)")
 	)
 	flag.Parse()
 
 	epoch := time.Now()
 	for _, strategy := range []repro.Strategy{
-		repro.WorkStealing, repro.Centralized, repro.Hybrid, repro.GlobalHeap, repro.Relaxed,
+		repro.WorkStealing, repro.Centralized, repro.Hybrid, repro.GlobalHeap,
+		repro.Relaxed, repro.RelaxedSampleTwo,
 	} {
 		// One latency histogram per place: Execute runs on worker places
 		// only, so each histogram stays single-writer.
@@ -56,11 +66,13 @@ func main() {
 		}
 
 		s, err := repro.NewScheduler(repro.SchedulerConfig[request]{
-			Places:    *places,
-			Strategy:  strategy,
-			K:         512,
-			Injectors: *producers,
-			Less:      func(a, b request) bool { return a.prio < b.prio },
+			Places:     *places,
+			Strategy:   strategy,
+			K:          512,
+			Injectors:  *producers,
+			Batch:      *batch,
+			Stickiness: *stickiness,
+			Less:       func(a, b request) bool { return a.prio < b.prio },
 			Execute: func(ctx repro.Ctx[request], r request) {
 				hists[ctx.Place()].Observe(float64(time.Since(epoch) - r.enq))
 			},
@@ -83,6 +95,20 @@ func main() {
 				next := time.Since(epoch)
 				deadline := next + *duration
 				rng := uint64(p)*0x9e3779b97f4a7c15 + 1
+				// With -batch > 1 requests are buffered at their arrival
+				// instants and submitted in groups; the buffering delay is
+				// part of the measured sojourn time.
+				buf := make([]request, 0, *batch)
+				flush := func() {
+					if len(buf) == 0 {
+						return
+					}
+					if err := s.SubmitAll(buf); err != nil {
+						log.Fatal(err)
+					}
+					buf = buf[:0]
+				}
+				defer flush()
 				for {
 					// Exponential inter-arrival via a tiny inline LCG.
 					rng = rng*6364136223846793005 + 1442695040888963407
@@ -105,9 +131,9 @@ func main() {
 							runtime.Gosched()
 						}
 					}
-					req := request{prio: int64(rng >> 44), enq: time.Since(epoch)}
-					if err := s.Submit(req); err != nil {
-						log.Fatal(err)
+					buf = append(buf, request{prio: int64(rng >> 44), enq: time.Since(epoch)})
+					if len(buf) >= *batch {
+						flush()
 					}
 				}
 			}(p)

@@ -40,6 +40,92 @@ type DS[T any] interface {
 	Stats() Stats
 }
 
+// BatchDS is the optional batched extension of DS. Batch operations
+// amortize synchronization: a native implementation stores or removes a
+// whole group of tasks under a single lock acquisition (the MultiQueue
+// "operation batching" of Postnikova et al.), while the AsBatch adapter
+// falls back to looping over the single-task operations so every DS can
+// be programmed against uniformly.
+//
+// The place-ownership rule of DS applies unchanged: PushK and PopK must
+// only be invoked with 0 ≤ place < Places, one goroutine per place.
+type BatchDS[T any] interface {
+	DS[T]
+	// PushK stores every element of vs with relaxation parameter k on
+	// behalf of place. Equivalent to len(vs) Push calls; a native
+	// implementation may store the whole batch in one synchronization
+	// episode. An empty vs is a no-op.
+	PushK(place int, k int, vs []T)
+	// PopK removes and returns up to max stored tasks on behalf of
+	// place. An empty result is a (possibly spurious) failure, exactly
+	// like Pop's ok == false; max < 1 always returns nil. The tasks of
+	// one batch are returned in the implementation's pop order, but a
+	// batch as a whole provides no stronger ordering guarantee than max
+	// successive Pops.
+	PopK(place int, max int) []T
+}
+
+// BatchPopIntoer is the optional allocation-free refinement of
+// BatchDS.PopK: the caller owns the buffer, so a hot loop popping
+// batches (the scheduler's batched worker loop) reuses one buffer per
+// worker instead of allocating a slice per pop episode. PopKInto fills
+// out with up to len(out) tasks and returns the count obtained; 0 is a
+// possibly spurious failure, exactly like an empty PopK result.
+type BatchPopIntoer[T any] interface {
+	PopKInto(place int, out []T) int
+}
+
+// AsBatch returns d itself when it already implements BatchDS, and
+// otherwise wraps it in an adapter that implements the batch operations
+// as loops over Push and Pop.
+func AsBatch[T any](d DS[T]) BatchDS[T] {
+	if b, ok := d.(BatchDS[T]); ok {
+		return b
+	}
+	return singlesAdapter[T]{d}
+}
+
+// singlesAdapter lifts a singles-only DS to BatchDS with no batching
+// benefit: each element still pays its own synchronization.
+type singlesAdapter[T any] struct {
+	DS[T]
+}
+
+func (a singlesAdapter[T]) PushK(place int, k int, vs []T) {
+	PushKViaSingles(a.DS, place, k, vs)
+}
+
+func (a singlesAdapter[T]) PopK(place int, max int) []T {
+	return PopKViaSingles(a.DS, place, max)
+}
+
+// PushKViaSingles implements BatchDS.PushK semantics over the
+// single-task Push. Shared by the AsBatch adapter and by the structures
+// whose PushK has no native batching advantage.
+func PushKViaSingles[T any](d DS[T], place int, k int, vs []T) {
+	for _, v := range vs {
+		d.Push(place, k, v)
+	}
+}
+
+// PopKViaSingles implements BatchDS.PopK semantics over the single-task
+// Pop: it stops at the first failed pop, so one spurious failure ends
+// the batch early rather than blocking it.
+func PopKViaSingles[T any](d DS[T], place int, max int) []T {
+	if max < 1 {
+		return nil
+	}
+	var out []T
+	for len(out) < max {
+		v, ok := d.Pop(place)
+		if !ok {
+			break
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
 // LocalQueueKind selects the sequential priority queue used for the
 // place-local components ("any sequential implementation of a priority
 // queue can be used", §4.1).
@@ -130,6 +216,10 @@ type Stats struct {
 	Pushes       int64 // tasks stored
 	Pops         int64 // tasks returned by pop
 	PopFailures  int64 // pops that returned ok == false
+	BatchPushes  int64 // native PushK calls that stored ≥ 1 task in one lock episode
+	BatchPops    int64 // native PopK calls that returned ≥ 1 task in one lock episode
+	PopRetries   int64 // relaxed: bounded lane re-samples after a failed try-lock/read
+	Resticks     int64 // relaxed: sticky lane re-selections (expired or contended lanes)
 	Eliminated   int64 // stale tasks retired without execution
 	TailAdvances int64 // centralized: tail window moves
 	Probes       int64 // centralized: random probes past tail
@@ -149,6 +239,10 @@ func (s Stats) Sub(other Stats) Stats {
 		Pushes:       s.Pushes - other.Pushes,
 		Pops:         s.Pops - other.Pops,
 		PopFailures:  s.PopFailures - other.PopFailures,
+		BatchPushes:  s.BatchPushes - other.BatchPushes,
+		BatchPops:    s.BatchPops - other.BatchPops,
+		PopRetries:   s.PopRetries - other.PopRetries,
+		Resticks:     s.Resticks - other.Resticks,
 		Eliminated:   s.Eliminated - other.Eliminated,
 		TailAdvances: s.TailAdvances - other.TailAdvances,
 		Probes:       s.Probes - other.Probes,
@@ -167,6 +261,10 @@ func (s *Stats) Add(other Stats) {
 	s.Pushes += other.Pushes
 	s.Pops += other.Pops
 	s.PopFailures += other.PopFailures
+	s.BatchPushes += other.BatchPushes
+	s.BatchPops += other.BatchPops
+	s.PopRetries += other.PopRetries
+	s.Resticks += other.Resticks
 	s.Eliminated += other.Eliminated
 	s.TailAdvances += other.TailAdvances
 	s.Probes += other.Probes
@@ -182,8 +280,9 @@ func (s *Stats) Add(other Stats) {
 // String renders the non-zero counters compactly.
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"pushes=%d pops=%d popFail=%d elim=%d tailAdv=%d probes=%d/%d publishes=%d spies=%d/%d steals=%d/%d stolen=%d",
-		s.Pushes, s.Pops, s.PopFailures, s.Eliminated, s.TailAdvances,
+		"pushes=%d pops=%d popFail=%d batchPush=%d batchPop=%d popRetry=%d restick=%d elim=%d tailAdv=%d probes=%d/%d publishes=%d spies=%d/%d steals=%d/%d stolen=%d",
+		s.Pushes, s.Pops, s.PopFailures, s.BatchPushes, s.BatchPops,
+		s.PopRetries, s.Resticks, s.Eliminated, s.TailAdvances,
 		s.ProbeHits, s.Probes, s.Publishes, s.SpyHits, s.Spies,
 		s.StealHits, s.Steals, s.StolenTasks)
 }

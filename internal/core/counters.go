@@ -10,6 +10,10 @@ type Counters struct {
 	Pushes       atomic.Int64
 	Pops         atomic.Int64
 	PopFailures  atomic.Int64
+	BatchPushes  atomic.Int64
+	BatchPops    atomic.Int64
+	PopRetries   atomic.Int64
+	Resticks     atomic.Int64
 	Eliminated   atomic.Int64
 	TailAdvances atomic.Int64
 	Probes       atomic.Int64
@@ -29,6 +33,10 @@ func (c *Counters) Snapshot() Stats {
 		Pushes:       c.Pushes.Load(),
 		Pops:         c.Pops.Load(),
 		PopFailures:  c.PopFailures.Load(),
+		BatchPushes:  c.BatchPushes.Load(),
+		BatchPops:    c.BatchPops.Load(),
+		PopRetries:   c.PopRetries.Load(),
+		Resticks:     c.Resticks.Load(),
 		Eliminated:   c.Eliminated.Load(),
 		TailAdvances: c.TailAdvances.Load(),
 		Probes:       c.Probes.Load(),

@@ -53,6 +53,9 @@ func RunFlags(t *testing.T, name string, mk Factory, f Flags) {
 	if !f.NoCrossPlaceDrain {
 		t.Run(name+"/ExternalInjection", func(t *testing.T) { externalInjection(t, mk) })
 	}
+	t.Run(name+"/BatchRoundTrip", func(t *testing.T) { batchRoundTrip(t, mk) })
+	t.Run(name+"/BatchEmptyPop", func(t *testing.T) { batchEmptyPop(t, mk) })
+	t.Run(name+"/ConcurrentBatchMix", func(t *testing.T) { concurrentBatchMix(t, mk) })
 	t.Run(name+"/ConcurrentStaleFlips", func(t *testing.T) { concurrentStaleFlips(t, mk) })
 	t.Run(name+"/StatsAccounting", func(t *testing.T) { statsAccounting(t, mk) })
 	t.Run(name+"/SmallLiveSetChurn", func(t *testing.T) { smallLiveSetChurn(t, mk) })
@@ -432,6 +435,191 @@ func externalInjection(t *testing.T, mk Factory) {
 	if delivered != total {
 		t.Fatalf("delivered %d of %d injected tasks (%d drained after quiescence)",
 			delivered, total, len(leftovers))
+	}
+	for v, c := range seen {
+		if c != 1 {
+			t.Fatalf("task %d delivered %d times", v, c)
+		}
+	}
+}
+
+// popAllBatched drains the structure from one place using PopK with the
+// given max, retrying empty (spurious-failure) results up to `patience`
+// consecutive times.
+func popAllBatched(d core.BatchDS[int64], place, max, patience int) []int64 {
+	var out []int64
+	fails := 0
+	for fails < patience {
+		if got := d.PopK(place, max); len(got) > 0 {
+			out = append(out, got...)
+			fails = 0
+		} else {
+			fails++
+		}
+	}
+	return out
+}
+
+// batchRoundTrip: mixed PushK/Push traffic drained with mixed PopK/Pop
+// must deliver the exact multiset exactly once, for every structure via
+// its core.BatchDS view (native or adapted).
+func batchRoundTrip(t *testing.T, mk Factory) {
+	d := core.AsBatch(mustNew(t, mk, core.Options[int64]{Places: 2, Seed: 27}))
+	r := xrand.New(28)
+	want := map[int64]int{}
+	next := int64(0)
+	push := func(pl int, vs []int64) {
+		for _, v := range vs {
+			want[v]++
+		}
+		d.PushK(pl, 1+r.Intn(512), vs)
+	}
+	push(0, nil) // empty batch is a no-op
+	for i := 0; i < 200; i++ {
+		n := r.Intn(9) // 0..8 per batch
+		vs := make([]int64, n)
+		for j := range vs {
+			vs[j] = int64(r.Intn(500))
+			next++
+		}
+		push(i%2, vs)
+		if r.Intn(3) == 0 {
+			v := int64(r.Intn(500))
+			want[v]++
+			d.Push(i%2, 64, v)
+			next++
+		}
+	}
+	var got []int64
+	got = append(got, popAllBatched(d, 0, 1+r.Intn(16), 4096)...)
+	got = append(got, popAll(d, 1, 4096)...)
+	if int64(len(got)) != next {
+		t.Fatalf("drained %d of %d batched tasks", len(got), next)
+	}
+	for _, v := range got {
+		want[v]--
+	}
+	for v, c := range want {
+		if c != 0 {
+			t.Fatalf("multiset mismatch at %d: %+d", v, c)
+		}
+	}
+}
+
+// batchEmptyPop pins the PopK emptiness contract: max < 1 always
+// returns nothing, an empty structure returns nothing, and after a
+// drain the structure keeps returning nothing — without panics or
+// phantom tasks.
+func batchEmptyPop(t *testing.T, mk Factory) {
+	d := core.AsBatch(mustNew(t, mk, core.Options[int64]{Places: 2, Seed: 29}))
+	for _, max := range []int{-1, 0, 1, 8} {
+		if got := d.PopK(0, max); len(got) != 0 {
+			t.Fatalf("PopK(empty, max=%d) returned %v", max, got)
+		}
+	}
+	d.PushK(0, 8, []int64{3, 1, 2})
+	if got := popAllBatched(d, 0, 8, 4096); len(got) != 3 {
+		t.Fatalf("drained %d of 3", len(got))
+	}
+	for i := 0; i < 64; i++ {
+		if got := d.PopK(i%2, 4); len(got) != 0 {
+			t.Fatalf("PopK after drain returned %v", got)
+		}
+	}
+	if got := d.PopK(0, 1<<20); len(got) != 0 {
+		t.Fatalf("PopK(huge max) on empty returned %v", got)
+	}
+}
+
+// concurrentBatchMix: places concurrently interleave batch and single
+// pushes with batch and single pops; every task must be delivered
+// exactly once. This is the exactly-once contract of §2.1 extended to
+// the batch operations, under -race.
+func concurrentBatchMix(t *testing.T, mk Factory) {
+	places := runtime.GOMAXPROCS(0)
+	if places > 8 {
+		places = 8
+	}
+	if places < 2 {
+		places = 2
+	}
+	perPlace := 12000
+	if testing.Short() {
+		perPlace = 3000
+	}
+	d := core.AsBatch(mustNew(t, mk, core.Options[int64]{Places: places, Seed: 30}))
+	var produced atomic.Int64
+	var wg sync.WaitGroup
+	results := make([][]int64, places)
+	for pl := 0; pl < places; pl++ {
+		wg.Add(1)
+		go func(pl int) {
+			defer wg.Done()
+			r := xrand.New(uint64(pl)*131 + 7)
+			var mine []int64
+			pushed := 0
+			fails := 0
+			for {
+				if pushed < perPlace && r.Intn(2) == 0 {
+					if r.Intn(2) == 0 {
+						// Batch push of 1..8 tasks.
+						n := 1 + r.Intn(8)
+						if n > perPlace-pushed {
+							n = perPlace - pushed
+						}
+						vs := make([]int64, n)
+						for j := range vs {
+							vs[j] = int64(pl*perPlace + pushed)
+							pushed++
+						}
+						d.PushK(pl, 1+r.Intn(512), vs)
+						produced.Add(int64(n))
+					} else {
+						d.Push(pl, 1+r.Intn(512), int64(pl*perPlace+pushed))
+						produced.Add(1)
+						pushed++
+					}
+					continue
+				}
+				if r.Intn(2) == 0 {
+					if got := d.PopK(pl, 1+r.Intn(8)); len(got) > 0 {
+						mine = append(mine, got...)
+						fails = 0
+						continue
+					}
+				} else if v, ok := d.Pop(pl); ok {
+					mine = append(mine, v)
+					fails = 0
+					continue
+				}
+				if pushed < perPlace {
+					continue // still have own work to create
+				}
+				fails++
+				if fails > 1<<14 {
+					break
+				}
+			}
+			results[pl] = mine
+		}(pl)
+	}
+	wg.Wait()
+	// Quiescent final drain: whatever remains must surface now.
+	leftovers := popAllBatched(d, 0, 8, 1<<15)
+	seen := map[int64]int{}
+	total := 0
+	for _, res := range results {
+		for _, v := range res {
+			seen[v]++
+			total++
+		}
+	}
+	for _, v := range leftovers {
+		seen[v]++
+		total++
+	}
+	if int64(total) != produced.Load() {
+		t.Fatalf("popped %d tasks, produced %d", total, produced.Load())
 	}
 	for v, c := range seen {
 		if c != 1 {

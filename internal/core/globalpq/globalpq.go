@@ -78,7 +78,86 @@ func (d *DS[T]) Pop(pl int) (v T, ok bool) {
 	}
 }
 
+// PushK stores every element of vs under a single acquisition of the
+// global lock — the one batching win a strict shared heap can offer.
+func (d *DS[T]) PushK(pl int, k int, vs []T) {
+	_ = k
+	if len(vs) == 0 {
+		return
+	}
+	d.mu.Lock()
+	for _, v := range vs {
+		d.heap.Push(v)
+	}
+	d.mu.Unlock()
+	c := &d.ctrs[pl]
+	c.Pushes.Add(int64(len(vs)))
+	c.BatchPushes.Add(1)
+}
+
+// maxPopKAlloc caps the buffer one PopK call allocates; returning fewer
+// than max tasks is within the "up to max" contract.
+const maxPopKAlloc = 256
+
+// PopK removes up to max tasks in priority order under a single
+// acquisition of the global lock, eliminating stale tasks on the way.
+// At most maxPopKAlloc tasks are returned per call.
+func (d *DS[T]) PopK(pl int, max int) []T {
+	if max < 1 {
+		return nil
+	}
+	if max > maxPopKAlloc {
+		max = maxPopKAlloc
+	}
+	buf := make([]T, max)
+	got := d.PopKInto(pl, buf)
+	if got == 0 {
+		return nil
+	}
+	return buf[:got]
+}
+
+// PopKInto is the allocation-free batch pop (core.BatchPopIntoer): it
+// fills out with up to len(out) tasks under one lock acquisition and
+// returns the count obtained.
+func (d *DS[T]) PopKInto(pl int, out []T) int {
+	if len(out) == 0 {
+		return 0
+	}
+	c := &d.ctrs[pl]
+	got := 0
+	d.mu.Lock()
+	for got < len(out) {
+		v, ok := d.heap.Pop()
+		if !ok {
+			break
+		}
+		if d.opts.Stale != nil && d.opts.Stale(v) {
+			c.Eliminated.Add(1)
+			if d.opts.OnEliminate != nil {
+				d.opts.OnEliminate(v)
+			}
+			continue
+		}
+		out[got] = v
+		got++
+	}
+	d.mu.Unlock()
+	if got == 0 {
+		c.PopFailures.Add(1)
+		return 0
+	}
+	c.Pops.Add(int64(got))
+	if len(out) > 1 {
+		c.BatchPops.Add(1)
+	}
+	return got
+}
+
 // Stats aggregates the per-place counters.
 func (d *DS[T]) Stats() core.Stats { return core.SumCounters(d.ctrs) }
 
-var _ core.DS[int] = (*DS[int])(nil)
+var (
+	_ core.DS[int]      = (*DS[int])(nil)
+	_ core.BatchDS[int] = (*DS[int])(nil)
+)

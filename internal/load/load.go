@@ -139,6 +139,19 @@ type Config struct {
 	// RankSample measures rank error on every RankSample-th executed
 	// task (default 1: every task).
 	RankSample int
+	// Batch is the operation batch size (default 1: unbatched). It sets
+	// both ends of the pipeline: producers buffer Batch drawn tasks and
+	// submit them through Scheduler.SubmitAll in one injector episode,
+	// and workers pop up to Batch tasks per data structure lock episode
+	// (sched.Config.Batch). Tasks keep their arrival-instant timestamps
+	// while buffered, so batching delay shows up in the sojourn
+	// percentiles rather than being hidden. For ClosedLoop, Batch must
+	// not exceed Window (a producer buffering more tasks than its
+	// outstanding budget would deadlock on its own tokens).
+	Batch int
+	// Stickiness is the relaxed strategies' per-place lane stickiness S
+	// (default: re-sample every operation). Ignored by the others.
+	Stickiness int
 	// Seed drives all randomization.
 	Seed uint64
 }
@@ -149,12 +162,14 @@ const rankBuckets = 256
 
 // Result is the instrumented outcome of one generator run.
 type Result struct {
-	Strategy  string `json:"strategy"`
-	Arrival   string `json:"arrival"`
-	Dist      string `json:"dist"`
-	Places    int    `json:"places"`
-	Producers int    `json:"producers"`
-	K         int    `json:"k"`
+	Strategy   string `json:"strategy"`
+	Arrival    string `json:"arrival"`
+	Dist       string `json:"dist"`
+	Places     int    `json:"places"`
+	Producers  int    `json:"producers"`
+	K          int    `json:"k"`
+	Batch      int    `json:"batch"`
+	Stickiness int    `json:"stickiness"`
 
 	TargetRate float64 `json:"target_rate"` // tasks/s requested (0 for closed-loop)
 	Submitted  int64   `json:"submitted"`
@@ -166,6 +181,10 @@ type Result struct {
 
 	// SojournNs summarizes submission-to-execution latency, nanoseconds.
 	SojournNs stats.Summary `json:"sojourn_ns"`
+	// RankErr is the full percentile summary of the sampled pop rank
+	// error (the tail matters: relaxation knobs trade p99 rank error
+	// for throughput).
+	RankErr stats.Summary `json:"rank_err"`
 	// RankErrMean/Max summarize the sampled pop rank error.
 	RankErrMean    float64 `json:"rank_err_mean"`
 	RankErrMax     int64   `json:"rank_err_max"`
@@ -209,12 +228,18 @@ func (c Config) withDefaults() (Config, error) {
 	if c.RankSample == 0 {
 		c.RankSample = 1
 	}
+	if c.Batch == 0 {
+		c.Batch = 1
+	}
 	if c.Places < 1 || c.Producers < 1 {
 		return c, fmt.Errorf("load: Places/Producers must be ≥ 1")
 	}
 	if c.Rate < 0 || c.Duration < 0 || c.Window < 1 || c.WorkSpin < 0 || c.RankSample < 1 ||
-		c.OnPeriod <= 0 || c.OffPeriod < 0 {
+		c.OnPeriod <= 0 || c.OffPeriod < 0 || c.Batch < 1 || c.Stickiness < 0 {
 		return c, fmt.Errorf("load: negative parameter")
+	}
+	if c.Arrival == ClosedLoop && c.Batch > c.Window {
+		return c, fmt.Errorf("load: Batch %d exceeds closed-loop Window %d (a producer would deadlock on its own tokens)", c.Batch, c.Window)
 	}
 	if c.PrioRange&(c.PrioRange-1) != 0 || c.PrioRange < rankBuckets {
 		return c, fmt.Errorf("load: PrioRange %d must be a power of two ≥ %d", c.PrioRange, rankBuckets)
@@ -261,7 +286,7 @@ func (tr *tracker) now() int64 { return int64(time.Since(tr.epoch)) }
 
 // onExecute is the scheduler's Execute hook: latency, rank error,
 // synthetic work, closed-loop completion.
-func (tr *tracker) onExecute(hist *stats.Histogram, t Task) {
+func (tr *tracker) onExecute(hist, rankHist *stats.Histogram, t Task) {
 	hist.Observe(float64(tr.now() - t.Enq))
 
 	b := t.Prio >> tr.bshift
@@ -276,6 +301,7 @@ func (tr *tracker) onExecute(hist *stats.Histogram, t Task) {
 			// sum negative; clamp rather than pollute the mean.
 			better = 0
 		}
+		rankHist.Observe(float64(better))
 		tr.rankSum.Add(better)
 		tr.rankCount.Add(1)
 		for {
@@ -320,18 +346,37 @@ func (tr *tracker) drawPrio(rng *xrand.Rand, at int64) int64 {
 	}
 }
 
-// submit draws a priority, registers the task in the live tracker, and
-// hands it to the scheduler.
-func (tr *tracker) submit(s *sched.Scheduler[Task], rng *xrand.Rand) error {
+// enqueue draws a priority at the current arrival instant and buffers
+// the task, flushing when the batch is full. It returns the (possibly
+// reset) buffer.
+func (tr *tracker) enqueue(s *sched.Scheduler[Task], rng *xrand.Rand, buf []Task) ([]Task, error) {
 	at := tr.now()
-	prio := tr.drawPrio(rng, at)
-	tr.live[prio>>tr.bshift].Add(1)
-	if err := s.Submit(Task{Prio: prio, Enq: at}); err != nil {
-		tr.live[prio>>tr.bshift].Add(-1)
-		return err
+	buf = append(buf, Task{Prio: tr.drawPrio(rng, at), Enq: at})
+	if len(buf) >= tr.cfg.Batch {
+		return tr.flush(s, buf)
 	}
-	tr.submitted.Add(1)
-	return nil
+	return buf, nil
+}
+
+// flush submits the buffered tasks as one batch, registering them in
+// the live tracker only once they are actually in the scheduler. On
+// rejection the registration is rolled back and the buffer kept, so the
+// caller sees exactly which tasks never made it.
+func (tr *tracker) flush(s *sched.Scheduler[Task], buf []Task) ([]Task, error) {
+	if len(buf) == 0 {
+		return buf, nil
+	}
+	for _, t := range buf {
+		tr.live[t.Prio>>tr.bshift].Add(1)
+	}
+	if err := s.SubmitAll(buf); err != nil {
+		for _, t := range buf {
+			tr.live[t.Prio>>tr.bshift].Add(-1)
+		}
+		return buf, err
+	}
+	tr.submitted.Add(int64(len(buf)))
+	return buf[:0], nil
 }
 
 // pace blocks until target (nanoseconds since epoch): sleeps for the
@@ -351,9 +396,12 @@ func (tr *tracker) pace(target int64) {
 	}
 }
 
-// produce runs one producer until the duration deadline.
+// produce runs one producer until the duration deadline, flushing any
+// partially filled batch before returning.
 func (tr *tracker) produce(s *sched.Scheduler[Task], rng *xrand.Rand) error {
 	deadline := int64(tr.cfg.Duration)
+	buf := make([]Task, 0, tr.cfg.Batch)
+	var err error
 	switch tr.cfg.Arrival {
 	case ClosedLoop:
 		timeout := time.NewTimer(tr.cfg.Duration)
@@ -361,14 +409,19 @@ func (tr *tracker) produce(s *sched.Scheduler[Task], rng *xrand.Rand) error {
 		for {
 			select {
 			case <-tr.tokens:
+				// The token is not returned: a buffered task already
+				// counts against the outstanding-task budget (hence the
+				// Batch ≤ Window validation).
 				if tr.now() >= deadline {
-					return nil
+					_, err = tr.flush(s, buf)
+					return err
 				}
-				if err := tr.submit(s, rng); err != nil {
+				if buf, err = tr.enqueue(s, rng, buf); err != nil {
 					return err
 				}
 			case <-timeout.C:
-				return nil
+				_, err = tr.flush(s, buf)
+				return err
 			}
 		}
 	case Bursty:
@@ -383,10 +436,11 @@ func (tr *tracker) produce(s *sched.Scheduler[Task], rng *xrand.Rand) error {
 			t := int64(onTime)
 			wall := (t/on)*(on+off) + t%on
 			if wall >= deadline {
-				return nil
+				_, err = tr.flush(s, buf)
+				return err
 			}
 			tr.pace(wall)
-			if err := tr.submit(s, rng); err != nil {
+			if buf, err = tr.enqueue(s, rng, buf); err != nil {
 				return err
 			}
 		}
@@ -397,10 +451,11 @@ func (tr *tracker) produce(s *sched.Scheduler[Task], rng *xrand.Rand) error {
 			at += expInterval(rng, rate)
 			target := int64(at)
 			if target >= deadline {
-				return nil
+				_, err = tr.flush(s, buf)
+				return err
 			}
 			tr.pace(target)
-			if err := tr.submit(s, rng); err != nil {
+			if buf, err = tr.enqueue(s, rng, buf); err != nil {
 				return err
 			}
 		}
@@ -424,18 +479,24 @@ func Run(cfg Config) (Result, error) {
 	}
 	tr := newTracker(cfg)
 	hists := make([]*stats.Histogram, cfg.Places)
+	rankHists := make([]*stats.Histogram, cfg.Places)
 	for i := range hists {
 		hists[i] = stats.NewHistogram()
+		rankHists[i] = stats.NewHistogram()
 	}
 
 	s, err := sched.New(sched.Config[Task]{
-		Places:     cfg.Places,
-		Strategy:   cfg.Strategy,
-		K:          cfg.K,
-		Less:       func(a, b Task) bool { return a.Prio < b.Prio },
-		Execute:    func(ctx *sched.Ctx[Task], t Task) { tr.onExecute(hists[ctx.Place()], t) },
+		Places:   cfg.Places,
+		Strategy: cfg.Strategy,
+		K:        cfg.K,
+		Less:     func(a, b Task) bool { return a.Prio < b.Prio },
+		Execute: func(ctx *sched.Ctx[Task], t Task) {
+			tr.onExecute(hists[ctx.Place()], rankHists[ctx.Place()], t)
+		},
 		LocalQueue: cfg.LocalQueue,
 		Injectors:  cfg.Producers,
+		Batch:      cfg.Batch,
+		Stickiness: cfg.Stickiness,
 		Seed:       cfg.Seed,
 	})
 	if err != nil {
@@ -470,8 +531,10 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	merged := stats.NewHistogram()
-	for _, h := range hists {
-		merged.Merge(h)
+	mergedRank := stats.NewHistogram()
+	for i := range hists {
+		merged.Merge(hists[i])
+		mergedRank.Merge(rankHists[i])
 	}
 	res := Result{
 		Strategy:       cfg.Strategy.String(),
@@ -480,10 +543,13 @@ func Run(cfg Config) (Result, error) {
 		Places:         cfg.Places,
 		Producers:      cfg.Producers,
 		K:              cfg.K,
+		Batch:          cfg.Batch,
+		Stickiness:     cfg.Stickiness,
 		Submitted:      tr.submitted.Load(),
 		Executed:       st.Executed,
 		ElapsedSec:     st.Elapsed.Seconds(),
 		SojournNs:      merged.Summarize(),
+		RankErr:        mergedRank.Summarize(),
 		RankErrMax:     tr.rankMax.Load(),
 		RankErrSamples: tr.rankCount.Load(),
 		DS:             st.DS,

@@ -8,8 +8,9 @@
 //
 // Design: C·P sequential priority queues ("lanes"), each guarded by a
 // try-lock, each advertising its current minimum in a lock-free-readable
-// cache slot. A push inserts into a random lane. A pop selects a lane by
-// sampling the advertised minima and pops that lane's minimum.
+// cache slot. A push inserts into a lane chosen per the stickiness policy.
+// A pop selects a lane by sampling the advertised minima and pops that
+// lane's minimum.
 //
 // Two sampling modes:
 //
@@ -29,12 +30,33 @@
 //     this mode trades the paper's provable bounds for raw throughput.
 //     The EXT-STRUCT benchmarks quantify the difference.
 //
+// Two further MultiQueue optimizations (Postnikova, Kokorin, Alistarh,
+// Aksenov, "Multi-Queues Can Be State-of-the-Art Priority Schedulers")
+// are implemented on top:
+//
+//   - Stickiness: each place reuses its last push lane and last pop lane
+//     for up to S consecutive operations before re-sampling (and abandons
+//     a sticky lane immediately on a failed try-lock or an emptied lane).
+//     S = 1 (the default) is the classic unsticky behavior; larger S
+//     buys cache locality and fewer random re-samples at the price of a
+//     proportionally larger expected rank error.
+//
+//   - Operation batching: the native BatchDS implementation stores a
+//     whole push buffer (PushK) or drains up to max items (PopK) under a
+//     single lane lock acquisition, amortizing the lock and the minimum
+//     re-advertisement across the batch.
+//
 // Failed try-locks and empty samples surface as spurious pop failures,
-// which the scheduling model explicitly allows (§2.1). The per-task k is
-// ignored: relaxation here is a property of construction, not of tasks.
+// which the scheduling model explicitly allows (§2.1); the number of
+// re-sampling rounds one pop may attempt after losing such a race is
+// capped at maxPopRetries, and the retries are surfaced through
+// core.Stats.PopRetries so schedulers can fold them into their backoff
+// policy. The per-task k is ignored: relaxation here is a property of
+// construction, not of tasks.
 package relaxed
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -46,6 +68,16 @@ import (
 // DefaultLaneFactor is the number of lanes per place (the "C" above).
 const DefaultLaneFactor = 4
 
+// DefaultStickiness re-samples a lane on every operation — the classic
+// unsticky MultiQueue.
+const DefaultStickiness = 1
+
+// maxPopRetries caps how many times one pop may re-read the lane minima
+// after losing a try-lock or pop race. Beyond the cap the pop falls back
+// to a single deterministic sweep and then fails spuriously; without a
+// cap, a pop racing a faster popper could re-sample indefinitely.
+const maxPopRetries = 3
+
 // SampleMode selects how pops choose a lane.
 type SampleMode int
 
@@ -55,6 +87,18 @@ const (
 	// SampleTwo compares two random lanes (probabilistic bound).
 	SampleTwo
 )
+
+// Config bundles the construction knobs beyond core.Options.
+type Config struct {
+	// Lanes is the total lane count; 0 selects DefaultLaneFactor·Places.
+	Lanes int
+	// Mode selects the pop sampling policy.
+	Mode SampleMode
+	// Stickiness is the number of consecutive operations a place directs
+	// at one lane before re-sampling (S above); 0 selects
+	// DefaultStickiness, i.e. re-sample every operation.
+	Stickiness int
+}
 
 type lane[T any] struct {
 	mu   sync.Mutex
@@ -72,36 +116,69 @@ func (ln *lane[T]) refreshMin() {
 	}
 }
 
-// DS is the structurally relaxed priority queue. It implements core.DS.
-type DS[T any] struct {
-	opts  core.Options[T]
-	mode  SampleMode
-	lanes []*lane[T]
-	rngs  []*xrand.Rand // one per place
-	ctrs  []core.Counters
+// sticky is one place's lane-affinity state. It is written only by the
+// owning place's goroutine; the pad keeps adjacent places off each
+// other's cache lines.
+type sticky struct {
+	pushLane, pushLeft int
+	popLane, popLeft   int
+	_                  [32]byte
 }
 
-// New constructs the structure with DefaultLaneFactor lanes per place and
-// SampleAll pops.
+// DS is the structurally relaxed priority queue. It implements core.DS
+// and core.BatchDS.
+type DS[T any] struct {
+	opts   core.Options[T]
+	mode   SampleMode
+	stick  int
+	lanes  []*lane[T]
+	rngs   []*xrand.Rand // one per place
+	sticky []sticky      // one per place
+	ctrs   []core.Counters
+}
+
+// New constructs the structure with DefaultLaneFactor lanes per place,
+// SampleAll pops and no stickiness.
 func New[T any](opts core.Options[T]) (*DS[T], error) {
-	return NewWithLanes(opts, DefaultLaneFactor*opts.Places, SampleAll)
+	return NewWithConfig(opts, Config{})
 }
 
 // NewWithLanes constructs the structure with an explicit lane count and
-// sampling mode.
+// sampling mode (and no stickiness). Lane counts below 1 — including 0,
+// which Config would interpret as "use the default" — keep their
+// historical meaning of a single strict lane.
 func NewWithLanes[T any](opts core.Options[T], lanes int, mode SampleMode) (*DS[T], error) {
-	if err := opts.Validate(); err != nil {
-		return nil, err
-	}
 	if lanes < 1 {
 		lanes = 1
 	}
+	return NewWithConfig(opts, Config{Lanes: lanes, Mode: mode})
+}
+
+// NewWithConfig constructs the structure with explicit knobs.
+func NewWithConfig[T any](opts core.Options[T], cfg Config) (*DS[T], error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Stickiness < 0 {
+		return nil, fmt.Errorf("relaxed: Stickiness = %d, must be non-negative", cfg.Stickiness)
+	}
+	if cfg.Stickiness == 0 {
+		cfg.Stickiness = DefaultStickiness
+	}
+	if cfg.Lanes == 0 {
+		cfg.Lanes = DefaultLaneFactor * opts.Places
+	}
+	if cfg.Lanes < 1 {
+		cfg.Lanes = 1
+	}
 	d := &DS[T]{
-		opts:  opts,
-		mode:  mode,
-		lanes: make([]*lane[T], lanes),
-		rngs:  make([]*xrand.Rand, opts.Places),
-		ctrs:  make([]core.Counters, opts.Places),
+		opts:   opts,
+		mode:   cfg.Mode,
+		stick:  cfg.Stickiness,
+		lanes:  make([]*lane[T], cfg.Lanes),
+		rngs:   make([]*xrand.Rand, opts.Places),
+		sticky: make([]sticky, opts.Places),
+		ctrs:   make([]core.Counters, opts.Places),
 	}
 	for i := range d.lanes {
 		d.lanes[i] = &lane[T]{heap: pq.NewBinHeap(opts.Less)}
@@ -116,105 +193,225 @@ func NewWithLanes[T any](opts core.Options[T], lanes int, mode SampleMode) (*DS[
 // Lanes returns the lane count.
 func (d *DS[T]) Lanes() int { return len(d.lanes) }
 
-// Push inserts v into a random lane. The relaxation parameter k is
-// ignored: the structural relaxation is fixed at construction.
+// Stickiness returns the configured per-place lane stickiness S.
+func (d *DS[T]) Stickiness() int { return d.stick }
+
+// Push inserts v into a lane chosen per the stickiness policy. The
+// relaxation parameter k is ignored: the structural relaxation is fixed
+// at construction.
 func (d *DS[T]) Push(pl int, k int, v T) {
 	_ = k
-	r := d.rngs[pl]
-	i := r.Intn(len(d.lanes))
-	for attempts := 0; ; attempts++ {
-		ln := d.lanes[i]
-		if ln.mu.TryLock() {
-			ln.heap.Push(v)
-			ln.refreshMin()
-			ln.mu.Unlock()
-			break
-		}
-		i++
-		if i == len(d.lanes) {
-			i = 0
-		}
-		if attempts == len(d.lanes) {
-			// Every lane contended: block on one to guarantee progress.
-			ln = d.lanes[r.Intn(len(d.lanes))]
-			ln.mu.Lock()
-			ln.heap.Push(v)
-			ln.refreshMin()
-			ln.mu.Unlock()
-			break
-		}
-	}
+	ln := d.lockPushLane(pl)
+	ln.heap.Push(v)
+	ln.refreshMin()
+	ln.mu.Unlock()
 	d.ctrs[pl].Pushes.Add(1)
 }
 
-// Pop selects a lane per the sampling mode and pops its minimum,
-// eliminating stale tasks on the way. A failed try-lock or an empty
-// sample is a spurious failure.
+// PushK inserts every element of vs into one lane under a single lock
+// acquisition, re-advertising the lane minimum once for the whole batch.
+func (d *DS[T]) PushK(pl int, k int, vs []T) {
+	_ = k
+	if len(vs) == 0 {
+		return
+	}
+	ln := d.lockPushLane(pl)
+	for _, v := range vs {
+		ln.heap.Push(v)
+	}
+	ln.refreshMin()
+	ln.mu.Unlock()
+	c := &d.ctrs[pl]
+	c.Pushes.Add(int64(len(vs)))
+	c.BatchPushes.Add(1)
+}
+
+// lockPushLane returns a locked lane for pl's next push episode. The
+// sticky lane is reused while its budget lasts and it is uncontended;
+// otherwise a fresh lane is sampled (counted as a restick), preferring
+// try-locks and blocking on a random lane only when every lane is
+// contended, to guarantee progress.
+func (d *DS[T]) lockPushLane(pl int) *lane[T] {
+	st := &d.sticky[pl]
+	if st.pushLeft > 0 {
+		ln := d.lanes[st.pushLane]
+		if ln.mu.TryLock() {
+			st.pushLeft--
+			return ln
+		}
+		st.pushLeft = 0 // contended: abandon the sticky lane
+	}
+	r := d.rngs[pl]
+	d.ctrs[pl].Resticks.Add(1)
+	n := len(d.lanes)
+	i := r.Intn(n)
+	for attempts := 0; ; attempts++ {
+		ln := d.lanes[i]
+		if ln.mu.TryLock() {
+			st.pushLane, st.pushLeft = i, d.stick-1
+			return ln
+		}
+		i++
+		if i == n {
+			i = 0
+		}
+		if attempts == n {
+			// Every lane contended: block on one to guarantee progress.
+			i = r.Intn(n)
+			ln = d.lanes[i]
+			ln.mu.Lock()
+			st.pushLane, st.pushLeft = i, d.stick-1
+			return ln
+		}
+	}
+}
+
+// Pop selects a lane per the stickiness and sampling policies and pops
+// its minimum, eliminating stale tasks on the way. A failed try-lock or
+// an empty sample is a spurious failure.
 func (d *DS[T]) Pop(pl int) (v T, ok bool) {
+	var buf [1]T
+	if d.popInto(pl, buf[:]) == 0 {
+		var zero T
+		return zero, false
+	}
+	return buf[0], true
+}
+
+// maxPopKAlloc caps the buffer one PopK call allocates. Returning fewer
+// than max tasks is always within the contract ("up to max"), so a huge
+// max on a mostly empty structure must not translate into a huge
+// allocation. Callers on the true hot path use PopKInto instead.
+const maxPopKAlloc = 256
+
+// PopK drains up to max tasks from the chosen lane under one lock
+// acquisition. An empty result is a (possibly spurious) failure. At
+// most maxPopKAlloc tasks are returned per call.
+func (d *DS[T]) PopK(pl int, max int) []T {
+	if max < 1 {
+		return nil
+	}
+	if max > maxPopKAlloc {
+		max = maxPopKAlloc
+	}
+	buf := make([]T, max)
+	got := d.PopKInto(pl, buf)
+	if got == 0 {
+		return nil
+	}
+	return buf[:got]
+}
+
+// PopKInto is the allocation-free batch pop: it fills out with up to
+// len(out) tasks and returns how many it obtained (0 is a possibly
+// spurious failure). The scheduler's batched worker loop uses this with
+// a reusable per-worker buffer (core.BatchPopIntoer).
+func (d *DS[T]) PopKInto(pl int, out []T) int {
+	if len(out) == 0 {
+		return 0
+	}
+	got := d.popInto(pl, out)
+	if got > 0 && len(out) > 1 {
+		d.ctrs[pl].BatchPops.Add(1)
+	}
+	return got
+}
+
+// popInto fills out with up to len(out) popped tasks and returns how
+// many it obtained. Lane selection: sticky lane first, then up to
+// maxPopRetries+1 sampling rounds per the mode, then one deterministic
+// sweep so a nearly drained structure still empties promptly.
+func (d *DS[T]) popInto(pl int, out []T) int {
 	r := d.rngs[pl]
 	c := &d.ctrs[pl]
+	st := &d.sticky[pl]
 	n := len(d.lanes)
 
-	best := -1
-	var bestV T
-	switch d.mode {
-	case SampleTwo:
-		a := r.Intn(n)
-		b := a
-		if n > 1 {
-			b = r.Intn(n - 1)
-			if b >= a {
-				b++
+	// Sticky fast path: reuse the previously sampled lane while its
+	// budget lasts, it advertises work, and its lock is free.
+	if st.popLeft > 0 {
+		ln := d.lanes[st.popLane]
+		if ln.min.Load() != nil && ln.mu.TryLock() {
+			st.popLeft--
+			if got := d.drainLocked(ln, c, out); got > 0 {
+				return got
 			}
 		}
-		for _, i := range [2]int{a, b} {
-			if p := d.lanes[i].min.Load(); p != nil && (best < 0 || d.opts.Less(*p, bestV)) {
-				best, bestV = i, *p
-			}
-		}
-	default: // SampleAll
-		for i := 0; i < n; i++ {
-			if p := d.lanes[i].min.Load(); p != nil && (best < 0 || d.opts.Less(*p, bestV)) {
-				best, bestV = i, *p
-			}
-		}
+		st.popLeft = 0
 	}
 
-	if best >= 0 && d.tryPop(best, c, &v) {
-		return v, true
+	for attempt := 0; attempt <= maxPopRetries; attempt++ {
+		if attempt > 0 {
+			c.PopRetries.Add(1)
+		}
+		best := -1
+		var bestV T
+		switch d.mode {
+		case SampleTwo:
+			a := r.Intn(n)
+			b := a
+			if n > 1 {
+				b = r.Intn(n - 1)
+				if b >= a {
+					b++
+				}
+			}
+			for _, i := range [2]int{a, b} {
+				if p := d.lanes[i].min.Load(); p != nil && (best < 0 || d.opts.Less(*p, bestV)) {
+					best, bestV = i, *p
+				}
+			}
+		default: // SampleAll
+			for i := 0; i < n; i++ {
+				if p := d.lanes[i].min.Load(); p != nil && (best < 0 || d.opts.Less(*p, bestV)) {
+					best, bestV = i, *p
+				}
+			}
+		}
+		if best < 0 {
+			break // sampled lanes advertise empty: go sweep
+		}
+		ln := d.lanes[best]
+		if !ln.mu.TryLock() {
+			continue
+		}
+		if got := d.drainLocked(ln, c, out); got > 0 {
+			st.popLane, st.popLeft = best, d.stick-1
+			c.Resticks.Add(1)
+			return got
+		}
+		// Lost the race to a concurrent pop that emptied the lane.
 	}
-	// Sampled lanes empty or contended: sweep once so a nearly drained
-	// structure still empties promptly.
+
+	// Sampled lanes empty or contended: sweep once.
 	start := r.Intn(n)
 	for off := 0; off < n; off++ {
 		i := start + off
 		if i >= n {
 			i -= n
 		}
-		if d.lanes[i].min.Load() == nil {
+		ln := d.lanes[i]
+		if ln.min.Load() == nil || !ln.mu.TryLock() {
 			continue
 		}
-		if d.tryPop(i, c, &v) {
-			return v, true
+		if got := d.drainLocked(ln, c, out); got > 0 {
+			st.popLane, st.popLeft = i, d.stick-1
+			c.Resticks.Add(1)
+			return got
 		}
 	}
 	c.PopFailures.Add(1)
-	var zero T
-	return zero, false
+	return 0
 }
 
-// tryPop pops the lane minimum under its lock, handling stale tasks.
-func (d *DS[T]) tryPop(i int, c *core.Counters, out *T) bool {
-	ln := d.lanes[i]
-	if !ln.mu.TryLock() {
-		return false
-	}
-	for {
+// drainLocked pops up to len(out) non-stale tasks from ln, which the
+// caller holds locked, then re-advertises the minimum once and unlocks.
+func (d *DS[T]) drainLocked(ln *lane[T], c *core.Counters, out []T) int {
+	got := 0
+	for got < len(out) {
 		v, ok := ln.heap.Pop()
 		if !ok {
-			ln.refreshMin()
-			ln.mu.Unlock()
-			return false
+			break
 		}
 		if d.opts.Stale != nil && d.opts.Stale(v) {
 			c.Eliminated.Add(1)
@@ -223,15 +420,21 @@ func (d *DS[T]) tryPop(i int, c *core.Counters, out *T) bool {
 			}
 			continue
 		}
-		ln.refreshMin()
-		ln.mu.Unlock()
-		c.Pops.Add(1)
-		*out = v
-		return true
+		out[got] = v
+		got++
 	}
+	ln.refreshMin()
+	ln.mu.Unlock()
+	if got > 0 {
+		c.Pops.Add(int64(got))
+	}
+	return got
 }
 
 // Stats aggregates the per-place counters.
 func (d *DS[T]) Stats() core.Stats { return core.SumCounters(d.ctrs) }
 
-var _ core.DS[int] = (*DS[int])(nil)
+var (
+	_ core.DS[int]      = (*DS[int])(nil)
+	_ core.BatchDS[int] = (*DS[int])(nil)
+)

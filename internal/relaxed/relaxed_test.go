@@ -35,6 +35,81 @@ func TestConformanceSampleTwo(t *testing.T) {
 	}, dstest.Flags{NoLocalOrdering: true})
 }
 
+func TestConformanceStickyBatched(t *testing.T) {
+	// The sticky, batched configuration must still satisfy the full
+	// exactly-once contract (including the new batch cases); only strict
+	// local ordering is waived, since a sticky pop intentionally stays on
+	// its lane instead of re-sampling the global minimum.
+	dstest.RunFlags(t, "RelaxedSticky", func(opts core.Options[int64]) (core.DS[int64], error) {
+		d, err := NewWithConfig(opts, Config{Mode: SampleTwo, Stickiness: 4})
+		if err != nil {
+			return nil, err
+		}
+		return d, nil
+	}, dstest.Flags{NoLocalOrdering: true})
+}
+
+// TestStickyPushAffinity pins the stickiness mechanics: with stickiness
+// S, a place's first S pushes land in one lane (a single restick), so a
+// single PopK drains them all, in order, under one lock acquisition.
+func TestStickyPushAffinity(t *testing.T) {
+	const S = 8
+	d, err := NewWithConfig(core.Options[int64]{Places: 1, Less: less, Seed: 3},
+		Config{Lanes: 16, Mode: SampleTwo, Stickiness: S})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Stickiness() != S {
+		t.Fatalf("Stickiness() = %d, want %d", d.Stickiness(), S)
+	}
+	vals := []int64{7, 3, 9, 1, 8, 2, 6, 5}
+	for _, v := range vals {
+		d.Push(0, 0, v)
+	}
+	got := d.PopK(0, S)
+	if len(got) != S {
+		t.Fatalf("PopK returned %d of %d: sticky pushes were scattered across lanes", len(got), S)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("batch out of order at %d: %d after %d (one lane is a strict PQ)", i, got[i], got[i-1])
+		}
+	}
+	s := d.Stats()
+	if s.Resticks != 2 {
+		// One restick for the push affinity episode, one for the pop.
+		t.Fatalf("Stats.Resticks = %d, want 2", s.Resticks)
+	}
+	if s.BatchPops != 1 || s.Pops != S || s.Pushes != S {
+		t.Fatalf("batch counters off: %+v", s)
+	}
+}
+
+// TestBatchCounters pins the native batch accounting: PushK counts one
+// BatchPushes episode and len(vs) Pushes; PopK counts one BatchPops
+// episode and the tasks it returned.
+func TestBatchCounters(t *testing.T) {
+	d, err := NewWithConfig(core.Options[int64]{Places: 1, Less: less, Seed: 4},
+		Config{Lanes: 4, Stickiness: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.PushK(0, 0, []int64{5, 4, 3, 2, 1})
+	d.PushK(0, 0, nil) // no-op, no counter movement
+	if s := d.Stats(); s.Pushes != 5 || s.BatchPushes != 1 {
+		t.Fatalf("after PushK: %+v", s)
+	}
+	if got := d.PopK(0, 3); len(got) != 3 {
+		t.Fatalf("PopK(3) = %v", got)
+	}
+	if got := d.PopK(0, 0); got != nil {
+		t.Fatalf("PopK(0) = %v, want nil", got)
+	}
+	if s := d.Stats(); s.Pops != 3 || s.BatchPops != 1 {
+		t.Fatalf("after PopK: %+v", s)
+	}
+}
+
 func TestSingleLaneIsStrict(t *testing.T) {
 	d, err := NewWithLanes(core.Options[int64]{Places: 1, Less: less, Seed: 1}, 1, SampleTwo)
 	if err != nil {

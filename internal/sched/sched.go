@@ -63,6 +63,11 @@ const (
 	// (ρ = 0), the design the paper's introduction argues against
 	// (Lenharth et al.: contention on the top element).
 	GlobalHeap
+	// RelaxedSampleTwo: the structurally relaxed queue with classic
+	// MultiQueue two-choice sampling (probabilistic rank bound, maximum
+	// throughput). Combined with Config.Stickiness and Config.Batch this
+	// is the sticky, batched MultiQueue of Postnikova et al.
+	RelaxedSampleTwo
 )
 
 // String returns the strategy name used in reports.
@@ -82,6 +87,8 @@ func (s Strategy) String() string {
 		return "hybrid-no-spy"
 	case GlobalHeap:
 		return "global-heap"
+	case RelaxedSampleTwo:
+		return "relaxed-two"
 	default:
 		return fmt.Sprintf("strategy(%d)", int(s))
 	}
@@ -117,6 +124,18 @@ type Config[T any] struct {
 	// identical to a closed-world scheduler — but Start then fails; set
 	// Injectors ≥ 1 (≈ the expected producer count) to serve.
 	Injectors int
+	// Batch is the maximum number of tasks a worker removes from the
+	// data structure per pop episode (core.BatchDS.PopK). 1 (and 0, the
+	// default) selects the classic one-task-per-pop loop; larger values
+	// amortize the structure's synchronization across the batch on
+	// structures with a native PopK, at the price of coarser priority
+	// adherence within a batch.
+	Batch int
+	// Stickiness is the per-place lane stickiness S of the relaxed
+	// strategies (Relaxed, RelaxedSampleTwo): a place reuses its last
+	// lane for up to S consecutive operations before re-sampling. 0
+	// selects the unsticky default (S = 1); other strategies ignore it.
+	Stickiness int
 	// Seed drives all internal randomization.
 	Seed uint64
 }
@@ -138,6 +157,8 @@ type finishRegion struct {
 type Scheduler[T any] struct {
 	cfg      Config[T]
 	ds       core.DS[envelope[T]]
+	bds      core.BatchDS[envelope[T]]        // batch view of ds (adapter when not native)
+	popInto  core.BatchPopIntoer[envelope[T]] // allocation-free pop view; nil when unsupported
 	pending  atomic.Int64
 	active   atomic.Bool
 	elim     atomic.Int64
@@ -178,6 +199,15 @@ func New[T any](cfg Config[T]) (*Scheduler[T], error) {
 	if cfg.Injectors < 0 {
 		return nil, fmt.Errorf("sched: Injectors = %d, must be non-negative", cfg.Injectors)
 	}
+	if cfg.Batch < 0 {
+		return nil, fmt.Errorf("sched: Batch = %d, must be non-negative", cfg.Batch)
+	}
+	if cfg.Batch == 0 {
+		cfg.Batch = 1
+	}
+	if cfg.Stickiness < 0 {
+		return nil, fmt.Errorf("sched: Stickiness = %d, must be non-negative", cfg.Stickiness)
+	}
 	s := &Scheduler[T]{cfg: cfg}
 	for i := 0; i < cfg.Injectors; i++ {
 		// Injector lanes occupy the place ids past the worker places.
@@ -217,7 +247,13 @@ func New[T any](cfg Config[T]) (*Scheduler[T], error) {
 	case HybridNoSpy:
 		ds, err = hybrid.NewNoSpy(opts)
 	case Relaxed:
-		ds, err = relaxed.New(opts)
+		ds, err = relaxed.NewWithConfig(opts, relaxed.Config{
+			Mode: relaxed.SampleAll, Stickiness: cfg.Stickiness,
+		})
+	case RelaxedSampleTwo:
+		ds, err = relaxed.NewWithConfig(opts, relaxed.Config{
+			Mode: relaxed.SampleTwo, Stickiness: cfg.Stickiness,
+		})
 	case GlobalHeap:
 		ds, err = globalpq.New(opts)
 	default:
@@ -227,6 +263,8 @@ func New[T any](cfg Config[T]) (*Scheduler[T], error) {
 		return nil, err
 	}
 	s.ds = ds
+	s.bds = core.AsBatch(ds)
+	s.popInto, _ = ds.(core.BatchPopIntoer[envelope[T]])
 	return s, nil
 }
 
@@ -290,7 +328,16 @@ func (s *Scheduler[T]) Run(roots ...T) (RunStats, error) {
 // applying bounded backoff on spurious pop failures. It is used both by
 // the top-level workers and by places waiting inside a finish region
 // (work-helping), so executed tasks are accounted on the scheduler.
+//
+// With Config.Batch > 1 each pop episode removes up to Batch tasks in
+// one core.BatchDS.PopK call; every task of an obtained batch is
+// executed before the loop re-checks done(), because a popped task is
+// no longer in the structure and skipping it would lose it.
 func (s *Scheduler[T]) workLoop(ctx *Ctx[T], done func() bool) {
+	if s.cfg.Batch > 1 {
+		s.workLoopBatch(ctx, done)
+		return
+	}
 	fails := 0
 	for {
 		if done() {
@@ -303,19 +350,65 @@ func (s *Scheduler[T]) workLoop(ctx *Ctx[T], done func() bool) {
 			continue
 		}
 		fails = 0
-		prev := ctx.fin
-		ctx.fin = e.fin
-		s.cfg.Execute(ctx, e.v)
-		ctx.fin = prev
-		e.fin.pending.Add(-1)
-		s.pending.Add(-1)
-		s.executed.Add(1)
+		s.execute(ctx, e)
 	}
+}
+
+// workLoopBatch is the Batch > 1 variant of workLoop, preferring the
+// allocation-free core.BatchPopIntoer path when the structure provides
+// it. The pop buffer is cached on the place's Ctx so successive entries
+// (one per finish region) reuse it — but an entry takes ownership for
+// its lifetime, because Execute may call Finish and re-enter this loop
+// on the same Ctx while the outer batch still holds unexecuted
+// envelopes: a nested entry finding no cached buffer allocates its own
+// (once, then cached in turn) instead of clobbering the outer one.
+func (s *Scheduler[T]) workLoopBatch(ctx *Ctx[T], done func() bool) {
+	buf := ctx.popBuf
+	if len(buf) < s.cfg.Batch {
+		buf = make([]envelope[T], s.cfg.Batch)
+	}
+	ctx.popBuf = nil
+	defer func() { ctx.popBuf = buf }()
+	fails := 0
+	for {
+		if done() {
+			return
+		}
+		var n int
+		if s.popInto != nil {
+			n = s.popInto.PopKInto(ctx.place, buf)
+		} else {
+			n = copy(buf, s.bds.PopK(ctx.place, s.cfg.Batch))
+		}
+		if n == 0 {
+			fails++
+			backoff(fails)
+			continue
+		}
+		fails = 0
+		for i := 0; i < n; i++ {
+			s.execute(ctx, buf[i])
+		}
+	}
+}
+
+// execute runs one popped envelope and settles the task accounting.
+func (s *Scheduler[T]) execute(ctx *Ctx[T], e envelope[T]) {
+	prev := ctx.fin
+	ctx.fin = e.fin
+	s.cfg.Execute(ctx, e.v)
+	ctx.fin = prev
+	e.fin.pending.Add(-1)
+	s.pending.Add(-1)
+	s.executed.Add(1)
 }
 
 // backoff implements the idle policy: spin briefly, then yield, then
 // sleep. Pops are cheap (a failed pop in the centralized structure is one
-// random probe), so the spin phase is short.
+// random probe, and the relaxed structures cap their internal re-sampling
+// per pop — surfaced as Stats().PopRetries), so the spin phase is short:
+// by the time backoff escalates, the structure has already burned its
+// bounded retry budget and the failure is a real emptiness signal.
 func backoff(fails int) {
 	switch {
 	case fails < 16:
@@ -332,10 +425,11 @@ func (s *Scheduler[T]) Stats() core.Stats { return s.ds.Stats() }
 
 // Ctx is the per-place execution context passed to Execute.
 type Ctx[T any] struct {
-	s     *Scheduler[T]
-	place int
-	fin   *finishRegion
-	rng   *xrand.Rand
+	s      *Scheduler[T]
+	place  int
+	fin    *finishRegion
+	rng    *xrand.Rand
+	popBuf []envelope[T] // cached batch-pop buffer; see workLoopBatch
 }
 
 // Place returns the executing place's id in [0, Places).

@@ -127,6 +127,51 @@ func (s *Scheduler[T]) SubmitK(k int, v T) error {
 	return nil
 }
 
+// SubmitAll stores every element of vs for execution with the
+// scheduler's default k. See SubmitAllK.
+func (s *Scheduler[T]) SubmitAll(vs []T) error { return s.SubmitAllK(s.cfg.K, vs) }
+
+// SubmitAllK stores every element of vs with an explicit per-task
+// relaxation parameter k, as one batch: the whole group is pushed under
+// a single injector-lane lock and — on structures with a native batch
+// path (core.BatchDS.PushK) — a single data structure lock acquisition.
+// Acceptance is all-or-nothing: either every task is accepted (nil) or
+// none is (ErrNotServing). Tasks of one batch land in the structure
+// together, so producers trading latency for throughput should keep
+// batches small relative to their latency budget.
+func (s *Scheduler[T]) SubmitAllK(k int, vs []T) error {
+	if len(vs) == 0 {
+		if !s.accepting.Load() {
+			return ErrNotServing
+		}
+		return nil
+	}
+	if len(vs) == 1 {
+		// The singles path skips the envelope-slice allocation — this
+		// matters because SubmitAll with a 1-element buffer is exactly
+		// what an unbatched producer loop degenerates to.
+		return s.SubmitK(k, vs[0])
+	}
+	n := int64(len(vs))
+	// Count the batch before checking the gate, exactly like SubmitK.
+	s.pending.Add(n)
+	if !s.accepting.Load() {
+		s.pending.Add(-n)
+		return ErrNotServing
+	}
+	s.serveFin.pending.Add(n)
+	s.spawned.Add(n)
+	envs := make([]envelope[T], len(vs))
+	for i, v := range vs {
+		envs[i] = envelope[T]{v: v, fin: s.serveFin}
+	}
+	inj := s.injectors[s.nextInj.Add(1)%uint64(len(s.injectors))]
+	inj.mu.Lock()
+	s.bds.PushK(inj.place, k, envs)
+	inj.mu.Unlock()
+	return nil
+}
+
 // Drain blocks until the scheduler observes a quiescent instant: every
 // task submitted before that instant has been executed (or eliminated).
 // The scheduler keeps serving — Drain does not stop the workers and

@@ -61,6 +61,7 @@ const (
 	WorkStealingStealOne = sched.WorkStealingStealOne
 	HybridNoSpy          = sched.HybridNoSpy
 	GlobalHeap           = sched.GlobalHeap
+	RelaxedSampleTwo     = sched.RelaxedSampleTwo
 )
 
 // LocalQueueKind selects the sequential priority queue used for
@@ -120,6 +121,13 @@ type SchedulerConfig[T any] struct {
 	// closed-world Run is then bit-identical to a scheduler without
 	// serve support — and Start requires Injectors ≥ 1.
 	Injectors int
+	// Batch is the maximum number of tasks a worker pops per data
+	// structure lock episode (default 1; > 1 pays off on strategies
+	// with a native batch path, i.e. the relaxed MultiQueues).
+	Batch int
+	// Stickiness is the relaxed strategies' per-place lane stickiness S
+	// (default: re-sample every operation). Ignored by other strategies.
+	Stickiness int
 	// Seed makes scheduling randomness reproducible.
 	Seed uint64
 }
@@ -154,6 +162,8 @@ func NewScheduler[T any](cfg SchedulerConfig[T]) (*Scheduler[T], error) {
 		Stale:      cfg.Stale,
 		LocalQueue: cfg.LocalQueue,
 		Injectors:  cfg.Injectors,
+		Batch:      cfg.Batch,
+		Stickiness: cfg.Stickiness,
 		Seed:       cfg.Seed,
 		Execute: func(ic *sched.Ctx[T], v T) {
 			cfg.Execute(Ctx[T]{inner: ic}, v)
@@ -207,6 +217,15 @@ func (s *Scheduler[T]) Submit(v T) error { return s.inner.Submit(v) }
 // SubmitK stores v with an explicit per-task relaxation parameter.
 func (s *Scheduler[T]) SubmitK(k int, v T) error { return s.inner.SubmitK(k, v) }
 
+// SubmitAll stores every element of vs as one batch with the default k:
+// one injector-lane lock, and on strategies with a native batch path a
+// single data structure lock acquisition. All-or-nothing acceptance.
+func (s *Scheduler[T]) SubmitAll(vs []T) error { return s.inner.SubmitAll(vs) }
+
+// SubmitAllK stores every element of vs as one batch with an explicit
+// per-task relaxation parameter.
+func (s *Scheduler[T]) SubmitAllK(k int, vs []T) error { return s.inner.SubmitAllK(k, vs) }
+
 // Drain blocks until every task submitted before some quiescent instant
 // has executed. The scheduler keeps serving.
 func (s *Scheduler[T]) Drain() error { return s.inner.Drain() }
@@ -257,6 +276,35 @@ type PriorityDS[T any] interface {
 	Stats() DSStats
 }
 
+// BatchPriorityDS extends PriorityDS with batch operations that amortize
+// synchronization: PushK stores a group of tasks and PopK removes up to
+// max tasks, each in (at best) one lock episode. An empty PopK result is
+// a possibly spurious failure, like Pop's ok == false. Every structure
+// in this repository implements it; AsBatchDS lifts third-party
+// singles-only implementations.
+type BatchPriorityDS[T any] interface {
+	PriorityDS[T]
+	PushK(place int, k int, vs []T)
+	PopK(place int, max int) []T
+}
+
+// AsBatchDS returns d itself when it implements BatchPriorityDS, and
+// otherwise an adapter that loops over the single-task operations.
+func AsBatchDS[T any](d PriorityDS[T]) BatchPriorityDS[T] {
+	if b, ok := d.(BatchPriorityDS[T]); ok {
+		return b
+	}
+	return core.AsBatch[T](dsShim[T]{d})
+}
+
+// dsShim adapts the exported PriorityDS back onto core.DS so core's
+// batch adapter can wrap it. DSStats aliases core.Stats, so the embedded
+// method set satisfies core.DS as-is, and core.BatchDS is structurally
+// identical to BatchPriorityDS.
+type dsShim[T any] struct {
+	PriorityDS[T]
+}
+
 // DSConfig configures a standalone data structure.
 type DSConfig[T any] struct {
 	// Places is the number of cooperating place ids.
@@ -271,6 +319,9 @@ type DSConfig[T any] struct {
 	KMax int
 	// LocalQueue selects the place-local priority queue implementation.
 	LocalQueue LocalQueueKind
+	// Stickiness is the relaxed structures' per-place lane stickiness S
+	// (default: re-sample every operation). Ignored by the others.
+	Stickiness int
 	// Seed drives internal randomization.
 	Seed uint64
 }
@@ -303,7 +354,18 @@ func NewWorkStealingDS[T any](cfg DSConfig[T]) (PriorityDS[T], error) {
 }
 
 // NewRelaxedDS builds the structurally ρ-relaxed priority queue (§5.3
-// extension).
+// extension) with exhaustive minima sampling (SampleAll).
 func NewRelaxedDS[T any](cfg DSConfig[T]) (PriorityDS[T], error) {
-	return relaxed.New(cfg.options())
+	return relaxed.NewWithConfig(cfg.options(), relaxed.Config{
+		Mode: relaxed.SampleAll, Stickiness: cfg.Stickiness,
+	})
+}
+
+// NewRelaxedSampleTwoDS builds the relaxed queue with classic MultiQueue
+// two-choice sampling — the maximum-throughput, probabilistic-bound
+// variant.
+func NewRelaxedSampleTwoDS[T any](cfg DSConfig[T]) (PriorityDS[T], error) {
+	return relaxed.NewWithConfig(cfg.options(), relaxed.Config{
+		Mode: relaxed.SampleTwo, Stickiness: cfg.Stickiness,
+	})
 }
