@@ -510,6 +510,69 @@ func BenchmarkServeSticky(b *testing.B) {
 	}
 }
 
+// BenchmarkServeAdaptive pits the runtime S/B controller against the
+// hand-tuned fixed setting on the sticky benchmark workload (SERVE):
+// the same closed-loop saturation traffic as BenchmarkServeSticky, once
+// with the knobs pinned at the tuned (S=4, B=8), once with the
+// controller starting from the unsticky seeds under a rank-error budget
+// matching what the fixed setting measures (~512 at this scale). The
+// acceptance bar is the adaptive row's tasks/s within 10% of the fixed
+// row while rank_p99 stays under the budget — adaptivity should cost
+// almost nothing at steady state and is what reacts when the workload
+// shifts. final_S/final_B metrics show where the controller landed.
+func BenchmarkServeAdaptive(b *testing.B) {
+	base := load.Config{
+		Strategy:   sched.Strategy(repro.RelaxedSampleTwo),
+		Producers:  8,
+		Duration:   250 * time.Millisecond,
+		Arrival:    load.ClosedLoop,
+		Window:     64,
+		RankSample: 4,
+	}
+	b.Run("relaxed-two/fixed-s4-b8", func(b *testing.B) {
+		var thr, rank float64
+		for i := 0; i < b.N; i++ {
+			cfg := base
+			cfg.Batch, cfg.Stickiness, cfg.Seed = 8, 4, uint64(i)+1
+			res, err := load.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			thr += res.ThroughputPerSec
+			rank += res.RankErr.P99
+		}
+		b.ReportMetric(thr/float64(b.N), "tasks/s")
+		b.ReportMetric(rank/float64(b.N), "rank_p99")
+	})
+	b.Run("relaxed-two/adaptive", func(b *testing.B) {
+		var thr, rank, stick, batch float64
+		for i := 0; i < b.N; i++ {
+			cfg := base
+			// The controller owns the lane stickiness and the worker pop
+			// batch; the producers' submit batch is not a controller knob,
+			// so both rows use the same submit batching and the comparison
+			// isolates what adaptation actually controls.
+			cfg.Batch = 8
+			cfg.Adaptive = true
+			cfg.RankErrorBudget = 512
+			cfg.AdaptInterval = 5 * time.Millisecond
+			cfg.Seed = uint64(i) + 1
+			res, err := load.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			thr += res.ThroughputPerSec
+			rank += res.RankErr.P99
+			stick += float64(res.FinalStickiness)
+			batch += float64(res.FinalBatch)
+		}
+		b.ReportMetric(thr/float64(b.N), "tasks/s")
+		b.ReportMetric(rank/float64(b.N), "rank_p99")
+		b.ReportMetric(stick/float64(b.N), "final_S")
+		b.ReportMetric(batch/float64(b.N), "final_B")
+	})
+}
+
 // BenchmarkServeOpenLoop runs the full load-generator pipeline (SERVE):
 // Poisson arrivals, latency histogram and rank-error tracking — and
 // reports the achieved throughput and sojourn percentiles as metrics.

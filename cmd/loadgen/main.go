@@ -15,6 +15,7 @@
 //	        [-places N] [-k 512] [-arrival poisson|bursty|closed-loop]
 //	        [-dist uniform|skewed|ramp] [-window 64] [-on 10ms] [-off 10ms]
 //	        [-spin 0] [-ranksample 1] [-batch 1] [-stickiness 0]
+//	        [-adaptive] [-rankbudget 0] [-adaptinterval 10ms]
 //	        [-seed 20140215]
 //
 // -strategy, -rate, -producers, -batch and -stickiness accept
@@ -24,6 +25,13 @@
 // workers' pop batch; -stickiness sets the relaxed strategies' lane
 // stickiness S — together they sweep the MultiQueue throughput vs.
 // rank-error trade-off.
+//
+// -adaptive hands both knobs to the runtime controller instead
+// (internal/adapt): -stickiness and -batch become seeds, -rankbudget is
+// the p99 rank-error budget the controller must hold (0 = none), and
+// each JSON result carries the final S/B plus the full per-window trace
+// (adapt_trace) of the controller's trajectory through the run's load
+// phases.
 package main
 
 import (
@@ -140,6 +148,9 @@ func main() {
 		rankSample = flag.Int("ranksample", 1, "measure rank error on every Nth task")
 		batches    = flag.String("batch", "1", "operation batch sizes: producer submit + worker pop batch (comma list)")
 		stickiness = flag.String("stickiness", "0", "relaxed lane stickiness S values, 0 = unsticky (comma list)")
+		adaptive   = flag.Bool("adaptive", false, "let the runtime controller tune S and the pop batch (batch/stickiness become seeds)")
+		rankBudget = flag.Float64("rankbudget", 0, "adaptive: p99 rank-error budget (0 = none)")
+		adaptEvery = flag.Duration("adaptinterval", 0, "adaptive: controller window (0 = default)")
 		seed       = flag.Uint64("seed", 20140215, "base random seed")
 	)
 	flag.Parse()
@@ -176,7 +187,7 @@ func main() {
 
 	var results []load.Result
 	table := &stats.Table{Header: []string{
-		"strategy", "producers", "rate", "batch", "stick", "throughput/s",
+		"strategy", "producers", "rate", "batch", "stick", "S/B-final", "throughput/s",
 		"p50(us)", "p95(us)", "p99(us)", "rank-err-mean", "rank-err-p99", "rank-err-max",
 	}}
 	for _, strat := range stratList {
@@ -192,25 +203,28 @@ func main() {
 						sticks = stickList[:1]
 					}
 					for _, stick := range sticks {
-						fmt.Fprintf(os.Stderr, "loadgen: %s producers=%d rate=%.0f batch=%d stickiness=%d arrival=%s dist=%s duration=%s\n",
-							strat, np, rate, batch, stick, arr, pd, *duration)
+						fmt.Fprintf(os.Stderr, "loadgen: %s producers=%d rate=%.0f batch=%d stickiness=%d adaptive=%v arrival=%s dist=%s duration=%s\n",
+							strat, np, rate, batch, stick, *adaptive, arr, pd, *duration)
 						res, err := load.Run(load.Config{
-							Strategy:   strat,
-							Places:     *places,
-							K:          *k,
-							Producers:  np,
-							Duration:   *duration,
-							Arrival:    arr,
-							Rate:       rate,
-							OnPeriod:   *onPeriod,
-							OffPeriod:  *offPeriod,
-							Window:     *window,
-							Dist:       pd,
-							WorkSpin:   *spin,
-							RankSample: *rankSample,
-							Batch:      batch,
-							Stickiness: stick,
-							Seed:       *seed,
+							Strategy:        strat,
+							Places:          *places,
+							K:               *k,
+							Producers:       np,
+							Duration:        *duration,
+							Arrival:         arr,
+							Rate:            rate,
+							OnPeriod:        *onPeriod,
+							OffPeriod:       *offPeriod,
+							Window:          *window,
+							Dist:            pd,
+							WorkSpin:        *spin,
+							RankSample:      *rankSample,
+							Batch:           batch,
+							Stickiness:      stick,
+							Adaptive:        *adaptive,
+							RankErrorBudget: *rankBudget,
+							AdaptInterval:   *adaptEvery,
+							Seed:            *seed,
 						})
 						if err != nil {
 							log.Fatalf("%s: %v", strat, err)
@@ -220,12 +234,17 @@ func main() {
 						if arr == load.ClosedLoop {
 							rateCell = "closed" // the rate flag is ignored
 						}
+						finalCell := "-"
+						if res.Adaptive {
+							finalCell = fmt.Sprintf("%d/%d", res.FinalStickiness, res.FinalBatch)
+						}
 						table.AddRow(
 							res.Strategy,
 							stats.I(int64(res.Producers)),
 							rateCell,
 							stats.I(int64(res.Batch)),
 							stats.I(int64(res.Stickiness)),
+							finalCell,
 							stats.F(res.ThroughputPerSec, 0),
 							stats.F(res.SojournNs.P50/1e3, 1),
 							stats.F(res.SojournNs.P95/1e3, 1),

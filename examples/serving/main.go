@@ -14,13 +14,18 @@
 // Run with:
 //
 //	go run ./examples/serving [-rate 20000] [-producers 4] [-duration 1s]
-//	                          [-batch 1] [-stickiness 0]
+//	                          [-batch 1] [-stickiness 0] [-adaptive]
 //
 // -batch > 1 makes producers submit groups of requests through
 // SubmitAll (one injector episode per group) and workers pop groups per
 // lock episode; -stickiness S makes the relaxed strategies reuse a lane
 // for S consecutive operations. Both trade priority adherence for
 // throughput — compare the relaxed rows as the knobs change.
+//
+// -adaptive hands both knobs to the runtime controller instead: the
+// flags become seeds, and each row reports where the controller drove
+// S and B for that strategy's traffic (the relaxed rows move the lane
+// stickiness; every strategy's pop batch adapts).
 package main
 
 import (
@@ -50,6 +55,7 @@ func main() {
 		duration   = flag.Duration("duration", time.Second, "traffic duration")
 		batch      = flag.Int("batch", 1, "submit/pop batch size (1 = unbatched)")
 		stickiness = flag.Int("stickiness", 0, "relaxed lane stickiness S (0 = unsticky)")
+		adaptive   = flag.Bool("adaptive", false, "auto-tune S and the pop batch at runtime (flags become seeds)")
 	)
 	flag.Parse()
 
@@ -72,6 +78,7 @@ func main() {
 			Injectors:  *producers,
 			Batch:      *batch,
 			Stickiness: *stickiness,
+			Adaptive:   *adaptive,
 			Less:       func(a, b request) bool { return a.prio < b.prio },
 			Execute: func(ctx repro.Ctx[request], r request) {
 				hists[ctx.Place()].Observe(float64(time.Since(epoch) - r.enq))
@@ -154,8 +161,12 @@ func main() {
 			merged.Merge(h)
 		}
 		sum := merged.Summarize()
-		fmt.Printf("%-14s served %6d requests in %7.1f ms   sojourn p50 %7.1fus  p95 %7.1fus  p99 %7.1fus\n",
+		adapted := ""
+		if stick, b, ok := s.AdaptiveState(); ok {
+			adapted = fmt.Sprintf("   adapted S=%d B=%d", stick, b)
+		}
+		fmt.Printf("%-14s served %6d requests in %7.1f ms   sojourn p50 %7.1fus  p95 %7.1fus  p99 %7.1fus%s\n",
 			strategy, st.Executed, st.Elapsed.Seconds()*1e3,
-			sum.P50/1e3, sum.P95/1e3, sum.P99/1e3)
+			sum.P50/1e3, sum.P95/1e3, sum.P99/1e3, adapted)
 	}
 }

@@ -2,7 +2,9 @@ package repro_test
 
 import (
 	"bytes"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro"
 )
@@ -147,5 +149,66 @@ func TestPublicSpinWorkGranularity(t *testing.T) {
 		if res.Dist[i] != want[i] {
 			t.Fatal("distance mismatch")
 		}
+	}
+}
+
+// TestPublicAdaptiveServe drives the adaptive serve mode purely through
+// the facade: custom limits and interval, a burst of traffic, and the
+// AdaptiveState observer — the controller must stay within the
+// configured bounds and report ok only when adaptivity is on.
+func TestPublicAdaptiveServe(t *testing.T) {
+	var executed atomic.Int64
+	s, err := repro.NewScheduler(repro.SchedulerConfig[int64]{
+		Places:         2,
+		Strategy:       repro.RelaxedSampleTwo,
+		Injectors:      2,
+		Adaptive:       true,
+		AdaptiveLimits: repro.AdaptiveLimits{MinStickiness: 1, MaxStickiness: 8, MinBatch: 1, MaxBatch: 16},
+		AdaptInterval:  time.Millisecond,
+		Less:           func(a, b int64) bool { return a < b },
+		Execute:        func(ctx repro.Ctx[int64], v int64) { executed.Add(1) },
+		Seed:           5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.AdaptiveState(); !ok {
+		t.Fatal("AdaptiveState not ok on an adaptive scheduler")
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	const n = 30000
+	for i := int64(0); i < n; i++ {
+		if err := s.Submit(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Executed != n || executed.Load() != n {
+		t.Fatalf("executed %d/%d of %d", st.Executed, executed.Load(), n)
+	}
+	stick, batch, ok := s.AdaptiveState()
+	if !ok || stick < 1 || stick > 8 || batch < 1 || batch > 16 {
+		t.Fatalf("AdaptiveState = %d/%d/%v outside the configured limits", stick, batch, ok)
+	}
+
+	// A non-adaptive facade scheduler reports no adaptive state.
+	fixed, err := repro.NewScheduler(repro.SchedulerConfig[int64]{
+		Places:  1,
+		Less:    func(a, b int64) bool { return a < b },
+		Execute: func(ctx repro.Ctx[int64], v int64) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := fixed.AdaptiveState(); ok {
+		t.Fatal("AdaptiveState ok on a fixed-knob scheduler")
 	}
 }

@@ -1,0 +1,281 @@
+package adapt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+func cfgWith(budget float64) Config {
+	c := Config{RankErrorBudget: budget}
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// TestDecideTable pins the policy branch by branch.
+func TestDecideTable(t *testing.T) {
+	cfg := cfgWith(100)
+	cases := []struct {
+		name string
+		cur  State
+		s    Sample
+		want State
+	}{
+		{
+			name: "idle window holds",
+			cur:  State{Stickiness: 4, Batch: 8},
+			s:    Sample{Pops: 0, Pending: 0, PopFailures: 500, RankErrP99: -1},
+			want: State{Stickiness: 4, Batch: 8},
+		},
+		{
+			name: "good window grows B first",
+			cur:  State{Stickiness: 4, Batch: 8},
+			s:    Sample{Pops: 1000, RankErrP99: 10},
+			want: State{Stickiness: 4, Batch: 16},
+		},
+		{
+			name: "good window grows S once B is maxed",
+			cur:  State{Stickiness: 4, Batch: DefaultMaxBatch},
+			s:    Sample{Pops: 1000, RankErrP99: 10},
+			want: State{Stickiness: 8, Batch: DefaultMaxBatch},
+		},
+		{
+			name: "fully grown holds",
+			cur:  State{Stickiness: DefaultMaxStickiness, Batch: DefaultMaxBatch},
+			s:    Sample{Pops: 1000, RankErrP99: 10},
+			want: State{Stickiness: DefaultMaxStickiness, Batch: DefaultMaxBatch},
+		},
+		{
+			name: "budget breach shrinks B first",
+			cur:  State{Stickiness: 4, Batch: 8},
+			s:    Sample{Pops: 1000, RankErrP99: 101},
+			want: State{Stickiness: 4, Batch: 4},
+		},
+		{
+			name: "budget breach with B at min shrinks S",
+			cur:  State{Stickiness: 4, Batch: 1},
+			s:    Sample{Pops: 1000, RankErrP99: 101},
+			want: State{Stickiness: 2, Batch: 1},
+		},
+		{
+			name: "contention shrinks S even under budget",
+			cur:  State{Stickiness: 8, Batch: 8},
+			s:    Sample{Pops: 1000, PopRetries: 200, RankErrP99: 10},
+			want: State{Stickiness: 4, Batch: 8},
+		},
+		{
+			name: "lane try-lock failures count as contention",
+			cur:  State{Stickiness: 8, Batch: 8},
+			s:    Sample{Pops: 1000, LaneContention: 200, RankErrP99: 10},
+			want: State{Stickiness: 4, Batch: 8},
+		},
+		{
+			name: "baseline contention with S at its floor does not veto batch growth",
+			cur:  State{Stickiness: 1, Batch: 8},
+			s:    Sample{Pops: 1000, LaneContention: 200, RankErrP99: 10},
+			want: State{Stickiness: 1, Batch: 16},
+		},
+		{
+			name: "contention with S at floor still respects the budget",
+			cur:  State{Stickiness: 1, Batch: 8},
+			s:    Sample{Pops: 1000, LaneContention: 200, RankErrP99: 101},
+			want: State{Stickiness: 1, Batch: 4},
+		},
+		{
+			name: "missing rank signal never breaches the budget",
+			cur:  State{Stickiness: 4, Batch: 8},
+			s:    Sample{Pops: 1000, RankErrP99: -1},
+			want: State{Stickiness: 4, Batch: 16},
+		},
+		{
+			name: "out-of-bounds input state is clamped",
+			cur:  State{Stickiness: 0, Batch: 10 * DefaultMaxBatch},
+			s:    Sample{Pops: 0, Pending: 0, RankErrP99: -1},
+			want: State{Stickiness: 1, Batch: DefaultMaxBatch},
+		},
+	}
+	for _, tc := range cases {
+		if got := Decide(cfg, tc.cur, tc.s); got != tc.want {
+			t.Errorf("%s: Decide = %+v, want %+v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestDecideZeroBudgetDisablesCheck(t *testing.T) {
+	cfg := cfgWith(0)
+	got := Decide(cfg, State{Stickiness: 1, Batch: 1}, Sample{Pops: 100, RankErrP99: 1e12})
+	if got.Batch != 2 {
+		t.Fatalf("budget 0 must disable the breach check, got %+v", got)
+	}
+}
+
+// oneStep reports whether next is reachable from cur by at most one
+// Decide move per knob.
+func oneStep(l Limits, cur, next State) bool {
+	cur = l.Clamp(cur)
+	okS := next.Stickiness == cur.Stickiness ||
+		next.Stickiness == StepUp(cur.Stickiness, l.MaxStickiness) ||
+		next.Stickiness == StepDown(cur.Stickiness, l.MinStickiness)
+	okB := next.Batch == cur.Batch ||
+		next.Batch == StepUp(cur.Batch, l.MaxBatch) ||
+		next.Batch == StepDown(cur.Batch, l.MinBatch)
+	return okS && okB
+}
+
+// TestDecideProperties drives random counter/rank-error sequences through
+// Decide via testing/quick and checks the three contract properties: S
+// and B never leave [min, max], never change by more than one step per
+// window, and a zero-contention, under-budget window never decreases B.
+func TestDecideProperties(t *testing.T) {
+	cfg := cfgWith(200)
+	l := cfg.Limits
+	prop := func(seed uint64, n uint8) bool {
+		r := xrand.New(seed)
+		cur := State{
+			Stickiness: 1 + r.Intn(2*DefaultMaxStickiness), // may start out of bounds
+			Batch:      1 + r.Intn(2*DefaultMaxBatch),
+		}
+		for i := 0; i < int(n)+1; i++ {
+			s := Sample{
+				Pops:           int64(r.Intn(100000)),
+				PopFailures:    int64(r.Intn(10000)),
+				PopRetries:     int64(r.Intn(5000)),
+				LaneContention: int64(r.Intn(5000)),
+				Resticks:       int64(r.Intn(5000)),
+				BatchPops:      int64(r.Intn(5000)),
+				Pending:        int64(r.Intn(10000)),
+				RankErrP99:     float64(r.Intn(1000)) - 1,
+			}
+			next := Decide(cfg, cur, s)
+			if next.Stickiness < l.MinStickiness || next.Stickiness > l.MaxStickiness ||
+				next.Batch < l.MinBatch || next.Batch > l.MaxBatch {
+				t.Logf("bounds violated: %+v -> %+v on %+v", cur, next, s)
+				return false
+			}
+			if !oneStep(l, cur, next) {
+				t.Logf("multi-step move: %+v -> %+v on %+v", cur, next, s)
+				return false
+			}
+			clamped := l.Clamp(cur)
+			if !s.idle() && !s.contended(cfg.RetryFrac) && !s.overBudget(cfg.RankErrorBudget) {
+				if next.Batch < clamped.Batch || next.Stickiness < clamped.Stickiness {
+					t.Logf("good window decreased a knob: %+v -> %+v on %+v", cur, next, s)
+					return false
+				}
+			}
+			cur = next
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecideDeterministic: the same (config, state, sample) always
+// produces the same decision — the foundation the simtest replay
+// determinism rests on.
+func TestDecideDeterministic(t *testing.T) {
+	cfg := cfgWith(50)
+	prop := func(stick, batch uint8, pops, retries uint16, rank float64) bool {
+		cur := State{Stickiness: int(stick), Batch: int(batch)}
+		s := Sample{Pops: int64(pops), PopRetries: int64(retries), RankErrP99: math.Abs(rank)}
+		return Decide(cfg, cur, s) == Decide(cfg, cur, s)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStepArithmetic(t *testing.T) {
+	if got := StepUp(1, 64); got != 2 {
+		t.Fatalf("StepUp(1) = %d", got)
+	}
+	if got := StepUp(48, 64); got != 64 {
+		t.Fatalf("StepUp(48, 64) = %d, want saturation at 64", got)
+	}
+	if got := StepUp(0, 64); got != 2 {
+		t.Fatalf("StepUp(0) = %d, want normalization to 2", got)
+	}
+	if got := StepDown(8, 1); got != 4 {
+		t.Fatalf("StepDown(8) = %d", got)
+	}
+	if got := StepDown(1, 1); got != 1 {
+		t.Fatalf("StepDown(1) = %d, want floor 1", got)
+	}
+	if got := StepDown(3, 2); got != 2 {
+		t.Fatalf("StepDown(3, 2) = %d, want floor 2", got)
+	}
+}
+
+func TestControllerStepDeltas(t *testing.T) {
+	ctrl, err := NewController(cfgWith(1000), State{Stickiness: 1, Batch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := ctrl.Step(10*time.Millisecond, Cumulative{Pops: 100, PopRetries: 4, RankErrP99: 5})
+	if w1.Sample.Pops != 100 || w1.Sample.PopRetries != 4 {
+		t.Fatalf("first window sample %+v, want raw cumulative values", w1.Sample)
+	}
+	if w1.State.Batch != 2 {
+		t.Fatalf("good first window: state %+v, want batch growth", w1.State)
+	}
+	w2 := ctrl.Step(20*time.Millisecond, Cumulative{Pops: 250, PopRetries: 4, RankErrP99: 5})
+	if w2.Sample.Pops != 150 || w2.Sample.PopRetries != 0 {
+		t.Fatalf("second window sample %+v, want deltas 150/0", w2.Sample)
+	}
+	if got := ctrl.State(); got != w2.State {
+		t.Fatalf("State() = %+v, trace says %+v", got, w2.State)
+	}
+}
+
+// TestControllerPrime: after priming with a pre-existing counter total,
+// the first Step samples only the activity since the prime — not the
+// whole history.
+func TestControllerPrime(t *testing.T) {
+	ctrl, err := NewController(cfgWith(0), State{Stickiness: 1, Batch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Prime(Cumulative{Pops: 1e9, PopRetries: 1e9, LaneContention: 1e9})
+	w := ctrl.Step(10*time.Millisecond, Cumulative{Pops: 1e9 + 50, PopRetries: 1e9, LaneContention: 1e9})
+	if w.Sample.Pops != 50 || w.Sample.PopRetries != 0 || w.Sample.LaneContention != 0 {
+		t.Fatalf("primed first window sampled history: %+v", w.Sample)
+	}
+	// 50 uncontended pops: a green window, so the batch grows — the
+	// unprimed reading (10^9 retries in one window) would have shrunk S.
+	if w.State.Batch != 2 || w.State.Stickiness != 1 {
+		t.Fatalf("primed first decision %+v, want batch growth", w.State)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Limits: Limits{MinStickiness: 8, MaxStickiness: 4}},
+		{Limits: Limits{MinBatch: 8, MaxBatch: 2}},
+		{Limits: Limits{MinStickiness: -1, MaxStickiness: 4}},
+		{RankErrorBudget: -1},
+		{RetryFrac: -0.5},
+		{Interval: time.Microsecond},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, c)
+		}
+	}
+	var c Config
+	if err := c.Validate(); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+	if c.Limits.MaxBatch != DefaultMaxBatch || c.Interval != DefaultInterval || c.RetryFrac != DefaultRetryFrac {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+	if _, err := NewController(Config{RankErrorBudget: -3}, State{}); err == nil {
+		t.Fatal("NewController accepted an invalid config")
+	}
+}

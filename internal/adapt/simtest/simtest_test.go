@@ -1,0 +1,215 @@
+package simtest
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/adapt"
+)
+
+func mustRun(t *testing.T, cfg adapt.Config, seed adapt.State, phases []Phase) Result {
+	t.Helper()
+	res, err := Run(cfg, seed, phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func seedState() adapt.State { return adapt.State{Stickiness: 1, Batch: 1} }
+
+func budgetCfg() adapt.Config { return adapt.Config{RankErrorBudget: 64} }
+
+// windowsOf filters the trace down to one phase.
+func windowsOf(res Result, phase string) []WindowResult {
+	var out []WindowResult
+	for _, w := range res.Windows {
+		if w.Phase == phase {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// TestPhaseReplayStandard replays the canonical idle → burst → skewed →
+// drain script and asserts the controller's headline behaviors phase by
+// phase: hold through idle, converge upward through the burst, back off
+// monotonically to the budget in the skewed phase, and hold again once
+// the drain empties the backlog.
+func TestPhaseReplayStandard(t *testing.T) {
+	cfg := budgetCfg()
+	res := mustRun(t, cfg, seedState(), StandardPhases())
+
+	// Idle: no signal, no movement from the seeds.
+	for _, w := range windowsOf(res, "idle") {
+		if w.Window.State != seedState() {
+			t.Fatalf("idle phase moved the state to %+v", w.Window.State)
+		}
+	}
+
+	// Burst: convergence. The well-behaved burst must drive the product
+	// S·B up from 1 to at least half the budget (the bang-bang loop
+	// oscillates one step around the ceiling, so half the budget is the
+	// guaranteed floor of the band), and throughput capacity must have
+	// been exploited: the batch knob strictly grew.
+	burst := windowsOf(res, "burst")
+	last := burst[len(burst)-1].Window.State
+	if prod := last.Stickiness * last.Batch; float64(prod) < cfg.RankErrorBudget/2 {
+		t.Fatalf("burst converged to S·B = %d, want ≥ %.0f", prod, cfg.RankErrorBudget/2)
+	}
+	if last.Batch <= seedState().Batch {
+		t.Fatalf("burst did not grow the batch: %+v", last)
+	}
+
+	// Skewed: the rank-error signal jumps 8×, so the controller must
+	// back off until the simulated p99 (BaseRank·S·B) is back under
+	// budget, and must end the phase under budget.
+	skew := windowsOf(res, "skewed")
+	final := skew[len(skew)-1].Window
+	if final.Sample.RankErrP99 > cfg.RankErrorBudget*2 {
+		t.Fatalf("skewed phase ended %.0f over a budget of %.0f", final.Sample.RankErrP99, cfg.RankErrorBudget)
+	}
+	if fp, lp := skew[0].Window.State, final.State; fp.Stickiness*fp.Batch < lp.Stickiness*lp.Batch {
+		t.Fatalf("skewed phase grew S·B from %+v to %+v", fp, lp)
+	}
+
+	// Drain: once the backlog is gone the windows are idle and the state
+	// must freeze.
+	drain := windowsOf(res, "drain")
+	var frozen *adapt.State
+	for i := range drain {
+		if drain[i].Pending == 0 && drain[i].Window.Sample.Pops == 0 {
+			if frozen == nil {
+				frozen = &drain[i].Window.State
+				continue
+			}
+			if drain[i].Window.State != *frozen {
+				t.Fatalf("state moved during empty drain: %+v -> %+v", *frozen, drain[i].Window.State)
+			}
+		}
+	}
+	if frozen == nil {
+		t.Fatal("drain phase never reached emptiness")
+	}
+}
+
+// TestBoundsHeldEverywhere: no window of any phase may leave the limits,
+// and no window may move either knob by more than one step.
+func TestBoundsHeldEverywhere(t *testing.T) {
+	cfg := budgetCfg()
+	res := mustRun(t, cfg, seedState(), StandardPhases())
+	l := adapt.Config{}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	lim := l.Limits
+	prev := lim.Clamp(seedState())
+	for i, w := range res.Windows {
+		st := w.Window.State
+		if st.Stickiness < lim.MinStickiness || st.Stickiness > lim.MaxStickiness ||
+			st.Batch < lim.MinBatch || st.Batch > lim.MaxBatch {
+			t.Fatalf("window %d (%s): state %+v out of bounds", i, w.Phase, st)
+		}
+		okS := st.Stickiness == prev.Stickiness ||
+			st.Stickiness == adapt.StepUp(prev.Stickiness, lim.MaxStickiness) ||
+			st.Stickiness == adapt.StepDown(prev.Stickiness, lim.MinStickiness)
+		okB := st.Batch == prev.Batch ||
+			st.Batch == adapt.StepUp(prev.Batch, lim.MaxBatch) ||
+			st.Batch == adapt.StepDown(prev.Batch, lim.MinBatch)
+		if !okS || !okB {
+			t.Fatalf("window %d (%s): multi-step move %+v -> %+v", i, w.Phase, prev, st)
+		}
+		prev = st
+	}
+}
+
+// TestMonotoneReactions audits every window transition against the
+// decision contract: a red window — over budget, or contended with
+// stickiness room to give back — never grows S·B, and a green window
+// never shrinks it. (Contention with S already at its floor is neither:
+// the controller is allowed to keep tuning B through baseline
+// collisions, subject to the budget.)
+func TestMonotoneReactions(t *testing.T) {
+	cfg := budgetCfg()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, cfg, seedState(), StandardPhases())
+	prev := seedState()
+	for i, w := range res.Windows {
+		s, st := w.Window.Sample, w.Window.State
+		prevProd, prod := prev.Stickiness*prev.Batch, st.Stickiness*st.Batch
+		over := cfg.RankErrorBudget > 0 && s.RankErrP99 >= 0 && s.RankErrP99 > cfg.RankErrorBudget
+		contended := s.Pops+s.PopFailures > 0 &&
+			float64(s.PopRetries+s.LaneContention) > cfg.RetryFrac*float64(s.Pops+s.PopFailures)
+		shrinkableS := prev.Stickiness > cfg.Limits.MinStickiness
+		if (over || (contended && shrinkableS)) && prod > prevProd {
+			t.Fatalf("window %d (%s): red window grew S·B %d -> %d", i, w.Phase, prevProd, prod)
+		}
+		if !over && !contended && prod < prevProd {
+			t.Fatalf("window %d (%s): green window shrank S·B %d -> %d", i, w.Phase, prevProd, prod)
+		}
+		prev = st
+	}
+}
+
+// TestContentionPhaseBacksOffStickiness scripts a phase whose contention
+// model punishes any stickiness above 1: the controller may probe
+// upward, but must end the phase back at S = 1 and never hold S > 1 for
+// long.
+func TestContentionPhaseBacksOffStickiness(t *testing.T) {
+	// No budget: only the contention signal can push back, so the test
+	// isolates that pathway. Batch saturates at the ceiling; stickiness
+	// must keep getting knocked back down to 1.
+	cfg := adapt.Config{}
+	phases := []Phase{
+		{Name: "contended", Windows: 60, Load: Load{
+			Arrivals: 4000, ServiceRate: 1000, BaseRank: 0, Contention: 8.0,
+		}},
+	}
+	res := mustRun(t, cfg, seedState(), phases)
+	var above int
+	for _, w := range windowsOf(res, "contended") {
+		if w.Window.State.Stickiness > 2 {
+			t.Fatalf("contention let S escape to %d", w.Window.State.Stickiness)
+		}
+		if w.Window.State.Stickiness > 1 {
+			above++
+		}
+	}
+	if res.Final.Stickiness > 2 {
+		t.Fatalf("contended phase ended at S = %d, want the bang-bang band [1, 2]", res.Final.Stickiness)
+	}
+	// The bang-bang probe is one window up, one window back: S > 1 can
+	// hold in at most about half the windows.
+	if above > 35 {
+		t.Fatalf("S stayed above 1 for %d of 60 contended windows", above)
+	}
+}
+
+// TestDeterministicReplay: the harness has no clocks and no randomness,
+// so two runs of the same script are bit-identical — the property that
+// makes phase-replay failures reproducible in CI.
+func TestDeterministicReplay(t *testing.T) {
+	cfg := budgetCfg()
+	a := mustRun(t, cfg, seedState(), StandardPhases())
+	b := mustRun(t, cfg, seedState(), StandardPhases())
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two replays of the same script diverged")
+	}
+}
+
+// TestRunValidation rejects malformed scripts and configs.
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(adapt.Config{RankErrorBudget: -1}, seedState(), StandardPhases()); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := Run(adapt.Config{}, seedState(), []Phase{{Name: "empty", Windows: 0}}); err == nil {
+		t.Fatal("zero-window phase accepted")
+	}
+	if _, err := Run(adapt.Config{}, seedState(), []Phase{
+		{Name: "neg", Windows: 1, Load: Load{Arrivals: -1}},
+	}); err == nil {
+		t.Fatal("negative load accepted")
+	}
+}

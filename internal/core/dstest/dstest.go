@@ -58,6 +58,7 @@ func RunFlags(t *testing.T, name string, mk Factory, f Flags) {
 	t.Run(name+"/ConcurrentBatchMix", func(t *testing.T) { concurrentBatchMix(t, mk) })
 	t.Run(name+"/ConcurrentStaleFlips", func(t *testing.T) { concurrentStaleFlips(t, mk) })
 	t.Run(name+"/StatsAccounting", func(t *testing.T) { statsAccounting(t, mk) })
+	t.Run(name+"/CounterConsistency", func(t *testing.T) { counterConsistency(t, mk) })
 	t.Run(name+"/SmallLiveSetChurn", func(t *testing.T) { smallLiveSetChurn(t, mk) })
 	t.Run(name+"/BurstDrainCycles", func(t *testing.T) { burstDrainCycles(t, mk) })
 	t.Run(name+"/ManyPlacesSmoke", func(t *testing.T) { manyPlacesSmoke(t, mk) })
@@ -796,6 +797,149 @@ func monotonePriorities(t *testing.T, mk Factory) {
 		if got[i] < got[i-1] {
 			t.Fatalf("order violated at %d: %d after %d", i, got[i], got[i-1])
 		}
+	}
+}
+
+// monotoneCounters is the set of cumulative counters every structure
+// must only ever grow; counterConsistency's monitor polls them while
+// operations are in flight.
+var monotoneCounters = []struct {
+	name string
+	get  func(core.Stats) int64
+}{
+	{"Pushes", func(s core.Stats) int64 { return s.Pushes }},
+	{"Pops", func(s core.Stats) int64 { return s.Pops }},
+	{"PopFailures", func(s core.Stats) int64 { return s.PopFailures }},
+	{"BatchPushes", func(s core.Stats) int64 { return s.BatchPushes }},
+	{"BatchPops", func(s core.Stats) int64 { return s.BatchPops }},
+	{"PopRetries", func(s core.Stats) int64 { return s.PopRetries }},
+	{"Resticks", func(s core.Stats) int64 { return s.Resticks }},
+	{"Eliminated", func(s core.Stats) int64 { return s.Eliminated }},
+}
+
+// counterConsistency: under a scripted concurrent mix of single and
+// batch push/pop across places, Stats() must stay internally consistent:
+// snapshots taken while operations are in flight are race-clean (this
+// runs under CI's -race lane) and per-counter monotone — PopRetries and
+// friends only ever grow — and at quiescence the item-flow equation
+// holds exactly: every pushed item was returned by a pop (Pushes ==
+// Pops, Eliminated == 0 without a Stale predicate), with the batch
+// counters bounded by the batch calls that could have produced them.
+func counterConsistency(t *testing.T, mk Factory) {
+	places := 4
+	perPlace := 8000
+	if testing.Short() {
+		perPlace = 2000
+	}
+	d := core.AsBatch(mustNew(t, mk, core.Options[int64]{Places: places, Seed: 31}))
+
+	// Monitor: poll Stats() concurrently with the traffic, checking
+	// race-cleanliness and monotonicity of every cumulative counter.
+	stopMon := make(chan struct{})
+	monDone := make(chan struct{})
+	go func() {
+		defer close(monDone)
+		var prev core.Stats
+		for {
+			s := d.Stats()
+			for _, c := range monotoneCounters {
+				if c.get(s) < c.get(prev) {
+					t.Errorf("counter %s shrank: %d -> %d", c.name, c.get(prev), c.get(s))
+					return
+				}
+			}
+			prev = s
+			select {
+			case <-stopMon:
+				return
+			default:
+				// Yield so the polling loop cannot starve the places'
+				// goroutines on small machines.
+				runtime.Gosched()
+			}
+		}
+	}()
+
+	var pushed, popped, pushKCalls, popKCalls atomic.Int64
+	var wg sync.WaitGroup
+	for pl := 0; pl < places; pl++ {
+		wg.Add(1)
+		go func(pl int) {
+			defer wg.Done()
+			r := xrand.New(uint64(pl)*977 + 5)
+			sent := 0
+			fails := 0
+			for sent < perPlace || fails < 1<<14 {
+				if sent < perPlace && r.Intn(2) == 0 {
+					if r.Intn(2) == 0 {
+						n := 1 + r.Intn(8)
+						if n > perPlace-sent {
+							n = perPlace - sent
+						}
+						vs := make([]int64, n)
+						for j := range vs {
+							vs[j] = int64(pl*perPlace + sent)
+							sent++
+						}
+						d.PushK(pl, 1+r.Intn(512), vs)
+						pushKCalls.Add(1)
+						pushed.Add(int64(n))
+					} else {
+						d.Push(pl, 1+r.Intn(512), int64(pl*perPlace+sent))
+						sent++
+						pushed.Add(1)
+					}
+					continue
+				}
+				if r.Intn(2) == 0 {
+					popKCalls.Add(1)
+					if got := d.PopK(pl, 1+r.Intn(8)); len(got) > 0 {
+						popped.Add(int64(len(got)))
+						fails = 0
+						continue
+					}
+				} else if _, ok := d.Pop(pl); ok {
+					popped.Add(1)
+					fails = 0
+					continue
+				}
+				if sent < perPlace {
+					continue
+				}
+				fails++
+			}
+		}(pl)
+	}
+	wg.Wait()
+
+	// Quiescent drain with single pops so the batch-call bookkeeping
+	// above stays exact.
+	leftovers := popAll(d, 0, 1<<15)
+	popped.Add(int64(len(leftovers)))
+	close(stopMon)
+	<-monDone
+
+	s := d.Stats()
+	if s.Pushes != pushed.Load() {
+		t.Fatalf("Stats.Pushes = %d, test pushed %d items", s.Pushes, pushed.Load())
+	}
+	if s.Pops != popped.Load() {
+		t.Fatalf("Stats.Pops = %d, test popped %d items", s.Pops, popped.Load())
+	}
+	if s.Eliminated != 0 {
+		t.Fatalf("Stats.Eliminated = %d without a Stale predicate", s.Eliminated)
+	}
+	if s.Pops != s.Pushes {
+		t.Fatalf("item flow broken at quiescence: pushed %d, popped %d", s.Pushes, s.Pops)
+	}
+	if s.BatchPushes > pushKCalls.Load() {
+		t.Fatalf("Stats.BatchPushes = %d exceeds the %d PushK calls issued", s.BatchPushes, pushKCalls.Load())
+	}
+	if s.BatchPops > popKCalls.Load() {
+		t.Fatalf("Stats.BatchPops = %d exceeds the %d PopK calls issued", s.BatchPops, popKCalls.Load())
+	}
+	if s.PopFailures == 0 {
+		t.Fatal("Stats.PopFailures = 0: the final failed drain loops went uncounted")
 	}
 }
 

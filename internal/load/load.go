@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/core"
 	"repro/internal/sched"
 	"repro/internal/stats"
@@ -152,6 +153,19 @@ type Config struct {
 	// Stickiness is the relaxed strategies' per-place lane stickiness S
 	// (default: re-sample every operation). Ignored by the others.
 	Stickiness int
+	// Adaptive enables the scheduler's runtime S/B controller
+	// (sched.Config.Adaptive): Stickiness and Batch become seeds rather
+	// than fixed settings, and the generator wires a decaying rank-error
+	// estimator (stats.DecayingHist over the sampled pop rank errors)
+	// into the controller as its budget signal. Note Batch keeps setting
+	// the producers' submit batch statically — the controller only moves
+	// the workers' pop batch.
+	Adaptive bool
+	// RankErrorBudget is the controller's p99 rank-error budget
+	// (0: none — the controller grows until contention stops it).
+	RankErrorBudget float64
+	// AdaptInterval is the controller window (0: adapt.DefaultInterval).
+	AdaptInterval time.Duration
 	// Seed drives all randomization.
 	Seed uint64
 }
@@ -189,6 +203,14 @@ type Result struct {
 	RankErrMean    float64 `json:"rank_err_mean"`
 	RankErrMax     int64   `json:"rank_err_max"`
 	RankErrSamples int64   `json:"rank_err_samples"`
+
+	// Adaptive-run extras: the controller's final knob values and its
+	// full per-window (S, B) trace. Absent for fixed-knob runs.
+	Adaptive        bool           `json:"adaptive,omitempty"`
+	RankErrorBudget float64        `json:"rank_error_budget,omitempty"`
+	FinalStickiness int            `json:"final_stickiness,omitempty"`
+	FinalBatch      int            `json:"final_batch,omitempty"`
+	AdaptTrace      []adapt.Window `json:"adapt_trace,omitempty"`
 
 	DS core.Stats `json:"ds"`
 }
@@ -244,6 +266,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.PrioRange&(c.PrioRange-1) != 0 || c.PrioRange < rankBuckets {
 		return c, fmt.Errorf("load: PrioRange %d must be a power of two ≥ %d", c.PrioRange, rankBuckets)
 	}
+	if c.RankErrorBudget < 0 || c.AdaptInterval < 0 {
+		return c, fmt.Errorf("load: negative adaptive parameter")
+	}
 	return c, nil
 }
 
@@ -261,6 +286,10 @@ type tracker struct {
 	submitted atomic.Int64
 	spinSink  atomic.Uint64 // defeats elision of the synthetic work loop
 	tokens    chan struct{} // closed-loop completion semaphore (nil otherwise)
+
+	// decay is the live windowed rank-error estimator feeding the
+	// adaptive controller's budget check (nil for fixed-knob runs).
+	decay *stats.DecayingHist
 }
 
 func newTracker(cfg Config) *tracker {
@@ -302,6 +331,9 @@ func (tr *tracker) onExecute(hist, rankHist *stats.Histogram, t Task) {
 			better = 0
 		}
 		rankHist.Observe(float64(better))
+		if tr.decay != nil {
+			tr.decay.Observe(float64(better))
+		}
 		tr.rankSum.Add(better)
 		tr.rankCount.Add(1)
 		for {
@@ -485,7 +517,7 @@ func Run(cfg Config) (Result, error) {
 		rankHists[i] = stats.NewHistogram()
 	}
 
-	s, err := sched.New(sched.Config[Task]{
+	scfg := sched.Config[Task]{
 		Places:   cfg.Places,
 		Strategy: cfg.Strategy,
 		K:        cfg.K,
@@ -498,7 +530,22 @@ func Run(cfg Config) (Result, error) {
 		Batch:      cfg.Batch,
 		Stickiness: cfg.Stickiness,
 		Seed:       cfg.Seed,
-	})
+	}
+	if cfg.Adaptive {
+		tr.decay = stats.NewDecayingHist()
+		scfg.Adaptive = true
+		scfg.RankErrorBudget = cfg.RankErrorBudget
+		scfg.AdaptInterval = cfg.AdaptInterval
+		// One read per controller window: report the decayed p99, then
+		// age the window so the signal tracks recent pops rather than
+		// the whole run (-1 from an empty estimator means "no signal").
+		scfg.RankSignal = func() float64 {
+			q := tr.decay.Quantile(0.99)
+			tr.decay.Decay()
+			return q
+		}
+	}
+	s, err := sched.New(scfg)
 	if err != nil {
 		return Result{}, err
 	}
@@ -553,6 +600,14 @@ func Run(cfg Config) (Result, error) {
 		RankErrMax:     tr.rankMax.Load(),
 		RankErrSamples: tr.rankCount.Load(),
 		DS:             st.DS,
+	}
+	if cfg.Adaptive {
+		res.Adaptive = true
+		res.RankErrorBudget = cfg.RankErrorBudget
+		if st, b, ok := s.AdaptiveState(); ok {
+			res.FinalStickiness, res.FinalBatch = st, b
+		}
+		res.AdaptTrace = s.AdaptiveTrace()
 	}
 	if cfg.Arrival != ClosedLoop {
 		res.TargetRate = cfg.Rate

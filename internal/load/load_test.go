@@ -116,6 +116,53 @@ func TestRunClosedLoop(t *testing.T) {
 	}
 }
 
+// TestRunAdaptive drives the full adaptive pipeline: closed-loop
+// saturation traffic, the decaying rank-error estimator as the budget
+// signal, and the live S/B controller. The knobs must move off their
+// seeds, every traced window must respect the default limits, and the
+// trace must agree with the reported final state.
+func TestRunAdaptive(t *testing.T) {
+	res, err := Run(Config{
+		Strategy:        sched.RelaxedSampleTwo,
+		Places:          4,
+		Producers:       4,
+		Duration:        2 * shortDur(t),
+		Arrival:         ClosedLoop,
+		Window:          64,
+		Adaptive:        true,
+		RankErrorBudget: 512,
+		AdaptInterval:   2 * time.Millisecond,
+		RankSample:      2,
+		Seed:            9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed != res.Submitted || res.Submitted == 0 {
+		t.Fatalf("executed %d / submitted %d", res.Executed, res.Submitted)
+	}
+	if !res.Adaptive || res.RankErrorBudget != 512 {
+		t.Fatalf("adaptive metadata missing: %+v", res)
+	}
+	if len(res.AdaptTrace) == 0 {
+		t.Fatal("no controller trace recorded")
+	}
+	last := res.AdaptTrace[len(res.AdaptTrace)-1].State
+	if last.Stickiness != res.FinalStickiness || last.Batch != res.FinalBatch {
+		t.Fatalf("trace end %+v disagrees with final S=%d B=%d",
+			last, res.FinalStickiness, res.FinalBatch)
+	}
+	if res.FinalBatch <= 1 && res.FinalStickiness <= 1 {
+		t.Fatal("controller never moved either knob off its seed under saturation")
+	}
+	for i, w := range res.AdaptTrace {
+		if w.State.Stickiness < 1 || w.State.Stickiness > 64 ||
+			w.State.Batch < 1 || w.State.Batch > 64 {
+			t.Fatalf("trace window %d outside default limits: %+v", i, w.State)
+		}
+	}
+}
+
 func TestRankErrorZeroWhenSequential(t *testing.T) {
 	// A closed loop of one: the live set never holds more than one task,
 	// so no popped task can ever have a better-priority task pending and

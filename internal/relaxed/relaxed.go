@@ -78,6 +78,11 @@ const DefaultStickiness = 1
 // cap, a pop racing a faster popper could re-sample indefinitely.
 const maxPopRetries = 3
 
+// MaxPopBatch is the largest batch one PopK call may return (the
+// allocation cap maxPopKAlloc); schedulers validate their batch knobs
+// against it so a configured batch is never silently truncated.
+const MaxPopBatch = maxPopKAlloc
+
 // SampleMode selects how pops choose a lane.
 type SampleMode int
 
@@ -104,7 +109,12 @@ type lane[T any] struct {
 	mu   sync.Mutex
 	heap *pq.BinHeap[T]
 	min  atomic.Pointer[T] // advertised minimum; nil when empty; updated under mu
-	_    [24]byte          // keep lane locks on distinct cache lines
+	// contended counts failed try-lock acquisitions on this lane — the
+	// per-lane contention sample the adaptive stickiness controller
+	// reads. Written only on the try-lock miss path, so the hot
+	// uncontended paths never touch it.
+	contended atomic.Int64
+	_         [16]byte // keep lane locks on distinct cache lines
 }
 
 // refreshMin re-advertises the lane minimum; callers hold mu.
@@ -128,9 +138,14 @@ type sticky struct {
 // DS is the structurally relaxed priority queue. It implements core.DS
 // and core.BatchDS.
 type DS[T any] struct {
-	opts   core.Options[T]
-	mode   SampleMode
-	stick  int
+	opts core.Options[T]
+	mode SampleMode
+	// stick is the live stickiness S. It is atomic so a runtime
+	// controller (internal/adapt via the scheduler) can retune it while
+	// places operate: a place picks up the new S at its next lane
+	// (re-)selection; budgets already granted under the old S run out
+	// naturally.
+	stick  atomic.Int64
 	lanes  []*lane[T]
 	rngs   []*xrand.Rand // one per place
 	sticky []sticky      // one per place
@@ -174,12 +189,12 @@ func NewWithConfig[T any](opts core.Options[T], cfg Config) (*DS[T], error) {
 	d := &DS[T]{
 		opts:   opts,
 		mode:   cfg.Mode,
-		stick:  cfg.Stickiness,
 		lanes:  make([]*lane[T], cfg.Lanes),
 		rngs:   make([]*xrand.Rand, opts.Places),
 		sticky: make([]sticky, opts.Places),
 		ctrs:   make([]core.Counters, opts.Places),
 	}
+	d.stick.Store(int64(cfg.Stickiness))
 	for i := range d.lanes {
 		d.lanes[i] = &lane[T]{heap: pq.NewBinHeap(opts.Less)}
 	}
@@ -193,8 +208,40 @@ func NewWithConfig[T any](opts core.Options[T], cfg Config) (*DS[T], error) {
 // Lanes returns the lane count.
 func (d *DS[T]) Lanes() int { return len(d.lanes) }
 
-// Stickiness returns the configured per-place lane stickiness S.
-func (d *DS[T]) Stickiness() int { return d.stick }
+// Stickiness returns the per-place lane stickiness S currently in force.
+func (d *DS[T]) Stickiness() int { return int(d.stick.Load()) }
+
+// SetStickiness retunes the per-place lane stickiness S live (values
+// below 1 are clamped to 1, the unsticky default). Safe to call from any
+// goroutine concurrently with operations; each place adopts the new S at
+// its next lane selection.
+func (d *DS[T]) SetStickiness(s int) {
+	if s < 1 {
+		s = 1
+	}
+	d.stick.Store(int64(s))
+}
+
+// LaneContention appends the per-lane failed-try-lock counts to out and
+// returns it — the per-lane contention sample behind ContentionTotal,
+// exposed for diagnostics (which lanes are hot) and tests.
+func (d *DS[T]) LaneContention(out []int64) []int64 {
+	for _, ln := range d.lanes {
+		out = append(out, ln.contended.Load())
+	}
+	return out
+}
+
+// ContentionTotal returns the total number of failed lane try-locks —
+// the contention signal the adaptive controller samples alongside
+// Stats().PopRetries.
+func (d *DS[T]) ContentionTotal() int64 {
+	var sum int64
+	for _, ln := range d.lanes {
+		sum += ln.contended.Load()
+	}
+	return sum
+}
 
 // Push inserts v into a lane chosen per the stickiness policy. The
 // relaxation parameter k is ignored: the structural relaxation is fixed
@@ -239,18 +286,21 @@ func (d *DS[T]) lockPushLane(pl int) *lane[T] {
 			st.pushLeft--
 			return ln
 		}
+		ln.contended.Add(1)
 		st.pushLeft = 0 // contended: abandon the sticky lane
 	}
 	r := d.rngs[pl]
 	d.ctrs[pl].Resticks.Add(1)
+	stick := int(d.stick.Load())
 	n := len(d.lanes)
 	i := r.Intn(n)
 	for attempts := 0; ; attempts++ {
 		ln := d.lanes[i]
 		if ln.mu.TryLock() {
-			st.pushLane, st.pushLeft = i, d.stick-1
+			st.pushLane, st.pushLeft = i, stick-1
 			return ln
 		}
+		ln.contended.Add(1)
 		i++
 		if i == n {
 			i = 0
@@ -260,7 +310,7 @@ func (d *DS[T]) lockPushLane(pl int) *lane[T] {
 			i = r.Intn(n)
 			ln = d.lanes[i]
 			ln.mu.Lock()
-			st.pushLane, st.pushLeft = i, d.stick-1
+			st.pushLane, st.pushLeft = i, stick-1
 			return ln
 		}
 	}
@@ -326,15 +376,20 @@ func (d *DS[T]) popInto(pl int, out []T) int {
 	c := &d.ctrs[pl]
 	st := &d.sticky[pl]
 	n := len(d.lanes)
+	stick := int(d.stick.Load())
 
 	// Sticky fast path: reuse the previously sampled lane while its
 	// budget lasts, it advertises work, and its lock is free.
 	if st.popLeft > 0 {
 		ln := d.lanes[st.popLane]
-		if ln.min.Load() != nil && ln.mu.TryLock() {
-			st.popLeft--
-			if got := d.drainLocked(ln, c, out); got > 0 {
-				return got
+		if ln.min.Load() != nil {
+			if ln.mu.TryLock() {
+				st.popLeft--
+				if got := d.drainLocked(ln, c, out); got > 0 {
+					return got
+				}
+			} else {
+				ln.contended.Add(1)
 			}
 		}
 		st.popLeft = 0
@@ -373,10 +428,11 @@ func (d *DS[T]) popInto(pl int, out []T) int {
 		}
 		ln := d.lanes[best]
 		if !ln.mu.TryLock() {
+			ln.contended.Add(1)
 			continue
 		}
 		if got := d.drainLocked(ln, c, out); got > 0 {
-			st.popLane, st.popLeft = best, d.stick-1
+			st.popLane, st.popLeft = best, stick-1
 			c.Resticks.Add(1)
 			return got
 		}
@@ -391,11 +447,15 @@ func (d *DS[T]) popInto(pl int, out []T) int {
 			i -= n
 		}
 		ln := d.lanes[i]
-		if ln.min.Load() == nil || !ln.mu.TryLock() {
+		if ln.min.Load() == nil {
+			continue
+		}
+		if !ln.mu.TryLock() {
+			ln.contended.Add(1)
 			continue
 		}
 		if got := d.drainLocked(ln, c, out); got > 0 {
-			st.popLane, st.popLeft = i, d.stick-1
+			st.popLane, st.popLeft = i, stick-1
 			c.Resticks.Add(1)
 			return got
 		}

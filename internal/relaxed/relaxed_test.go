@@ -1,7 +1,10 @@
 package relaxed
 
 import (
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
@@ -243,5 +246,166 @@ func TestLanesAccessor(t *testing.T) {
 	}
 	if d.Lanes() != 3*DefaultLaneFactor {
 		t.Fatalf("Lanes = %d, want %d", d.Lanes(), 3*DefaultLaneFactor)
+	}
+}
+
+// TestSetStickinessLive pins the adaptive-controller hook: S is
+// swappable at runtime, clamped at 1, and the new budget is what a
+// place's next lane selection gets. A place mid-budget keeps its old
+// grant (the swap is picked up at the next re-selection, not
+// retroactively).
+func TestSetStickinessLive(t *testing.T) {
+	d, err := NewWithConfig(core.Options[int64]{Places: 1, Less: less, Seed: 9},
+		Config{Lanes: 8, Mode: SampleTwo, Stickiness: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Stickiness() != 1 {
+		t.Fatalf("initial Stickiness = %d", d.Stickiness())
+	}
+	d.SetStickiness(4)
+	if d.Stickiness() != 4 {
+		t.Fatalf("after SetStickiness(4): %d", d.Stickiness())
+	}
+	// Four pushes under S=4: one lane selection, so one PopK drains all.
+	for _, v := range []int64{4, 2, 3, 1} {
+		d.Push(0, 0, v)
+	}
+	if got := d.PopK(0, 4); len(got) != 4 {
+		t.Fatalf("PopK after live S=4 got %d of 4: pushes scattered", len(got))
+	}
+	d.SetStickiness(0) // clamps to the unsticky floor
+	if d.Stickiness() != 1 {
+		t.Fatalf("SetStickiness(0) clamped to %d, want 1", d.Stickiness())
+	}
+}
+
+// TestSetStickinessConcurrent swaps S from a tuner goroutine while
+// places push and pop — the -race proof of the controller's apply path,
+// plus exactly-once delivery across the swaps.
+func TestSetStickinessConcurrent(t *testing.T) {
+	const places = 4
+	perPlace := 20000
+	if testing.Short() {
+		perPlace = 5000
+	}
+	d, err := NewWithConfig(core.Options[int64]{Places: places, Less: less, Seed: 10},
+		Config{Mode: SampleTwo, Stickiness: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopTune := make(chan struct{})
+	tunerDone := make(chan struct{})
+	go func() {
+		defer close(tunerDone)
+		s := 1
+		for {
+			select {
+			case <-stopTune:
+				return
+			default:
+				s = s%16 + 1
+				d.SetStickiness(s)
+				_ = d.ContentionTotal()
+				runtime.Gosched()
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	var popped atomic.Int64
+	for pl := 0; pl < places; pl++ {
+		wg.Add(1)
+		go func(pl int) {
+			defer wg.Done()
+			r := xrand.New(uint64(pl) + 77)
+			sent, fails := 0, 0
+			for sent < perPlace || fails < 1<<13 {
+				if sent < perPlace && r.Intn(2) == 0 {
+					d.Push(pl, 0, int64(pl*perPlace+sent))
+					sent++
+					continue
+				}
+				if _, ok := d.Pop(pl); ok {
+					popped.Add(1)
+					fails = 0
+				} else {
+					fails++
+				}
+			}
+		}(pl)
+	}
+	wg.Wait()
+	close(stopTune)
+	<-tunerDone
+	// Quiescent drain: every pushed task must surface exactly once in
+	// total (count only; the dstest suite pins per-value delivery).
+	fails := 0
+	for fails < 1<<14 {
+		if _, ok := d.Pop(0); ok {
+			popped.Add(1)
+			fails = 0
+		} else {
+			fails++
+		}
+	}
+	if got := popped.Load(); got != int64(places*perPlace) {
+		t.Fatalf("delivered %d of %d across live S swaps", got, places*perPlace)
+	}
+}
+
+// TestLaneContentionSampling pins the per-lane contention counters: a
+// quiescent single-place run never fails a try-lock (all zeros), the
+// slice geometry matches the lane count, and under deliberate cross-
+// place hammering of the same small structure the totals are consistent
+// (sum of per-lane == ContentionTotal, counters only grow).
+func TestLaneContentionSampling(t *testing.T) {
+	d, err := NewWithConfig(core.Options[int64]{Places: 1, Less: less, Seed: 11},
+		Config{Lanes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 100; i++ {
+		d.Push(0, 0, i)
+		d.Pop(0)
+	}
+	per := d.LaneContention(nil)
+	if len(per) != d.Lanes() {
+		t.Fatalf("LaneContention returned %d lanes, structure has %d", len(per), d.Lanes())
+	}
+	for i, c := range per {
+		if c != 0 {
+			t.Fatalf("uncontended single-place run recorded contention on lane %d: %d", i, c)
+		}
+	}
+	if d.ContentionTotal() != 0 {
+		t.Fatalf("ContentionTotal = %d on an uncontended run", d.ContentionTotal())
+	}
+
+	// Two places, one lane: every overlapping operation is a try-lock
+	// collision, so heavy concurrent traffic must record some.
+	d2, err := NewWithConfig(core.Options[int64]{Places: 2, Less: less, Seed: 12},
+		Config{Lanes: 1, Stickiness: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for pl := 0; pl < 2; pl++ {
+		wg.Add(1)
+		go func(pl int) {
+			defer wg.Done()
+			for i := 0; i < 50000; i++ {
+				d2.Push(pl, 0, int64(i))
+				d2.Pop(pl)
+			}
+		}(pl)
+	}
+	wg.Wait()
+	per2 := d2.LaneContention(nil)
+	var sum int64
+	for _, c := range per2 {
+		sum += c
+	}
+	if total := d2.ContentionTotal(); total != sum {
+		t.Fatalf("ContentionTotal %d != per-lane sum %d", total, sum)
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/core"
 	"repro/internal/core/centralized"
 	"repro/internal/core/globalpq"
@@ -33,6 +34,24 @@ import (
 	"repro/internal/core/wsprio"
 	"repro/internal/relaxed"
 	"repro/internal/xrand"
+)
+
+// Upper bounds on the tuning knobs. Values beyond these are pathological
+// rather than aggressive — they are rejected by New with a clear error
+// instead of being accepted and then silently truncated or thrashed.
+const (
+	// MaxBatch caps Config.Batch (and the adaptive controller's batch
+	// ceiling) at the structures' native per-call batch capacity: the
+	// relaxed MultiQueues fill at most relaxed.MaxPopBatch tasks per
+	// PopK, so a larger configured batch could never be honored — every
+	// pop episode would quietly return less than asked, and the worker
+	// buffer (one per place, sized Batch) would waste memory for nothing.
+	MaxBatch = relaxed.MaxPopBatch
+	// MaxStickiness caps Config.Stickiness (and the adaptive ceiling): a
+	// place camping on one lane for 2^16 consecutive operations is
+	// indistinguishable from a permanently partitioned queue, which
+	// silently forfeits the relaxed structures' ordering story.
+	MaxStickiness = 1 << 16
 )
 
 // Strategy selects the priority scheduling data structure backing the
@@ -136,6 +155,32 @@ type Config[T any] struct {
 	// lane for up to S consecutive operations before re-sampling. 0
 	// selects the unsticky default (S = 1); other strategies ignore it.
 	Stickiness int
+	// Adaptive enables the runtime feedback controller (internal/adapt)
+	// in serve mode: every AdaptInterval it samples the structure's
+	// counters (pop retries, lane contention, batch pops, pending) plus
+	// the RankSignal estimate and retunes the effective stickiness S and
+	// worker batch B within AdaptiveLimits, seeded from Stickiness and
+	// Batch. S adjustments apply to the relaxed strategies (the others
+	// have no lanes); B adjustments apply to every strategy's worker pop
+	// loop. Closed-world Run is not adapted — it keeps the seeds.
+	Adaptive bool
+	// AdaptiveLimits bounds the controller; zero fields select the
+	// adapt package defaults.
+	AdaptiveLimits adapt.Limits
+	// RankErrorBudget is the controller's p99 rank-error budget: it
+	// backs off whenever RankSignal reports a windowed p99 above it.
+	// 0 disables the budget (the controller grows until contention).
+	RankErrorBudget float64
+	// RankSignal optionally supplies the windowed rank-error p99
+	// estimate the budget is checked against (e.g. a
+	// stats.DecayingHist quantile, as wired by internal/load). It is
+	// called from the controller goroutine once per window; a negative
+	// return means "no signal this window" and skips the budget check.
+	// Nil behaves like a permanently absent signal.
+	RankSignal func() float64
+	// AdaptInterval is the controller's sampling window (0 selects
+	// adapt.DefaultInterval).
+	AdaptInterval time.Duration
 	// Seed drives all internal randomization.
 	Seed uint64
 }
@@ -179,6 +224,27 @@ type Scheduler[T any] struct {
 	serveFin  *finishRegion
 	serveT0   time.Time
 	serveBase RunStats
+
+	// Adaptive-controller state (see serve.go). maxBatch is the worker
+	// pop buffer capacity (the batch ceiling); effBatch is the batch in
+	// force, re-read every pop episode so the controller's moves
+	// propagate live. stickDS/contDS are the relaxed structure's
+	// retuning and contention-sampling hooks (nil for other
+	// strategies). adaptMu guards the controller, its trace and
+	// adaptLast against concurrent observers.
+	maxBatch  int
+	effBatch  atomic.Int32
+	stickDS   interface{ SetStickiness(int) }
+	contDS    interface{ ContentionTotal() int64 }
+	adaptCfg  adapt.Config
+	adaptSeed adapt.State
+	adaptMu   sync.Mutex
+	ctrl      *adapt.Controller
+	ctrlStop  chan struct{}
+	ctrlDone  chan struct{}
+	adaptLast adapt.State
+	trace     []adapt.Window // ring once maxTraceWindows is reached
+	traceHead int            // oldest element when the ring is full
 }
 
 // New constructs a scheduler. The data structure instance is created here
@@ -205,10 +271,47 @@ func New[T any](cfg Config[T]) (*Scheduler[T], error) {
 	if cfg.Batch == 0 {
 		cfg.Batch = 1
 	}
+	if cfg.Batch > MaxBatch {
+		return nil, fmt.Errorf("sched: Batch = %d exceeds the per-episode pop capacity %d (relaxed.MaxPopBatch); larger batches would be silently truncated every episode", cfg.Batch, MaxBatch)
+	}
 	if cfg.Stickiness < 0 {
 		return nil, fmt.Errorf("sched: Stickiness = %d, must be non-negative", cfg.Stickiness)
 	}
+	if cfg.Stickiness > MaxStickiness {
+		return nil, fmt.Errorf("sched: Stickiness = %d exceeds %d; a place would never meaningfully re-sample its lane", cfg.Stickiness, MaxStickiness)
+	}
+	if cfg.RankErrorBudget < 0 {
+		return nil, fmt.Errorf("sched: RankErrorBudget = %v, must be non-negative", cfg.RankErrorBudget)
+	}
 	s := &Scheduler[T]{cfg: cfg}
+	s.maxBatch = cfg.Batch
+	if cfg.Adaptive {
+		acfg := adapt.Config{
+			Limits:          cfg.AdaptiveLimits,
+			RankErrorBudget: cfg.RankErrorBudget,
+			Interval:        cfg.AdaptInterval,
+		}
+		if err := acfg.Validate(); err != nil {
+			return nil, err
+		}
+		if acfg.Limits.MaxBatch > MaxBatch {
+			return nil, fmt.Errorf("sched: AdaptiveLimits.MaxBatch = %d exceeds the per-episode pop capacity %d", acfg.Limits.MaxBatch, MaxBatch)
+		}
+		if acfg.Limits.MaxStickiness > MaxStickiness {
+			return nil, fmt.Errorf("sched: AdaptiveLimits.MaxStickiness = %d exceeds %d", acfg.Limits.MaxStickiness, MaxStickiness)
+		}
+		s.adaptCfg = acfg
+		seed := cfg.Stickiness
+		if seed < 1 {
+			seed = 1
+		}
+		s.adaptSeed = acfg.Limits.Clamp(adapt.State{Stickiness: seed, Batch: cfg.Batch})
+		s.adaptLast = s.adaptSeed
+		if acfg.Limits.MaxBatch > s.maxBatch {
+			s.maxBatch = acfg.Limits.MaxBatch
+		}
+	}
+	s.effBatch.Store(int32(cfg.Batch))
 	for i := 0; i < cfg.Injectors; i++ {
 		// Injector lanes occupy the place ids past the worker places.
 		s.injectors = append(s.injectors, &injector{place: cfg.Places + i})
@@ -265,6 +368,8 @@ func New[T any](cfg Config[T]) (*Scheduler[T], error) {
 	s.ds = ds
 	s.bds = core.AsBatch(ds)
 	s.popInto, _ = ds.(core.BatchPopIntoer[envelope[T]])
+	s.stickDS, _ = ds.(interface{ SetStickiness(int) })
+	s.contDS, _ = ds.(interface{ ContentionTotal() int64 })
 	return s, nil
 }
 
@@ -329,12 +434,14 @@ func (s *Scheduler[T]) Run(roots ...T) (RunStats, error) {
 // the top-level workers and by places waiting inside a finish region
 // (work-helping), so executed tasks are accounted on the scheduler.
 //
-// With Config.Batch > 1 each pop episode removes up to Batch tasks in
-// one core.BatchDS.PopK call; every task of an obtained batch is
-// executed before the loop re-checks done(), because a popped task is
-// no longer in the structure and skipping it would lose it.
+// With a batch ceiling above 1 (Config.Batch > 1, or Config.Adaptive,
+// whose controller may raise the batch at runtime) each pop episode
+// removes up to the currently effective batch in one core.BatchDS.PopK
+// call; every task of an obtained batch is executed before the loop
+// re-checks done(), because a popped task is no longer in the structure
+// and skipping it would lose it.
 func (s *Scheduler[T]) workLoop(ctx *Ctx[T], done func() bool) {
-	if s.cfg.Batch > 1 {
+	if s.maxBatch > 1 {
 		s.workLoopBatch(ctx, done)
 		return
 	}
@@ -354,18 +461,22 @@ func (s *Scheduler[T]) workLoop(ctx *Ctx[T], done func() bool) {
 	}
 }
 
-// workLoopBatch is the Batch > 1 variant of workLoop, preferring the
-// allocation-free core.BatchPopIntoer path when the structure provides
-// it. The pop buffer is cached on the place's Ctx so successive entries
-// (one per finish region) reuse it — but an entry takes ownership for
-// its lifetime, because Execute may call Finish and re-enter this loop
-// on the same Ctx while the outer batch still holds unexecuted
-// envelopes: a nested entry finding no cached buffer allocates its own
-// (once, then cached in turn) instead of clobbering the outer one.
+// workLoopBatch is the batch-ceiling > 1 variant of workLoop, preferring
+// the allocation-free core.BatchPopIntoer path when the structure
+// provides it. The effective batch is re-read from effBatch every
+// episode, so the adaptive controller's moves propagate to the very next
+// pop without any worker coordination. The pop buffer (sized to the
+// ceiling, so a later controller move never needs a reallocation) is
+// cached on the place's Ctx so successive entries (one per finish
+// region) reuse it — but an entry takes ownership for its lifetime,
+// because Execute may call Finish and re-enter this loop on the same Ctx
+// while the outer batch still holds unexecuted envelopes: a nested entry
+// finding no cached buffer allocates its own (once, then cached in turn)
+// instead of clobbering the outer one.
 func (s *Scheduler[T]) workLoopBatch(ctx *Ctx[T], done func() bool) {
 	buf := ctx.popBuf
-	if len(buf) < s.cfg.Batch {
-		buf = make([]envelope[T], s.cfg.Batch)
+	if len(buf) < s.maxBatch {
+		buf = make([]envelope[T], s.maxBatch)
 	}
 	ctx.popBuf = nil
 	defer func() { ctx.popBuf = buf }()
@@ -374,11 +485,18 @@ func (s *Scheduler[T]) workLoopBatch(ctx *Ctx[T], done func() bool) {
 		if done() {
 			return
 		}
+		b := int(s.effBatch.Load())
+		if b < 1 {
+			b = 1
+		}
+		if b > len(buf) {
+			b = len(buf)
+		}
 		var n int
 		if s.popInto != nil {
-			n = s.popInto.PopKInto(ctx.place, buf)
+			n = s.popInto.PopKInto(ctx.place, buf[:b])
 		} else {
-			n = copy(buf, s.bds.PopK(ctx.place, s.cfg.Batch))
+			n = copy(buf, s.bds.PopK(ctx.place, b))
 		}
 		if n == 0 {
 			fails++

@@ -359,6 +359,12 @@ func TestConfigValidation(t *testing.T) {
 		{Places: 2, Less: intLess},
 		{Places: 2, Less: intLess, Execute: exec, K: -1},
 		{Places: 2, Less: intLess, Execute: exec, Strategy: Strategy(99)},
+		// Upper bounds: a batch beyond the structures' per-episode pop
+		// capacity or a stickiness beyond any meaningful re-sampling
+		// horizon is pathological, not aggressive (see
+		// TestConfigKnobUpperBounds for the exact-boundary coverage).
+		{Places: 2, Less: intLess, Execute: exec, Batch: MaxBatch + 1},
+		{Places: 2, Less: intLess, Execute: exec, Stickiness: MaxStickiness + 1},
 	}
 	for i, cfg := range cases {
 		if _, err := New(cfg); err == nil {

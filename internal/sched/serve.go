@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/xrand"
 )
 
@@ -96,9 +97,150 @@ func (s *Scheduler[T]) Start() error {
 			})
 		}(pl, seeds.Split())
 	}
+	if s.cfg.Adaptive {
+		// Each serve session gets a fresh controller at the configured
+		// seeds: sessions are then independent, reproducible experiments
+		// rather than continuations of whatever the last session
+		// converged to.
+		ctrl, err := adapt.NewController(s.adaptCfg, s.adaptSeed)
+		if err != nil {
+			// adaptCfg was validated in New; a failure here is a bug.
+			panic(fmt.Sprintf("sched: adaptive controller: %v", err))
+		}
+		// The structure's counters are cumulative across sessions (and
+		// closed-world Runs); prime the fresh controller with the
+		// current totals so its first window samples this session's
+		// activity, not all of history.
+		ctrl.Prime(s.snapshot())
+		s.adaptMu.Lock()
+		s.ctrl = ctrl
+		s.adaptLast = ctrl.State()
+		s.trace = nil
+		s.traceHead = 0
+		s.adaptMu.Unlock()
+		s.applyKnobs(ctrl.State())
+		s.ctrlStop = make(chan struct{})
+		s.ctrlDone = make(chan struct{})
+		go s.adaptLoop(s.ctrlStop, s.ctrlDone)
+	}
 	s.serving.Store(true)
 	s.accepting.Store(true)
 	return nil
+}
+
+// adaptLoop is the controller goroutine: one adaptTick per interval
+// until Stop closes the stop channel. It lives strictly inside a serve
+// session — Start creates it and Stop joins it before returning.
+func (s *Scheduler[T]) adaptLoop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	t := time.NewTicker(s.adaptCfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			s.adaptTick(time.Since(s.serveT0))
+		}
+	}
+}
+
+// snapshot collects the cumulative counter totals the controller
+// differences into window samples. The rank signal is deliberately not
+// read here: it is a per-window estimate whose read has a side effect
+// (the estimator decays), so only adaptTick consumes it.
+func (s *Scheduler[T]) snapshot() adapt.Cumulative {
+	st := s.ds.Stats()
+	cum := adapt.Cumulative{
+		Pops:        st.Pops,
+		PopFailures: st.PopFailures,
+		PopRetries:  st.PopRetries,
+		Resticks:    st.Resticks,
+		BatchPops:   st.BatchPops,
+		Pending:     s.pending.Load(),
+		RankErrP99:  -1,
+	}
+	if s.contDS != nil {
+		cum.LaneContention = s.contDS.ContentionTotal()
+	}
+	return cum
+}
+
+// maxTraceWindows bounds the retained decision trace: a ring of the
+// most recent windows (~40s of history at the default 10ms interval),
+// so a long-lived serving process does not grow its trace without
+// bound while short experiment runs (loadgen, the benchmarks) keep
+// their full trajectory.
+const maxTraceWindows = 4096
+
+// adaptTick closes one control window: sample the cumulative counters
+// and the rank signal, step the controller, and apply its decision to
+// the live knobs.
+func (s *Scheduler[T]) adaptTick(at time.Duration) {
+	cum := s.snapshot()
+	if s.cfg.RankSignal != nil {
+		cum.RankErrP99 = s.cfg.RankSignal()
+	}
+	s.adaptMu.Lock()
+	w := s.ctrl.Step(at, cum)
+	s.adaptLast = w.State
+	if len(s.trace) < maxTraceWindows {
+		s.trace = append(s.trace, w)
+	} else {
+		s.trace[s.traceHead] = w
+		s.traceHead++
+		if s.traceHead == maxTraceWindows {
+			s.traceHead = 0
+		}
+	}
+	s.adaptMu.Unlock()
+	s.applyKnobs(w.State)
+}
+
+// applyKnobs propagates a controller state to the execution machinery:
+// the worker pop loops pick the batch up on their next episode, the
+// relaxed structure picks the stickiness up on its next lane selection.
+func (s *Scheduler[T]) applyKnobs(st adapt.State) {
+	b := st.Batch
+	if b > s.maxBatch {
+		b = s.maxBatch
+	}
+	if b < 1 {
+		b = 1
+	}
+	s.effBatch.Store(int32(b))
+	if s.stickDS != nil {
+		s.stickDS.SetStickiness(st.Stickiness)
+	}
+}
+
+// AdaptiveState reports the knob setting currently in force (the
+// configured seeds before the first window, the last decision after).
+// ok is false when the scheduler was not built with Config.Adaptive.
+func (s *Scheduler[T]) AdaptiveState() (stickiness, batch int, ok bool) {
+	if !s.cfg.Adaptive {
+		return 0, 0, false
+	}
+	s.adaptMu.Lock()
+	defer s.adaptMu.Unlock()
+	return s.adaptLast.Stickiness, s.adaptLast.Batch, true
+}
+
+// AdaptiveTrace returns a copy of the per-window decision trace of the
+// current (or most recent) serve session, oldest window first — the
+// S/B trajectory loadgen emits alongside its results. Only the most
+// recent maxTraceWindows windows are retained. Nil when Config.Adaptive
+// is off.
+func (s *Scheduler[T]) AdaptiveTrace() []adapt.Window {
+	s.adaptMu.Lock()
+	defer s.adaptMu.Unlock()
+	out := make([]adapt.Window, 0, len(s.trace))
+	out = append(out, s.trace[s.traceHead:]...)
+	out = append(out, s.trace[:s.traceHead]...)
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // Submit stores v for execution by the serving workers with the
@@ -202,6 +344,21 @@ func (s *Scheduler[T]) Stop() (RunStats, error) {
 	s.accepting.Store(false)
 	s.stopping.Store(true)
 	s.workers.Wait()
+	if s.ctrlStop != nil {
+		// Join the controller goroutine, then restore the raw
+		// configured knobs — not the limit-clamped controller seed, so
+		// a closed-world Run behaves identically before and after a
+		// serve session. The trace and AdaptiveState keep reporting the
+		// session's final adapted values.
+		close(s.ctrlStop)
+		<-s.ctrlDone
+		s.ctrlStop, s.ctrlDone = nil, nil
+		stick := s.cfg.Stickiness
+		if stick < 1 {
+			stick = 1 // the relaxed structures' unsticky default
+		}
+		s.applyKnobs(adapt.State{Stickiness: stick, Batch: s.cfg.Batch})
+	}
 	s.started = false
 	s.serving.Store(false)
 	s.active.Store(false)

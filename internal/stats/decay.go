@@ -1,0 +1,92 @@
+package stats
+
+import "sync/atomic"
+
+// DecayingHist is the concurrent, exponentially decaying companion of
+// Histogram, built as the live rank-error estimator behind adaptive
+// tuning: worker places observe one rank-error value per sampled pop
+// from many goroutines at once, and a controller reads a recent-window
+// quantile every few milliseconds. Histogram is single-writer and
+// all-time; this variant is multi-writer (lock-free atomic bucket
+// increments) and windowed-by-decay (Decay halves every bucket, so after
+// each decay the estimate weights the latest window 2×, the one before
+// 4×, and so on — a geometric window whose effective length is about two
+// decay periods).
+//
+// The bucket geometry is shared with Histogram (γ = 1.02, ≈1% relative
+// quantile error), so budgets expressed against loadgen's exact
+// rank-error percentiles carry over unchanged.
+//
+// Concurrency: Observe may race with Quantile and Decay; each bucket is
+// individually atomic, so a concurrent read sees each counter either
+// before or after a given increment. The estimate is a control signal,
+// not an audit trail — per-counter consistency is exactly what it needs.
+type DecayingHist struct {
+	counts []atomic.Int64
+}
+
+// NewDecayingHist returns an empty estimator.
+func NewDecayingHist() *DecayingHist {
+	return &DecayingHist{counts: make([]atomic.Int64, histBuckets)}
+}
+
+// Observe records one value. Lock-free; any number of concurrent
+// callers.
+func (h *DecayingHist) Observe(x float64) {
+	h.counts[bucketOf(x)].Add(1)
+}
+
+// N returns the current decayed weight (the number of observations still
+// counted, each window discounted by its age).
+func (h *DecayingHist) N() int64 {
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Quantile estimates the q-quantile of the decayed distribution.
+// Returns -1 when the estimator holds no weight at all — "no signal",
+// which consumers must distinguish from a measured 0 (a perfectly
+// ordered window).
+func (h *DecayingHist) Quantile(q float64) float64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Snapshot the buckets once so total and rank scan agree with each
+	// other even while writers race.
+	snap := make([]int64, len(h.counts))
+	var n int64
+	for i := range h.counts {
+		snap[i] = h.counts[i].Load()
+		n += snap[i]
+	}
+	if n == 0 {
+		return -1
+	}
+	rank := int64(q * float64(n-1))
+	var seen int64
+	for b, c := range snap {
+		seen += c
+		if seen > rank {
+			return bucketValue(b)
+		}
+	}
+	return bucketValue(histBuckets - 1)
+}
+
+// Decay halves every bucket, aging the accumulated window. Callers
+// invoke it once per control window (typically right after reading the
+// quantile), so the estimate tracks recent behavior instead of the
+// whole run.
+func (h *DecayingHist) Decay() {
+	for i := range h.counts {
+		if c := h.counts[i].Load(); c > 0 {
+			h.counts[i].Add(-(c - c/2))
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDecayingHistEmptyMeansNoSignal(t *testing.T) {
+	h := NewDecayingHist()
+	if got := h.Quantile(0.99); got != -1 {
+		t.Fatalf("empty Quantile = %v, want -1 (no signal)", got)
+	}
+	if h.N() != 0 {
+		t.Fatalf("empty N = %d", h.N())
+	}
+	h.Decay() // decaying emptiness must be a no-op, not a panic
+	if got := h.Quantile(0.5); got != -1 {
+		t.Fatalf("Quantile after empty decay = %v, want -1", got)
+	}
+}
+
+func TestDecayingHistQuantileTracksHistogram(t *testing.T) {
+	h := NewDecayingHist()
+	ref := NewHistogram()
+	for i := 1; i <= 10000; i++ {
+		h.Observe(float64(i))
+		ref.Observe(float64(i))
+	}
+	for _, q := range []float64{0, 0.5, 0.95, 0.99} {
+		got, want := h.Quantile(q), ref.Quantile(q)
+		// Same bucket geometry: the two estimates must agree to within
+		// the shared ~2% bucket width (the Histogram additionally clamps
+		// to observed min/max, hence the tolerance rather than equality).
+		if want > 0 && (got < want*0.95 || got > want*1.05) {
+			t.Fatalf("q=%v: decaying %v vs histogram %v", q, got, want)
+		}
+	}
+}
+
+func TestDecayingHistZeroValues(t *testing.T) {
+	h := NewDecayingHist()
+	for i := 0; i < 100; i++ {
+		h.Observe(0)
+	}
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("all-zero Quantile = %v, want 0", got)
+	}
+}
+
+func TestDecayForgetsOldWindows(t *testing.T) {
+	h := NewDecayingHist()
+	// Window 1: large values.
+	for i := 0; i < 1000; i++ {
+		h.Observe(1e6)
+	}
+	if got := h.Quantile(0.5); got < 0.9e6 {
+		t.Fatalf("fresh window p50 = %v", got)
+	}
+	// Several quiet decay periods followed by a small-value window: the
+	// old spike's weight shrinks geometrically and the median must land
+	// on the new regime.
+	for i := 0; i < 6; i++ {
+		h.Decay()
+	}
+	for i := 0; i < 1000; i++ {
+		h.Observe(10)
+	}
+	if got := h.Quantile(0.5); got > 20 {
+		t.Fatalf("p50 after decay = %v, old window still dominates", got)
+	}
+	// Full decay drains the estimator back to no-signal.
+	for i := 0; i < 64; i++ {
+		h.Decay()
+	}
+	if got := h.Quantile(0.99); got != -1 {
+		t.Fatalf("Quantile after full decay = %v, want -1", got)
+	}
+}
+
+// TestDecayingHistConcurrent hammers Observe from many goroutines while
+// a reader interleaves Quantile and Decay — the exact access pattern of
+// the adaptive controller under -race.
+func TestDecayingHistConcurrent(t *testing.T) {
+	h := NewDecayingHist()
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 50000; i++ {
+				h.Observe(float64((w*50000 + i) % 1024))
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if q := h.Quantile(0.99); q > 1100 {
+				t.Errorf("q99 = %v beyond observed range", q)
+				return
+			}
+			h.Decay()
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	<-readerDone
+}

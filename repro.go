@@ -40,6 +40,7 @@ package repro
 import (
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/core"
 	"repro/internal/core/centralized"
 	"repro/internal/core/hybrid"
@@ -63,6 +64,11 @@ const (
 	GlobalHeap           = sched.GlobalHeap
 	RelaxedSampleTwo     = sched.RelaxedSampleTwo
 )
+
+// AdaptiveLimits bounds the adaptive controller's stickiness and batch
+// knobs (SchedulerConfig.Adaptive): MinStickiness/MaxStickiness and
+// MinBatch/MaxBatch, zero fields selecting the defaults.
+type AdaptiveLimits = adapt.Limits
 
 // LocalQueueKind selects the sequential priority queue used for
 // place-local components.
@@ -128,6 +134,27 @@ type SchedulerConfig[T any] struct {
 	// Stickiness is the relaxed strategies' per-place lane stickiness S
 	// (default: re-sample every operation). Ignored by other strategies.
 	Stickiness int
+	// Adaptive hands Stickiness and Batch to a runtime feedback
+	// controller in serve mode: the configured values become seeds, and
+	// every AdaptInterval (default 10ms) the controller grows the
+	// effective S and B while the structure's contention counters stay
+	// quiet (and, when RankSignal is wired, while the rank-error p99 is
+	// under RankErrorBudget), backing off otherwise. Observe the
+	// trajectory with AdaptiveState.
+	Adaptive bool
+	// AdaptiveLimits bounds the controller's S and B; zero fields
+	// select the defaults (min 1, max 64 for both).
+	AdaptiveLimits AdaptiveLimits
+	// RankErrorBudget is the adaptive controller's p99 rank-error budget
+	// (0 = none: grow until contention).
+	RankErrorBudget float64
+	// RankSignal optionally supplies the windowed rank-error p99
+	// estimate the budget is checked against; negative return values
+	// mean "no signal". Nil disables the budget check.
+	RankSignal func() float64
+	// AdaptInterval is the adaptive controller's sampling window
+	// (0 = the 10ms default).
+	AdaptInterval time.Duration
 	// Seed makes scheduling randomness reproducible.
 	Seed uint64
 }
@@ -154,17 +181,22 @@ type Scheduler[T any] struct {
 // NewScheduler builds a scheduler over the selected data structure.
 func NewScheduler[T any](cfg SchedulerConfig[T]) (*Scheduler[T], error) {
 	inner, err := sched.New(sched.Config[T]{
-		Places:     cfg.Places,
-		Strategy:   cfg.Strategy,
-		K:          cfg.K,
-		KMax:       cfg.KMax,
-		Less:       cfg.Less,
-		Stale:      cfg.Stale,
-		LocalQueue: cfg.LocalQueue,
-		Injectors:  cfg.Injectors,
-		Batch:      cfg.Batch,
-		Stickiness: cfg.Stickiness,
-		Seed:       cfg.Seed,
+		Places:          cfg.Places,
+		Strategy:        cfg.Strategy,
+		K:               cfg.K,
+		KMax:            cfg.KMax,
+		Less:            cfg.Less,
+		Stale:           cfg.Stale,
+		LocalQueue:      cfg.LocalQueue,
+		Injectors:       cfg.Injectors,
+		Batch:           cfg.Batch,
+		Stickiness:      cfg.Stickiness,
+		Adaptive:        cfg.Adaptive,
+		AdaptiveLimits:  cfg.AdaptiveLimits,
+		RankErrorBudget: cfg.RankErrorBudget,
+		RankSignal:      cfg.RankSignal,
+		AdaptInterval:   cfg.AdaptInterval,
+		Seed:            cfg.Seed,
 		Execute: func(ic *sched.Ctx[T], v T) {
 			cfg.Execute(Ctx[T]{inner: ic}, v)
 		},
@@ -248,6 +280,14 @@ func (s *Scheduler[T]) Stop() (RunStats, error) {
 
 // Serving reports whether the scheduler is between Start and Stop.
 func (s *Scheduler[T]) Serving() bool { return s.inner.Serving() }
+
+// AdaptiveState reports the stickiness and batch currently in force
+// under SchedulerConfig.Adaptive (the configured seeds before the first
+// control window, the controller's latest decision after). ok is false
+// when the scheduler is not adaptive.
+func (s *Scheduler[T]) AdaptiveState() (stickiness, batch int, ok bool) {
+	return s.inner.AdaptiveState()
+}
 
 // Pending returns the number of submitted-or-spawned tasks not yet
 // executed — a monitoring/backpressure signal, immediately stale under
