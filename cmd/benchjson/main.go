@@ -12,17 +12,28 @@
 //
 // Parsing: every `Benchmark<Name> <iters> <value> <unit> ...` line is
 // collected; repeated lines for one name (from -count > 1) are
-// aggregated, and each metric reports its median, min and max across
+// aggregated, and each metric reports its median, min, max and
+// coefficient of variation (cv_pct, sample stddev over mean) across
 // runs — medians, like benchstat, so one noisy run cannot fake or mask
-// a regression.
+// a regression, and the CV so the gate knows which rows are stable
+// enough to hold.
 //
 // Comparison: only speed-like metrics gate the build — ns/op (smaller
 // is better) and rate units ending in "/s" (bigger is better). A
 // benchmark regresses when its median moves in the bad direction by
-// more than -max-regress percent. Other metrics (rank errors, counter
-// metrics) are carried in the JSON for trend tracking but never fail
-// the build. Benchmarks present on only one side are reported and
+// more than the row's effective threshold. Other metrics (rank errors,
+// counter metrics) are carried in the JSON for trend tracking but never
+// fail the build. Benchmarks present on only one side are reported and
 // skipped.
+//
+// Variance handling (-max-cv): shared CI runners make some benchmarks
+// too noisy to gate at all. With -max-cv set, a metric row whose CV —
+// on either side of the comparison — exceeds the limit is reported and
+// excluded from the gate, and every surviving row's effective
+// threshold becomes max(-max-regress, 2×CV): a row carrying measured
+// run-to-run noise gets proportionate slack instead of flaking the
+// build. Without -max-cv the flat -max-regress threshold applies to
+// every row, unchanged.
 package main
 
 import (
@@ -32,18 +43,26 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"os"
 	"regexp"
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/stats"
 )
 
 // Metric is one measured quantity of a benchmark across runs.
 type Metric struct {
-	Median float64   `json:"median"`
-	Min    float64   `json:"min"`
-	Max    float64   `json:"max"`
+	Median float64 `json:"median"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	// CVPct is the coefficient of variation across runs in percent
+	// (sample standard deviation over mean; 0 for a single run or a
+	// zero mean). It is the per-row variance record the CI
+	// characterization runs persist, and what -max-cv filters on.
+	CVPct  float64   `json:"cv_pct"`
 	Values []float64 `json:"values"`
 }
 
@@ -105,6 +124,7 @@ func parseBench(r io.Reader, match *regexp.Regexp) ([]Bench, error) {
 			} else {
 				mt.Median = (sorted[mid-1] + sorted[mid]) / 2
 			}
+			mt.CVPct = cvPct(mt.Values)
 			b.Metrics[unit] = mt
 		}
 		out = append(out, *b)
@@ -112,12 +132,37 @@ func parseBench(r io.Reader, match *regexp.Regexp) ([]Bench, error) {
 	return out, nil
 }
 
+// cvPct returns the coefficient of variation in percent: the sample
+// standard deviation over the mean (stats.Sample's n−1 form). 0 when
+// fewer than two runs or the mean is zero.
+func cvPct(values []float64) float64 {
+	var s stats.Sample
+	for _, v := range values {
+		s.Add(v)
+	}
+	if s.N() < 2 {
+		return 0
+	}
+	mean := s.Mean()
+	if mean == 0 {
+		return 0
+	}
+	return math.Abs(s.Std()/mean) * 100
+}
+
+// cvSlackFactor scales a row's measured CV into its gate slack: a row
+// whose runs wobble by CV percent cannot meaningfully gate tighter than
+// a couple of its own standard deviations.
+const cvSlackFactor = 2
+
 // delta is one gated comparison row.
 type delta struct {
 	Name      string
 	Unit      string
 	Old, New  float64
 	Pct       float64 // signed change in the bad direction: > 0 is worse
+	CV        float64 // max of the two sides' cv_pct
+	Threshold float64 // the row's effective gate threshold in percent
 	Regressed bool
 }
 
@@ -134,8 +179,12 @@ func gated(unit string) (ok, biggerBetter bool) {
 }
 
 // compare gates news against olds. Every returned delta is a gated
-// metric pair; missing counterparts are reported to w and skipped.
-func compare(w io.Writer, olds, news []Bench, maxRegressPct float64) []delta {
+// metric pair; missing counterparts are reported to w and skipped, as
+// are — when maxCVPct > 0 — rows whose CV on either side exceeds it.
+// In that variance-aware mode a row's effective threshold is
+// max(maxRegressPct, cvSlackFactor×CV); with maxCVPct == 0 the flat
+// maxRegressPct applies to every row.
+func compare(w io.Writer, olds, news []Bench, maxRegressPct, maxCVPct float64) []delta {
 	oldBy := map[string]Bench{}
 	for _, b := range olds {
 		oldBy[b.Name] = b
@@ -167,6 +216,24 @@ func compare(w io.Writer, olds, news []Bench, maxRegressPct float64) []delta {
 			if !ok || om.Median == 0 {
 				continue
 			}
+			cv := om.CVPct
+			if nm.CVPct > cv {
+				cv = nm.CVPct
+			}
+			if maxCVPct > 0 && cv > maxCVPct {
+				fmt.Fprintf(w, "benchjson: %s %s: cv %.1f%% exceeds %.1f%%, too noisy to gate, skipping\n",
+					nb.Name, unit, cv, maxCVPct)
+				continue
+			}
+			threshold := maxRegressPct
+			// CV-proportional slack belongs to the variance-aware mode
+			// only: a plain -max-regress gate (the relaxed-benchmark
+			// step) keeps its flat, documented threshold.
+			if maxCVPct > 0 {
+				if slack := cvSlackFactor * cv; slack > threshold {
+					threshold = slack
+				}
+			}
 			pct := (nm.Median - om.Median) / om.Median * 100
 			if biggerBetter {
 				pct = -pct
@@ -175,7 +242,9 @@ func compare(w io.Writer, olds, news []Bench, maxRegressPct float64) []delta {
 				Name: nb.Name, Unit: unit,
 				Old: om.Median, New: nm.Median,
 				Pct:       pct,
-				Regressed: pct > maxRegressPct,
+				CV:        cv,
+				Threshold: threshold,
+				Regressed: pct > threshold,
 			})
 		}
 	}
@@ -188,7 +257,8 @@ func main() {
 	var (
 		match      = flag.String("match", "", "only benchmarks whose name matches this regexp")
 		baseline   = flag.String("baseline", "", "baseline JSON to compare against (compare mode)")
-		maxRegress = flag.Float64("max-regress", 15, "compare mode: fail when a gated metric regresses by more than this percent")
+		maxRegress = flag.Float64("max-regress", 15, "compare mode: fail when a gated metric regresses by more than this percent (with -max-cv: per-row max of this and 2x the row's cv)")
+		maxCV      = flag.Float64("max-cv", 0, "compare mode: exclude rows whose coefficient of variation exceeds this percent (0 = gate every row)")
 	)
 	flag.Parse()
 
@@ -230,7 +300,7 @@ func main() {
 	if err := json.Unmarshal(raw, &olds); err != nil {
 		log.Fatalf("%s: %v", *baseline, err)
 	}
-	ds := compare(os.Stderr, olds, benches, *maxRegress)
+	ds := compare(os.Stderr, olds, benches, *maxRegress, *maxCV)
 	bad := 0
 	for _, d := range ds {
 		verdict := "ok"
@@ -238,11 +308,11 @@ func main() {
 			verdict = "REGRESSED"
 			bad++
 		}
-		fmt.Printf("%-60s %12s  %14.4g -> %14.4g  %+7.2f%%  %s\n",
-			d.Name, d.Unit, d.Old, d.New, d.Pct, verdict)
+		fmt.Printf("%-60s %12s  %14.4g -> %14.4g  %+7.2f%%  (cv %4.1f%%, gate %5.1f%%)  %s\n",
+			d.Name, d.Unit, d.Old, d.New, d.Pct, d.CV, d.Threshold, verdict)
 	}
 	if bad > 0 {
-		log.Fatalf("%d gated metric(s) regressed more than %.1f%%", bad, *maxRegress)
+		log.Fatalf("%d gated metric(s) regressed past their thresholds", bad)
 	}
-	fmt.Printf("benchjson: %d gated metric(s) within %.1f%% of baseline\n", len(ds), *maxRegress)
+	fmt.Printf("benchjson: %d gated metric(s) within their thresholds of baseline\n", len(ds))
 }

@@ -73,7 +73,7 @@ func TestCompareFailsOnInjectedRegression(t *testing.T) {
 		"10.0 rank_p99", "20.0 rank_p99",
 		"11.0 rank_p99", "22.0 rank_p99",
 	).Replace(sampleOutput)
-	ds := compare(io.Discard, base, mustParse(t, injected, "relaxed"), 15)
+	ds := compare(io.Discard, base, mustParse(t, injected, "relaxed"), 15, 0)
 	if len(ds) != 2 {
 		t.Fatalf("gated deltas = %+v, want ns/op and tasks/s only", ds)
 	}
@@ -103,7 +103,7 @@ func TestCompareWithinThresholdPasses(t *testing.T) {
 		"500000 tasks/s", "450000 tasks/s",
 		"520000 tasks/s", "468000 tasks/s",
 	).Replace(sampleOutput)
-	for _, d := range compare(io.Discard, base, mustParse(t, wobbled, "relaxed"), 15) {
+	for _, d := range compare(io.Discard, base, mustParse(t, wobbled, "relaxed"), 15, 0) {
 		if d.Regressed {
 			t.Fatalf("%s %s flagged at %.2f%% under a 15%% gate", d.Name, d.Unit, d.Pct)
 		}
@@ -122,7 +122,7 @@ func TestCompareImprovementNeverGates(t *testing.T) {
 		"200000000 ns/op", "100000000 ns/op",
 		"190000000 ns/op", "95000000 ns/op",
 	).Replace(sampleOutput)
-	for _, d := range compare(io.Discard, base, mustParse(t, improved, "relaxed"), 15) {
+	for _, d := range compare(io.Discard, base, mustParse(t, improved, "relaxed"), 15, 0) {
 		if d.Regressed {
 			t.Fatalf("improvement flagged as regression: %+v", d)
 		}
@@ -133,7 +133,7 @@ func TestCompareMissingBaselineIsSkipped(t *testing.T) {
 	base := mustParse(t, sampleOutput, "hybrid")
 	news := mustParse(t, sampleOutput, "relaxed")
 	var log strings.Builder
-	if ds := compare(&log, base, news, 15); len(ds) != 0 {
+	if ds := compare(&log, base, news, 15, 0); len(ds) != 0 {
 		t.Fatalf("deltas for baseline-less benchmarks: %+v", ds)
 	}
 	// Both directions must be visible: a benchmark with no baseline, and
@@ -144,5 +144,96 @@ func TestCompareMissingBaselineIsSkipped(t *testing.T) {
 	}
 	if !strings.Contains(log.String(), "in baseline but not in this run") {
 		t.Fatalf("missing vanished-benchmark report in %q", log.String())
+	}
+}
+
+func TestCVComputation(t *testing.T) {
+	bs := mustParse(t, sampleOutput, "relaxed")
+	// ns/op values 190/200/210M: mean 200M, sample sd 10M, cv 5%.
+	cv := bs[0].Metrics["ns/op"].CVPct
+	if cv < 4.99 || cv > 5.01 {
+		t.Fatalf("ns/op cv = %v, want 5%%", cv)
+	}
+	// A single-run benchmark has no variance to report.
+	hybrid := mustParse(t, sampleOutput, "hybrid")
+	if got := hybrid[0].Metrics["ns/op"].CVPct; got != 0 {
+		t.Fatalf("single-run cv = %v, want 0", got)
+	}
+}
+
+// noisyOutput has a stable benchmark (cv 5%) and one whose runs swing
+// by ±50% (cv ≈ 50%) — the shape a shared CI runner produces.
+const noisyOutput = `
+BenchmarkFigStable/rows-16    1  100000000 ns/op
+BenchmarkFigStable/rows-16    1  105000000 ns/op
+BenchmarkFigStable/rows-16    1   95000000 ns/op
+BenchmarkFigNoisy/rows-16     1  100000000 ns/op
+BenchmarkFigNoisy/rows-16     1  200000000 ns/op
+BenchmarkFigNoisy/rows-16     1   50000000 ns/op
+PASS
+`
+
+// TestMaxCVExcludesNoisyRows: with -max-cv, the unstable row is
+// reported and dropped from the gate while the stable row still gates.
+func TestMaxCVExcludesNoisyRows(t *testing.T) {
+	base := mustParse(t, noisyOutput, "Fig")
+	var log strings.Builder
+	ds := compare(&log, base, base, 15, 10)
+	if len(ds) != 1 || !strings.Contains(ds[0].Name, "Stable") {
+		t.Fatalf("gated rows = %+v, want only the stable benchmark", ds)
+	}
+	if !strings.Contains(log.String(), "too noisy to gate") {
+		t.Fatalf("noisy-row exclusion not reported: %q", log.String())
+	}
+	// Without -max-cv every row gates.
+	if ds := compare(io.Discard, base, base, 15, 0); len(ds) != 2 {
+		t.Fatalf("ungated-cv rows = %+v, want both benchmarks", ds)
+	}
+}
+
+// TestPerRowThresholdScalesWithCV: in variance-aware mode (-max-cv
+// set) a row whose own variance exceeds -max-regress gets 2×cv of
+// slack — a move inside its noise band must not regress, a move beyond
+// it must — while the plain mode keeps the flat threshold.
+func TestPerRowThresholdScalesWithCV(t *testing.T) {
+	// cv 10%: three runs 90/100/110M around a 100M mean (sample sd 10M).
+	const wobblyBase = `
+BenchmarkFigWobbly/rows-16    1   90000000 ns/op
+BenchmarkFigWobbly/rows-16    1  100000000 ns/op
+BenchmarkFigWobbly/rows-16    1  110000000 ns/op
+PASS
+`
+	base := mustParse(t, wobblyBase, "Fig")
+	// +18% median: past a flat 15% gate, inside 2×cv = 20%.
+	slow := strings.NewReplacer(
+		"90000000", "106200000",
+		"100000000", "118000000",
+		"110000000", "129800000",
+	).Replace(wobblyBase)
+	ds := compare(io.Discard, base, mustParse(t, slow, "Fig"), 15, 50)
+	if len(ds) != 1 {
+		t.Fatalf("gated rows = %+v", ds)
+	}
+	if ds[0].Regressed {
+		t.Fatalf("move inside the row's noise band flagged: %+v", ds[0])
+	}
+	if ds[0].Threshold < 19.5 || ds[0].Threshold > 20.5 {
+		t.Fatalf("effective threshold = %v, want ≈2x cv = 20", ds[0].Threshold)
+	}
+	// The same +18% move under the plain flat gate (no -max-cv) must
+	// still regress: cv slack is exclusive to the variance-aware mode.
+	ds = compare(io.Discard, base, mustParse(t, slow, "Fig"), 15, 0)
+	if len(ds) != 1 || !ds[0].Regressed || ds[0].Threshold != 15 {
+		t.Fatalf("flat mode did not hold its threshold: %+v", ds)
+	}
+	// +30%: beyond even the cv-scaled slack.
+	slower := strings.NewReplacer(
+		"90000000", "117000000",
+		"100000000", "130000000",
+		"110000000", "143000000",
+	).Replace(wobblyBase)
+	ds = compare(io.Discard, base, mustParse(t, slower, "Fig"), 15, 50)
+	if len(ds) != 1 || !ds[0].Regressed {
+		t.Fatalf("move past the cv-scaled threshold not flagged: %+v", ds)
 	}
 }

@@ -16,7 +16,8 @@
 //	        [-dist uniform|skewed|ramp] [-window 64] [-on 10ms] [-off 10ms]
 //	        [-spin 0] [-ranksample 1] [-batch 1] [-stickiness 0]
 //	        [-adaptive] [-rankbudget 0] [-adaptinterval 10ms]
-//	        [-seed 20140215]
+//	        [-backpressure] [-sojournbudget 50ms] [-protectedband 0]
+//	        [-spillcap 0] [-seed 20140215]
 //
 // -strategy, -rate, -producers, -batch and -stickiness accept
 // comma-separated lists; "-strategy all" expands to the six headline
@@ -32,6 +33,15 @@
 // each JSON result carries the final S/B plus the full per-window trace
 // (adapt_trace) of the controller's trajectory through the run's load
 // phases.
+//
+// -backpressure puts the admission controller in front of the
+// scheduler (internal/backpressure): under overload the lowest-priority
+// submissions are deferred or shed while priorities below
+// -protectedband (default: an eighth of the priority range) are never
+// gated. Each JSON result then carries the shed rate, per-band
+// admission and goodput (bands), the final threshold, and the
+// controller's trace (bp_trace); -rankbudget additionally wires the
+// rank-error estimate as a second overload signal.
 package main
 
 import (
@@ -149,8 +159,12 @@ func main() {
 		batches    = flag.String("batch", "1", "operation batch sizes: producer submit + worker pop batch (comma list)")
 		stickiness = flag.String("stickiness", "0", "relaxed lane stickiness S values, 0 = unsticky (comma list)")
 		adaptive   = flag.Bool("adaptive", false, "let the runtime controller tune S and the pop batch (batch/stickiness become seeds)")
-		rankBudget = flag.Float64("rankbudget", 0, "adaptive: p99 rank-error budget (0 = none)")
-		adaptEvery = flag.Duration("adaptinterval", 0, "adaptive: controller window (0 = default)")
+		rankBudget = flag.Float64("rankbudget", 0, "p99 rank-error budget for the runtime controllers (0 = none)")
+		adaptEvery = flag.Duration("adaptinterval", 0, "runtime controllers' window (0 = default)")
+		backpress  = flag.Bool("backpressure", false, "shed/defer low-priority submits under overload (admission controller)")
+		sojournBud = flag.Duration("sojournbudget", 0, "backpressure: target sojourn time (0 = 50ms default)")
+		protBand   = flag.Int64("protectedband", 0, "backpressure: never-shed priority band [0, N) (0 = range/8)")
+		spillCap   = flag.Int("spillcap", 0, "backpressure: deferral spillway capacity (0 = default)")
 		seed       = flag.Uint64("seed", 20140215, "base random seed")
 	)
 	flag.Parse()
@@ -189,6 +203,7 @@ func main() {
 	table := &stats.Table{Header: []string{
 		"strategy", "producers", "rate", "batch", "stick", "S/B-final", "throughput/s",
 		"p50(us)", "p95(us)", "p99(us)", "rank-err-mean", "rank-err-p99", "rank-err-max",
+		"shed%", "prot-p99(us)",
 	}}
 	for _, strat := range stratList {
 		for _, np := range prodList {
@@ -224,6 +239,10 @@ func main() {
 							Adaptive:        *adaptive,
 							RankErrorBudget: *rankBudget,
 							AdaptInterval:   *adaptEvery,
+							Backpressure:    *backpress,
+							SojournBudget:   *sojournBud,
+							ProtectedBand:   *protBand,
+							SpillCap:        *spillCap,
 							Seed:            *seed,
 						})
 						if err != nil {
@@ -237,6 +256,11 @@ func main() {
 						finalCell := "-"
 						if res.Adaptive {
 							finalCell = fmt.Sprintf("%d/%d", res.FinalStickiness, res.FinalBatch)
+						}
+						shedCell, protCell := "-", "-"
+						if res.Backpressure {
+							shedCell = stats.F(res.ShedRate*100, 2)
+							protCell = stats.F(res.Bands[0].SojournNs.P99/1e3, 1)
 						}
 						table.AddRow(
 							res.Strategy,
@@ -252,6 +276,8 @@ func main() {
 							stats.F(res.RankErrMean, 1),
 							stats.F(res.RankErr.P99, 0),
 							stats.I(res.RankErrMax),
+							shedCell,
+							protCell,
 						)
 					}
 				}

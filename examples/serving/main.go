@@ -15,6 +15,7 @@
 //
 //	go run ./examples/serving [-rate 20000] [-producers 4] [-duration 1s]
 //	                          [-batch 1] [-stickiness 0] [-adaptive]
+//	                          [-backpressure] [-spin 0]
 //
 // -batch > 1 makes producers submit groups of requests through
 // SubmitAll (one injector episode per group) and workers pop groups per
@@ -26,15 +27,25 @@
 // flags become seeds, and each row reports where the controller drove
 // S and B for that strategy's traffic (the relaxed rows move the lane
 // stickiness; every strategy's pop batch adapts).
+//
+// -backpressure puts the admission controller in front of the
+// scheduler: overloaded strategies shed their lowest-priority requests
+// (repro.ErrShed) instead of letting every request's latency grow
+// without bound, and requests in the most urgent eighth of the priority
+// range are never shed. Combine with -spin (per-request busy work) and
+// a -rate past the machine's capacity to see the rows diverge: shed
+// rate up, served latency flat.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro"
@@ -56,8 +67,14 @@ func main() {
 		batch      = flag.Int("batch", 1, "submit/pop batch size (1 = unbatched)")
 		stickiness = flag.Int("stickiness", 0, "relaxed lane stickiness S (0 = unsticky)")
 		adaptive   = flag.Bool("adaptive", false, "auto-tune S and the pop batch at runtime (flags become seeds)")
+		backpress  = flag.Bool("backpressure", false, "shed low-priority requests under overload")
+		spin       = flag.Int("spin", 0, "per-request busy-work iterations (use with -backpressure to overload)")
 	)
 	flag.Parse()
+
+	// The producers draw priorities from [0, 2^20); under -backpressure
+	// the most urgent eighth of that range is protected from shedding.
+	const maxPrio = 1<<20 - 1
 
 	epoch := time.Now()
 	for _, strategy := range []repro.Strategy{
@@ -71,7 +88,8 @@ func main() {
 			hists[i] = repro.NewHistogram()
 		}
 
-		s, err := repro.NewScheduler(repro.SchedulerConfig[request]{
+		var sink atomic.Uint64
+		cfg := repro.SchedulerConfig[request]{
 			Places:     *places,
 			Strategy:   strategy,
 			K:          512,
@@ -81,10 +99,25 @@ func main() {
 			Adaptive:   *adaptive,
 			Less:       func(a, b request) bool { return a.prio < b.prio },
 			Execute: func(ctx repro.Ctx[request], r request) {
+				if n := *spin; n > 0 {
+					v := uint64(r.prio)
+					for i := 0; i < n; i++ {
+						v = v*6364136223846793005 + 1442695040888963407
+					}
+					sink.Store(v)
+				}
 				hists[ctx.Place()].Observe(float64(time.Since(epoch) - r.enq))
 			},
 			Seed: 1,
-		})
+		}
+		if *backpress {
+			cfg.Backpressure = true
+			cfg.Priority = func(r request) int64 { return r.prio }
+			cfg.MaxPrio = maxPrio
+			cfg.ProtectedBand = (maxPrio + 1) / 8
+			cfg.SojournBudget = 20 * time.Millisecond
+		}
+		s, err := repro.NewScheduler(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -110,7 +143,9 @@ func main() {
 					if len(buf) == 0 {
 						return
 					}
-					if err := s.SubmitAll(buf); err != nil {
+					// Under -backpressure a batch may be partially shed;
+					// the session stats report the total at the end.
+					if err := s.SubmitAll(buf); err != nil && !errors.Is(err, repro.ErrShed) {
 						log.Fatal(err)
 					}
 					buf = buf[:0]
@@ -164,6 +199,9 @@ func main() {
 		adapted := ""
 		if stick, b, ok := s.AdaptiveState(); ok {
 			adapted = fmt.Sprintf("   adapted S=%d B=%d", stick, b)
+		}
+		if *backpress {
+			adapted += fmt.Sprintf("   shed %d deferred %d", st.DS.Shed, st.DS.Deferred)
 		}
 		fmt.Printf("%-14s served %6d requests in %7.1f ms   sojourn p50 %7.1fus  p95 %7.1fus  p99 %7.1fus%s\n",
 			strategy, st.Executed, st.Elapsed.Seconds()*1e3,

@@ -2,6 +2,7 @@ package repro_test
 
 import (
 	"bytes"
+	"errors"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -210,5 +211,90 @@ func TestPublicAdaptiveServe(t *testing.T) {
 	}
 	if _, _, ok := fixed.AdaptiveState(); ok {
 		t.Fatal("AdaptiveState ok on a fixed-knob scheduler")
+	}
+}
+
+// TestPublicBackpressureServe exercises the admission-control surface
+// through the public facade: a gated serve session, ErrShed on
+// overload, the protected band honored, and BackpressureState
+// reporting the threshold.
+func TestPublicBackpressureServe(t *testing.T) {
+	var executed atomic.Int64
+	var slow atomic.Bool
+	slow.Store(true)
+	s, err := repro.NewScheduler(repro.SchedulerConfig[int64]{
+		Places:        2,
+		Strategy:      repro.RelaxedSampleTwo,
+		Injectors:     2,
+		Backpressure:  true,
+		Priority:      func(v int64) int64 { return v },
+		MaxPrio:       1<<16 - 1,
+		ProtectedBand: 1 << 12,
+		SojournBudget: 5 * time.Millisecond,
+		SpillCap:      64,
+		AdaptInterval: 2 * time.Millisecond,
+		Less:          func(a, b int64) bool { return a < b },
+		Execute: func(ctx repro.Ctx[int64], v int64) {
+			executed.Add(1)
+			if slow.Load() {
+				time.Sleep(20 * time.Microsecond)
+			}
+		},
+		Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.BackpressureState(); !ok {
+		t.Fatal("BackpressureState not ok on a backpressure scheduler")
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var attempts, sheds int64
+	for i := 0; i < 30000; i++ {
+		attempts++
+		prio := int64(i*7919) % (1 << 16)
+		err := s.Submit(prio)
+		switch {
+		case err == nil:
+		case errors.Is(err, repro.ErrShed):
+			if prio < 1<<12 {
+				t.Fatalf("protected task %d shed", prio)
+			}
+			sheds++
+		default:
+			t.Fatal(err)
+		}
+		if i%2000 == 0 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	slow.Store(false)
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Executed != attempts-sheds || executed.Load() != attempts-sheds {
+		t.Fatalf("executed %d/%d of %d accepted", st.Executed, executed.Load(), attempts-sheds)
+	}
+	if st.DS.Shed != sheds {
+		t.Fatalf("DS.Shed = %d, saw %d ErrShed", st.DS.Shed, sheds)
+	}
+
+	// A scheduler without backpressure reports no threshold.
+	plain, err := repro.NewScheduler(repro.SchedulerConfig[int64]{
+		Places:  1,
+		Less:    func(a, b int64) bool { return a < b },
+		Execute: func(ctx repro.Ctx[int64], v int64) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := plain.BackpressureState(); ok {
+		t.Fatal("BackpressureState ok without backpressure")
 	}
 }

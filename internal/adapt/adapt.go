@@ -38,6 +38,8 @@ package adapt
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/ctl"
 )
 
 // Default controller parameters.
@@ -300,21 +302,32 @@ type Cumulative struct {
 // Window records one controller decision for tracing: the virtual or
 // wall time of the decision, the window's sample, and the state in force
 // after the decision.
-type Window struct {
-	At     time.Duration `json:"at_ns"`
-	Sample Sample        `json:"sample"`
-	State  State         `json:"state"`
+type Window = ctl.Window[Sample, State]
+
+// diffCumulative turns successive snapshots into one window's Sample:
+// the monotone counters are differenced, the instantaneous signals
+// (Pending, RankErrP99) are carried as-is.
+func diffCumulative(prev, cur Cumulative) Sample {
+	return Sample{
+		Pops:           cur.Pops - prev.Pops,
+		PopFailures:    cur.PopFailures - prev.PopFailures,
+		PopRetries:     cur.PopRetries - prev.PopRetries,
+		LaneContention: cur.LaneContention - prev.LaneContention,
+		Resticks:       cur.Resticks - prev.Resticks,
+		BatchPops:      cur.BatchPops - prev.BatchPops,
+		Pending:        cur.Pending,
+		RankErrP99:     cur.RankErrP99,
+	}
 }
 
-// Controller is the stateful wrapper around Decide: it owns the current
-// state and the previous counter snapshot, and turns successive
-// Cumulative snapshots into decisions. It is not safe for concurrent
-// use — one goroutine (the scheduler's controller loop, or a simulation
-// harness) drives it.
+// Controller is the stateful wrapper around Decide: a ctl.Loop that
+// owns the current state and the previous counter snapshot, and turns
+// successive Cumulative snapshots into decisions. It is not safe for
+// concurrent use — one goroutine (the scheduler's controller loop, or a
+// simulation harness) drives it.
 type Controller struct {
-	cfg   Config
-	state State
-	prev  Cumulative
+	cfg  Config
+	loop *ctl.Loop[Cumulative, Sample, State]
 }
 
 // NewController validates cfg and returns a controller starting at seed
@@ -323,14 +336,18 @@ func NewController(cfg Config, seed State) (*Controller, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Controller{cfg: cfg, state: cfg.Limits.Clamp(seed)}, nil
+	c := &Controller{cfg: cfg}
+	c.loop = ctl.NewLoop(diffCumulative, func(cur State, s Sample) State {
+		return Decide(c.cfg, cur, s)
+	}, cfg.Limits.Clamp(seed))
+	return c, nil
 }
 
 // Config returns the validated configuration.
 func (c *Controller) Config() Config { return c.cfg }
 
 // State returns the current knob setting.
-func (c *Controller) State() State { return c.state }
+func (c *Controller) State() State { return c.loop.State() }
 
 // Prime sets the baseline snapshot subsequent Steps are differenced
 // against, without taking a decision. A driver whose counters predate
@@ -339,23 +356,11 @@ func (c *Controller) State() State { return c.state }
 // sample is that window's own activity rather than all of history. A
 // driver whose counters start at zero (the simtest harness) can skip
 // it: the zero-value baseline is then already correct.
-func (c *Controller) Prime(cum Cumulative) { c.prev = cum }
+func (c *Controller) Prime(cum Cumulative) { c.loop.Prime(cum) }
 
 // Step closes one window: it differences cum against the previous
 // snapshot (construction or Prime before the first call), decides, and
 // returns the decision record.
 func (c *Controller) Step(at time.Duration, cum Cumulative) Window {
-	s := Sample{
-		Pops:           cum.Pops - c.prev.Pops,
-		PopFailures:    cum.PopFailures - c.prev.PopFailures,
-		PopRetries:     cum.PopRetries - c.prev.PopRetries,
-		LaneContention: cum.LaneContention - c.prev.LaneContention,
-		Resticks:       cum.Resticks - c.prev.Resticks,
-		BatchPops:      cum.BatchPops - c.prev.BatchPops,
-		Pending:        cum.Pending,
-		RankErrP99:     cum.RankErrP99,
-	}
-	c.prev = cum
-	c.state = Decide(c.cfg, c.state, s)
-	return Window{At: at, Sample: s, State: c.state}
+	return c.loop.Step(at, cum)
 }

@@ -230,6 +230,17 @@ type Stats struct {
 	Steals       int64 // work-stealing: steal attempts
 	StealHits    int64 // work-stealing: steals that obtained tasks
 	StolenTasks  int64 // work-stealing: tasks moved by successful steals
+
+	// The admission-control counters are written by the scheduler layer
+	// (sched serve-mode backpressure), never by a data structure: a shed
+	// task is rejected before it reaches a DS and a deferred one is
+	// parked outside it, so at the DS level all three are always zero —
+	// dstest pins that, keeping the item-flow equation Pushes == Pops
+	// (+ Eliminated) exact. They live here so one Stats block carries
+	// the whole task-flow story end to end.
+	Shed       int64 // backpressure: tasks rejected at admission (never stored)
+	Deferred   int64 // backpressure: tasks parked in the spillway
+	Readmitted int64 // backpressure: spillway tasks re-submitted to the DS
 }
 
 // Sub returns s minus other, counter by counter. Used to compute per-run
@@ -253,6 +264,9 @@ func (s Stats) Sub(other Stats) Stats {
 		Steals:       s.Steals - other.Steals,
 		StealHits:    s.StealHits - other.StealHits,
 		StolenTasks:  s.StolenTasks - other.StolenTasks,
+		Shed:         s.Shed - other.Shed,
+		Deferred:     s.Deferred - other.Deferred,
+		Readmitted:   s.Readmitted - other.Readmitted,
 	}
 }
 
@@ -275,14 +289,17 @@ func (s *Stats) Add(other Stats) {
 	s.Steals += other.Steals
 	s.StealHits += other.StealHits
 	s.StolenTasks += other.StolenTasks
+	s.Shed += other.Shed
+	s.Deferred += other.Deferred
+	s.Readmitted += other.Readmitted
 }
 
 // String renders the non-zero counters compactly.
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"pushes=%d pops=%d popFail=%d batchPush=%d batchPop=%d popRetry=%d restick=%d elim=%d tailAdv=%d probes=%d/%d publishes=%d spies=%d/%d steals=%d/%d stolen=%d",
+		"pushes=%d pops=%d popFail=%d batchPush=%d batchPop=%d popRetry=%d restick=%d elim=%d tailAdv=%d probes=%d/%d publishes=%d spies=%d/%d steals=%d/%d stolen=%d shed=%d deferred=%d readmit=%d",
 		s.Pushes, s.Pops, s.PopFailures, s.BatchPushes, s.BatchPops,
 		s.PopRetries, s.Resticks, s.Eliminated, s.TailAdvances,
 		s.ProbeHits, s.Probes, s.Publishes, s.SpyHits, s.Spies,
-		s.StealHits, s.Steals, s.StolenTasks)
+		s.StealHits, s.Steals, s.StolenTasks, s.Shed, s.Deferred, s.Readmitted)
 }

@@ -59,6 +59,7 @@ func RunFlags(t *testing.T, name string, mk Factory, f Flags) {
 	t.Run(name+"/ConcurrentStaleFlips", func(t *testing.T) { concurrentStaleFlips(t, mk) })
 	t.Run(name+"/StatsAccounting", func(t *testing.T) { statsAccounting(t, mk) })
 	t.Run(name+"/CounterConsistency", func(t *testing.T) { counterConsistency(t, mk) })
+	t.Run(name+"/ShedNeverPopped", func(t *testing.T) { shedNeverPopped(t, mk) })
 	t.Run(name+"/SmallLiveSetChurn", func(t *testing.T) { smallLiveSetChurn(t, mk) })
 	t.Run(name+"/BurstDrainCycles", func(t *testing.T) { burstDrainCycles(t, mk) })
 	t.Run(name+"/ManyPlacesSmoke", func(t *testing.T) { manyPlacesSmoke(t, mk) })
@@ -815,6 +816,9 @@ var monotoneCounters = []struct {
 	{"PopRetries", func(s core.Stats) int64 { return s.PopRetries }},
 	{"Resticks", func(s core.Stats) int64 { return s.Resticks }},
 	{"Eliminated", func(s core.Stats) int64 { return s.Eliminated }},
+	{"Shed", func(s core.Stats) int64 { return s.Shed }},
+	{"Deferred", func(s core.Stats) int64 { return s.Deferred }},
+	{"Readmitted", func(s core.Stats) int64 { return s.Readmitted }},
 }
 
 // counterConsistency: under a scripted concurrent mix of single and
@@ -823,8 +827,10 @@ var monotoneCounters = []struct {
 // runs under CI's -race lane) and per-counter monotone — PopRetries and
 // friends only ever grow — and at quiescence the item-flow equation
 // holds exactly: every pushed item was returned by a pop (Pushes ==
-// Pops, Eliminated == 0 without a Stale predicate), with the batch
-// counters bounded by the batch calls that could have produced them.
+// Pops, Eliminated == 0 without a Stale predicate, and the scheduler
+// layer's admission counters Shed/Deferred/Readmitted identically
+// zero — shed tasks never enter a DS), with the batch counters bounded
+// by the batch calls that could have produced them.
 func counterConsistency(t *testing.T, mk Factory) {
 	places := 4
 	perPlace := 8000
@@ -929,6 +935,14 @@ func counterConsistency(t *testing.T, mk Factory) {
 	if s.Eliminated != 0 {
 		t.Fatalf("Stats.Eliminated = %d without a Stale predicate", s.Eliminated)
 	}
+	if s.Shed != 0 || s.Deferred != 0 || s.Readmitted != 0 {
+		// Admission control lives in the scheduler layer: a shed task is
+		// rejected before it reaches any DS and a deferred one is parked
+		// outside it, so a raw structure reporting non-zero here would
+		// silently break the item-flow equation below.
+		t.Fatalf("raw DS reported admission counters shed=%d deferred=%d readmitted=%d, want all zero",
+			s.Shed, s.Deferred, s.Readmitted)
+	}
 	if s.Pops != s.Pushes {
 		t.Fatalf("item flow broken at quiescence: pushed %d, popped %d", s.Pushes, s.Pops)
 	}
@@ -958,5 +972,118 @@ func statsAccounting(t *testing.T, mk Factory) {
 	}
 	if s.PopFailures == 0 {
 		t.Fatalf("Stats.PopFailures = 0, the drain loops must have failed at the end")
+	}
+}
+
+// shedNeverPopped models the scheduler's admission gate at the data
+// structure contract level: injector places push only the tasks an
+// admission threshold lets through — sub-threshold ("shed") tasks are
+// counted and dropped before the structure ever sees them — while
+// worker places drain concurrently. The contract being pinned: a shed
+// task can never surface from a pop (it was never stored), the admitted
+// multiset is delivered exactly once, and the structure's own
+// Shed/Deferred/Readmitted counters stay zero — admission control lives
+// above the DS, and a structure quietly counting its own "sheds" would
+// break the scheduler's task-flow accounting.
+func shedNeverPopped(t *testing.T, mk Factory) {
+	const workers, injectors = 3, 2
+	perInjector := 12000
+	if testing.Short() {
+		perInjector = 3000
+	}
+	// Values double as priorities (Less is <). The gate admits the most
+	// urgent three quarters of the value space, exactly like a
+	// backpressure threshold at 75% of the priority range.
+	total := int64(injectors * perInjector)
+	threshold := total * 3 / 4
+	d := mustNew(t, mk, core.Options[int64]{Places: workers + injectors, Seed: 33})
+
+	var producing atomic.Int32
+	producing.Store(injectors)
+	var admitted, shed atomic.Int64
+	var wg sync.WaitGroup
+	for inj := 0; inj < injectors; inj++ {
+		wg.Add(1)
+		go func(inj int) {
+			defer wg.Done()
+			defer producing.Add(-1)
+			r := xrand.New(uint64(inj)*313 + 7)
+			for i := 0; i < perInjector; i++ {
+				v := int64(inj*perInjector + i)
+				if v >= threshold {
+					// Gated: the task never reaches the structure.
+					shed.Add(1)
+					continue
+				}
+				d.Push(workers+inj, 1+r.Intn(512), v)
+				admitted.Add(1)
+			}
+		}(inj)
+	}
+
+	counts := make([][]int64, workers)
+	for pl := 0; pl < workers; pl++ {
+		wg.Add(1)
+		go func(pl int) {
+			defer wg.Done()
+			var mine []int64
+			fails := 0
+			for {
+				if v, ok := d.Pop(pl); ok {
+					mine = append(mine, v)
+					fails = 0
+					continue
+				}
+				if producing.Load() > 0 {
+					runtime.Gosched()
+					continue
+				}
+				fails++
+				if fails > 1<<14 {
+					break
+				}
+			}
+			counts[pl] = mine
+		}(pl)
+	}
+	wg.Wait()
+
+	leftovers := popAll(d, 0, 1<<15)
+	seen := make(map[int64]int, admitted.Load())
+	delivered := int64(0)
+	check := func(v int64) {
+		if v >= threshold {
+			t.Fatalf("shed task %d surfaced from a pop", v)
+		}
+		seen[v]++
+		delivered++
+	}
+	for _, mine := range counts {
+		for _, v := range mine {
+			check(v)
+		}
+	}
+	for _, v := range leftovers {
+		check(v)
+	}
+	if delivered != admitted.Load() {
+		t.Fatalf("delivered %d of %d admitted tasks (%d shed)", delivered, admitted.Load(), shed.Load())
+	}
+	for v, c := range seen {
+		if c != 1 {
+			t.Fatalf("task %d delivered %d times", v, c)
+		}
+	}
+	s := d.Stats()
+	if s.Pushes != admitted.Load() {
+		t.Fatalf("Stats.Pushes = %d, gate admitted %d", s.Pushes, admitted.Load())
+	}
+	if s.Shed != 0 || s.Deferred != 0 || s.Readmitted != 0 {
+		t.Fatalf("raw DS counted admission outcomes itself: shed=%d deferred=%d readmitted=%d",
+			s.Shed, s.Deferred, s.Readmitted)
+	}
+	if shed.Load() != total-admitted.Load() {
+		t.Fatalf("gate accounting broken: %d shed + %d admitted != %d offered",
+			shed.Load(), admitted.Load(), total)
 	}
 }

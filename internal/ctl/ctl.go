@@ -1,0 +1,119 @@
+// Package ctl holds the plumbing shared by the repo's feedback
+// controllers: the sample → decide → apply loop that internal/adapt
+// introduced (PR 3) and internal/backpressure repeats.
+//
+// Every controller in this codebase has the same mechanical skeleton:
+// the plant (scheduler + data structure) exposes cumulative monotone
+// counters plus a few instantaneous signals; once per window a driver
+// snapshots them; the controller differences successive snapshots into a
+// window sample, feeds the sample to a pure decision function, and
+// records the decision for tracing. Only the decision policy differs
+// between controllers. Loop owns the mechanical part generically —
+// snapshot baseline, per-window differencing, current state, decision
+// records — so each controller package contributes exactly two pure
+// functions (diff and decide) and keeps its policy testable in
+// isolation. Ring is the bounded decision-trace companion: long-lived
+// serving processes retain only the most recent windows while short
+// experiment runs keep their full trajectory.
+package ctl
+
+import "time"
+
+// Window records one controller decision for tracing: the virtual or
+// wall time of the decision, the window's sample, and the state in
+// force after the decision.
+type Window[S, St any] struct {
+	At     time.Duration `json:"at_ns"`
+	Sample S             `json:"sample"`
+	State  St            `json:"state"`
+}
+
+// Loop is the generic stateful core of a window controller: it owns the
+// current state and the previous cumulative snapshot, and turns
+// successive snapshots into decisions. It is not safe for concurrent
+// use — one goroutine (a scheduler's controller loop, or a simulation
+// harness) drives it.
+type Loop[C, S, St any] struct {
+	diff   func(prev, cur C) S
+	decide func(cur St, s S) St
+	prev   C
+	state  St
+}
+
+// NewLoop builds a loop from the two pure functions that define a
+// controller — diff (cumulative snapshots → window sample) and decide
+// (state + sample → next state) — starting at seed.
+func NewLoop[C, S, St any](diff func(prev, cur C) S, decide func(cur St, s S) St, seed St) *Loop[C, S, St] {
+	return &Loop[C, S, St]{diff: diff, decide: decide, state: seed}
+}
+
+// State returns the state currently in force.
+func (l *Loop[C, S, St]) State() St { return l.state }
+
+// Prime sets the baseline snapshot subsequent Steps are differenced
+// against, without taking a decision. A driver whose counters predate
+// the controller — a scheduler whose structure already served earlier
+// sessions — calls it once at session start, so the first window's
+// sample is that window's own activity rather than all of history. A
+// driver whose counters start at zero can skip it: the zero-value
+// baseline is then already correct.
+func (l *Loop[C, S, St]) Prime(cum C) { l.prev = cum }
+
+// Step closes one window: it differences cum against the previous
+// snapshot (construction or Prime before the first call), decides, and
+// returns the decision record.
+func (l *Loop[C, S, St]) Step(at time.Duration, cum C) Window[S, St] {
+	s := l.diff(l.prev, cum)
+	l.prev = cum
+	l.state = l.decide(l.state, s)
+	return Window[S, St]{At: at, Sample: s, State: l.state}
+}
+
+// Ring is a fixed-capacity decision-trace buffer: appends beyond the
+// capacity overwrite the oldest entries. Not safe for concurrent use —
+// callers guard it with whatever lock protects their controller.
+type Ring[T any] struct {
+	buf  []T
+	head int // oldest element when full
+	full bool
+}
+
+// NewRing returns an empty ring retaining the most recent capacity
+// entries. Capacity must be ≥ 1.
+func NewRing[T any](capacity int) *Ring[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring[T]{buf: make([]T, 0, capacity)}
+}
+
+// Append records v, evicting the oldest entry once the ring is full.
+func (r *Ring[T]) Append(v T) {
+	if !r.full {
+		r.buf = append(r.buf, v)
+		if len(r.buf) == cap(r.buf) {
+			r.full = true
+		}
+		return
+	}
+	r.buf[r.head] = v
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+}
+
+// Snapshot returns a copy of the retained entries, oldest first; nil
+// when nothing has been recorded.
+func (r *Ring[T]) Snapshot() []T {
+	if len(r.buf) == 0 {
+		return nil
+	}
+	out := make([]T, 0, len(r.buf))
+	out = append(out, r.buf[r.head:]...)
+	out = append(out, r.buf[:r.head]...)
+	return out
+}
+
+// Len returns the number of retained entries.
+func (r *Ring[T]) Len() int { return len(r.buf) }

@@ -1,0 +1,106 @@
+package ctl
+
+import (
+	"testing"
+	"time"
+)
+
+// counterCum is a toy cumulative snapshot for the loop tests.
+type counterCum struct {
+	Ops   int64
+	Gauge int64
+}
+
+type counterSample struct {
+	Ops   int64 // differenced
+	Gauge int64 // instantaneous
+}
+
+func diff(prev, cur counterCum) counterSample {
+	return counterSample{Ops: cur.Ops - prev.Ops, Gauge: cur.Gauge}
+}
+
+func TestLoopStepDiffsAndDecides(t *testing.T) {
+	decide := func(cur int, s counterSample) int {
+		if s.Ops > 100 {
+			return cur + 1
+		}
+		return cur
+	}
+	l := NewLoop(diff, decide, 5)
+	if got := l.State(); got != 5 {
+		t.Fatalf("seed state = %d, want 5", got)
+	}
+	w1 := l.Step(10*time.Millisecond, counterCum{Ops: 150, Gauge: 7})
+	if w1.Sample.Ops != 150 || w1.Sample.Gauge != 7 {
+		t.Fatalf("first window sample %+v, want raw cumulative values", w1.Sample)
+	}
+	if w1.State != 6 || l.State() != 6 {
+		t.Fatalf("first decision %d / %d, want 6", w1.State, l.State())
+	}
+	w2 := l.Step(20*time.Millisecond, counterCum{Ops: 200, Gauge: 3})
+	if w2.Sample.Ops != 50 || w2.Sample.Gauge != 3 {
+		t.Fatalf("second window sample %+v, want delta 50, gauge 3", w2.Sample)
+	}
+	if w2.State != 6 {
+		t.Fatalf("quiet window moved the state: %d", w2.State)
+	}
+	if w2.At != 20*time.Millisecond {
+		t.Fatalf("At = %v", w2.At)
+	}
+}
+
+func TestLoopPrime(t *testing.T) {
+	decide := func(cur int, s counterSample) int { return cur + int(s.Ops) }
+	l := NewLoop(diff, decide, 0)
+	l.Prime(counterCum{Ops: 1e9})
+	w := l.Step(time.Millisecond, counterCum{Ops: 1e9 + 3})
+	if w.Sample.Ops != 3 {
+		t.Fatalf("primed first window sampled history: %+v", w.Sample)
+	}
+}
+
+func TestRingBelowCapacity(t *testing.T) {
+	r := NewRing[int](4)
+	if got := r.Snapshot(); got != nil {
+		t.Fatalf("empty ring snapshot = %v, want nil", got)
+	}
+	r.Append(1)
+	r.Append(2)
+	if got, want := r.Snapshot(), []int{1, 2}; len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("snapshot = %v, want %v", got, want)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestRingWrapsOldestFirst(t *testing.T) {
+	r := NewRing[int](3)
+	for i := 1; i <= 7; i++ {
+		r.Append(i)
+	}
+	got := r.Snapshot()
+	want := []int{5, 6, 7}
+	if len(got) != len(want) {
+		t.Fatalf("snapshot = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("snapshot = %v, want %v", got, want)
+		}
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestRingMinimumCapacity(t *testing.T) {
+	r := NewRing[string](0)
+	r.Append("a")
+	r.Append("b")
+	got := r.Snapshot()
+	if len(got) != 1 || got[0] != "b" {
+		t.Fatalf("capacity-clamped ring snapshot = %v, want [b]", got)
+	}
+}

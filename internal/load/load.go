@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/adapt"
+	"repro/internal/backpressure"
 	"repro/internal/core"
 	"repro/internal/sched"
 	"repro/internal/stats"
@@ -161,11 +162,29 @@ type Config struct {
 	// the producers' submit batch statically — the controller only moves
 	// the workers' pop batch.
 	Adaptive bool
-	// RankErrorBudget is the controller's p99 rank-error budget
-	// (0: none — the controller grows until contention stops it).
+	// RankErrorBudget is the controllers' p99 rank-error budget
+	// (0: none). The adaptive controller backs S/B off over it; the
+	// backpressure controller treats a breach as an overload signal.
 	RankErrorBudget float64
-	// AdaptInterval is the controller window (0: adapt.DefaultInterval).
+	// AdaptInterval is the controller window (0: adapt.DefaultInterval),
+	// shared by the adaptive and backpressure controllers.
 	AdaptInterval time.Duration
+	// Backpressure enables the scheduler's priority-aware admission
+	// controller (sched.Config.Backpressure): overload sheds or defers
+	// the lowest-priority submissions, and the generator records the
+	// shed rate, goodput by priority band, and the controller's
+	// threshold trace. When RankErrorBudget > 0 the rank-error
+	// estimator is wired as the controller's second overload signal
+	// even for fixed-knob (non-adaptive) runs.
+	Backpressure bool
+	// SojournBudget is the admission controller's target sojourn time
+	// (0: backpressure.DefaultSojournBudget).
+	SojournBudget time.Duration
+	// ProtectedBand is the never-shed priority band [0, ProtectedBand)
+	// (0: PrioRange/8).
+	ProtectedBand int64
+	// SpillCap bounds the deferral spillway (0: the package default).
+	SpillCap int
 	// Seed drives all randomization.
 	Seed uint64
 }
@@ -173,6 +192,33 @@ type Config struct {
 // rankBuckets is the resolution of the live-set priority tracker. A
 // sampled pop scans this many counters.
 const rankBuckets = 256
+
+// numBands is the resolution of the goodput-by-priority-band report of
+// backpressure runs: band 0 is the protected band, bands 1–3 split the
+// rest of the priority range into equal thirds (most to least urgent).
+const numBands = 4
+
+// BandResult is one priority band's admission and goodput report.
+type BandResult struct {
+	// Lo (inclusive) and Hi (exclusive) bound the band's priorities.
+	Lo int64 `json:"lo"`
+	Hi int64 `json:"hi"`
+	// Protected marks the never-shed band.
+	Protected bool `json:"protected,omitempty"`
+	// Attempted counts submissions drawn in the band; Admitted the ones
+	// accepted outright, Deferred the ones parked in the spillway (also
+	// accepted), Shed the ones rejected.
+	Attempted int64 `json:"attempted"`
+	Admitted  int64 `json:"admitted"`
+	Deferred  int64 `json:"deferred"`
+	Shed      int64 `json:"shed"`
+	// Executed counts the band's tasks that ran; GoodputPerSec is
+	// Executed over the run's elapsed time.
+	Executed      int64   `json:"executed"`
+	GoodputPerSec float64 `json:"goodput_per_sec"`
+	// SojournNs summarizes the band's submission-to-execution latency.
+	SojournNs stats.Summary `json:"sojourn_ns"`
+}
 
 // Result is the instrumented outcome of one generator run.
 type Result struct {
@@ -211,6 +257,21 @@ type Result struct {
 	FinalStickiness int            `json:"final_stickiness,omitempty"`
 	FinalBatch      int            `json:"final_batch,omitempty"`
 	AdaptTrace      []adapt.Window `json:"adapt_trace,omitempty"`
+
+	// Backpressure-run extras: the admission totals (Attempted =
+	// Submitted + Shed), the shed rate, goodput by priority band, the
+	// final admission threshold and the controller's per-window trace.
+	Backpressure    bool                  `json:"backpressure,omitempty"`
+	SojournBudgetMs float64               `json:"sojourn_budget_ms,omitempty"`
+	ProtectedBand   int64                 `json:"protected_band,omitempty"`
+	Attempted       int64                 `json:"attempted,omitempty"`
+	Shed            int64                 `json:"shed,omitempty"`
+	Deferred        int64                 `json:"deferred,omitempty"`
+	Readmitted      int64                 `json:"readmitted,omitempty"`
+	ShedRate        float64               `json:"shed_rate,omitempty"`
+	FinalThreshold  int64                 `json:"final_threshold,omitempty"`
+	Bands           []BandResult          `json:"bands,omitempty"`
+	BPTrace         []backpressure.Window `json:"bp_trace,omitempty"`
 
 	DS core.Stats `json:"ds"`
 }
@@ -269,6 +330,20 @@ func (c Config) withDefaults() (Config, error) {
 	if c.RankErrorBudget < 0 || c.AdaptInterval < 0 {
 		return c, fmt.Errorf("load: negative adaptive parameter")
 	}
+	if c.Backpressure {
+		if c.SojournBudget == 0 {
+			c.SojournBudget = backpressure.DefaultSojournBudget
+		}
+		if c.ProtectedBand == 0 {
+			c.ProtectedBand = c.PrioRange / 8
+		}
+		if c.SojournBudget < 0 || c.SpillCap < 0 {
+			return c, fmt.Errorf("load: negative backpressure parameter")
+		}
+		if c.ProtectedBand < 0 || c.ProtectedBand >= c.PrioRange {
+			return c, fmt.Errorf("load: ProtectedBand %d outside the priority range [0, %d)", c.ProtectedBand, c.PrioRange)
+		}
+	}
 	return c, nil
 }
 
@@ -288,8 +363,31 @@ type tracker struct {
 	tokens    chan struct{} // closed-loop completion semaphore (nil otherwise)
 
 	// decay is the live windowed rank-error estimator feeding the
-	// adaptive controller's budget check (nil for fixed-knob runs).
+	// controllers' budget checks (nil when no controller consumes it).
 	decay *stats.DecayingHist
+
+	// Backpressure-run band accounting (zero-valued when off): per-band
+	// admission outcomes and execution counts, written by the producer
+	// goroutines (flush) and worker places (onExecute) respectively.
+	bandAttempted [numBands]atomic.Int64
+	bandAdmitted  [numBands]atomic.Int64
+	bandDeferred  [numBands]atomic.Int64
+	bandShed      [numBands]atomic.Int64
+	bandExecuted  [numBands]atomic.Int64
+}
+
+// band maps a priority to its report band: 0 for the protected band,
+// 1–3 for equal thirds of the remaining range.
+func (tr *tracker) band(prio int64) int {
+	pb := tr.cfg.ProtectedBand
+	if prio < pb {
+		return 0
+	}
+	b := 1 + int((prio-pb)*(numBands-1)/(tr.cfg.PrioRange-pb))
+	if b > numBands-1 {
+		b = numBands - 1
+	}
+	return b
 }
 
 func newTracker(cfg Config) *tracker {
@@ -314,9 +412,16 @@ func newTracker(cfg Config) *tracker {
 func (tr *tracker) now() int64 { return int64(time.Since(tr.epoch)) }
 
 // onExecute is the scheduler's Execute hook: latency, rank error,
-// synthetic work, closed-loop completion.
-func (tr *tracker) onExecute(hist, rankHist *stats.Histogram, t Task) {
-	hist.Observe(float64(tr.now() - t.Enq))
+// synthetic work, closed-loop completion. bands is the executing
+// place's per-band sojourn histograms (nil for non-backpressure runs).
+func (tr *tracker) onExecute(hist, rankHist *stats.Histogram, bands []*stats.Histogram, t Task) {
+	sojourn := float64(tr.now() - t.Enq)
+	hist.Observe(sojourn)
+	if bands != nil {
+		bd := tr.band(t.Prio)
+		bands[bd].Observe(sojourn)
+		tr.bandExecuted[bd].Add(1)
+	}
 
 	b := t.Prio >> tr.bshift
 	tr.live[b].Add(-1)
@@ -380,12 +485,13 @@ func (tr *tracker) drawPrio(rng *xrand.Rand, at int64) int64 {
 
 // enqueue draws a priority at the current arrival instant and buffers
 // the task, flushing when the batch is full. It returns the (possibly
-// reset) buffer.
-func (tr *tracker) enqueue(s *sched.Scheduler[Task], rng *xrand.Rand, buf []Task) ([]Task, error) {
+// reset) buffer. out is the producer's admission-outcome scratch (nil
+// for non-backpressure runs).
+func (tr *tracker) enqueue(s *sched.Scheduler[Task], rng *xrand.Rand, buf []Task, out []sched.Outcome) ([]Task, error) {
 	at := tr.now()
 	buf = append(buf, Task{Prio: tr.drawPrio(rng, at), Enq: at})
 	if len(buf) >= tr.cfg.Batch {
-		return tr.flush(s, buf)
+		return tr.flush(s, buf, out)
 	}
 	return buf, nil
 }
@@ -393,21 +499,55 @@ func (tr *tracker) enqueue(s *sched.Scheduler[Task], rng *xrand.Rand, buf []Task
 // flush submits the buffered tasks as one batch, registering them in
 // the live tracker only once they are actually in the scheduler. On
 // rejection the registration is rolled back and the buffer kept, so the
-// caller sees exactly which tasks never made it.
-func (tr *tracker) flush(s *sched.Scheduler[Task], buf []Task) ([]Task, error) {
+// caller sees exactly which tasks never made it. Under backpressure the
+// gate decides per task (out is the producer's reusable outcome
+// scratch, len ≥ cap(buf)): shed tasks are unregistered and counted
+// per band (and, closed-loop, their outstanding token released),
+// accepted ones proceed like any other submission.
+func (tr *tracker) flush(s *sched.Scheduler[Task], buf []Task, out []sched.Outcome) ([]Task, error) {
 	if len(buf) == 0 {
 		return buf, nil
 	}
 	for _, t := range buf {
 		tr.live[t.Prio>>tr.bshift].Add(1)
 	}
-	if err := s.SubmitAll(buf); err != nil {
+	if !tr.cfg.Backpressure {
+		if err := s.SubmitAll(buf); err != nil {
+			for _, t := range buf {
+				tr.live[t.Prio>>tr.bshift].Add(-1)
+			}
+			return buf, err
+		}
+		tr.submitted.Add(int64(len(buf)))
+		return buf[:0], nil
+	}
+	accepted, err := s.SubmitAllKOutcomes(tr.cfg.K, buf, out)
+	if err != nil && err != sched.ErrShed {
 		for _, t := range buf {
 			tr.live[t.Prio>>tr.bshift].Add(-1)
 		}
 		return buf, err
 	}
-	tr.submitted.Add(int64(len(buf)))
+	for i, t := range buf {
+		bd := tr.band(t.Prio)
+		tr.bandAttempted[bd].Add(1)
+		switch out[i] {
+		case sched.Shed:
+			tr.live[t.Prio>>tr.bshift].Add(-1)
+			tr.bandShed[bd].Add(1)
+			if tr.tokens != nil {
+				// Closed loop: a shed task completes immediately from the
+				// producer's point of view — release its budget token so
+				// the loop can retry with fresh traffic.
+				tr.tokens <- struct{}{}
+			}
+		case sched.Deferred:
+			tr.bandDeferred[bd].Add(1)
+		default:
+			tr.bandAdmitted[bd].Add(1)
+		}
+	}
+	tr.submitted.Add(int64(accepted))
 	return buf[:0], nil
 }
 
@@ -433,6 +573,12 @@ func (tr *tracker) pace(target int64) {
 func (tr *tracker) produce(s *sched.Scheduler[Task], rng *xrand.Rand) error {
 	deadline := int64(tr.cfg.Duration)
 	buf := make([]Task, 0, tr.cfg.Batch)
+	var out []sched.Outcome
+	if tr.cfg.Backpressure {
+		// One admission-outcome scratch per producer, reused across
+		// flushes so the measurement hot path does not allocate.
+		out = make([]sched.Outcome, tr.cfg.Batch)
+	}
 	var err error
 	switch tr.cfg.Arrival {
 	case ClosedLoop:
@@ -445,14 +591,14 @@ func (tr *tracker) produce(s *sched.Scheduler[Task], rng *xrand.Rand) error {
 				// counts against the outstanding-task budget (hence the
 				// Batch ≤ Window validation).
 				if tr.now() >= deadline {
-					_, err = tr.flush(s, buf)
+					_, err = tr.flush(s, buf, out)
 					return err
 				}
-				if buf, err = tr.enqueue(s, rng, buf); err != nil {
+				if buf, err = tr.enqueue(s, rng, buf, out); err != nil {
 					return err
 				}
 			case <-timeout.C:
-				_, err = tr.flush(s, buf)
+				_, err = tr.flush(s, buf, out)
 				return err
 			}
 		}
@@ -468,11 +614,11 @@ func (tr *tracker) produce(s *sched.Scheduler[Task], rng *xrand.Rand) error {
 			t := int64(onTime)
 			wall := (t/on)*(on+off) + t%on
 			if wall >= deadline {
-				_, err = tr.flush(s, buf)
+				_, err = tr.flush(s, buf, out)
 				return err
 			}
 			tr.pace(wall)
-			if buf, err = tr.enqueue(s, rng, buf); err != nil {
+			if buf, err = tr.enqueue(s, rng, buf, out); err != nil {
 				return err
 			}
 		}
@@ -483,11 +629,11 @@ func (tr *tracker) produce(s *sched.Scheduler[Task], rng *xrand.Rand) error {
 			at += expInterval(rng, rate)
 			target := int64(at)
 			if target >= deadline {
-				_, err = tr.flush(s, buf)
+				_, err = tr.flush(s, buf, out)
 				return err
 			}
 			tr.pace(target)
-			if buf, err = tr.enqueue(s, rng, buf); err != nil {
+			if buf, err = tr.enqueue(s, rng, buf, out); err != nil {
 				return err
 			}
 		}
@@ -512,9 +658,19 @@ func Run(cfg Config) (Result, error) {
 	tr := newTracker(cfg)
 	hists := make([]*stats.Histogram, cfg.Places)
 	rankHists := make([]*stats.Histogram, cfg.Places)
+	var bandHists [][]*stats.Histogram
+	if cfg.Backpressure {
+		bandHists = make([][]*stats.Histogram, cfg.Places)
+	}
 	for i := range hists {
 		hists[i] = stats.NewHistogram()
 		rankHists[i] = stats.NewHistogram()
+		if bandHists != nil {
+			bandHists[i] = make([]*stats.Histogram, numBands)
+			for b := range bandHists[i] {
+				bandHists[i][b] = stats.NewHistogram()
+			}
+		}
 	}
 
 	scfg := sched.Config[Task]{
@@ -523,19 +679,36 @@ func Run(cfg Config) (Result, error) {
 		K:        cfg.K,
 		Less:     func(a, b Task) bool { return a.Prio < b.Prio },
 		Execute: func(ctx *sched.Ctx[Task], t Task) {
-			tr.onExecute(hists[ctx.Place()], rankHists[ctx.Place()], t)
+			pl := ctx.Place()
+			var bands []*stats.Histogram
+			if bandHists != nil {
+				bands = bandHists[pl]
+			}
+			tr.onExecute(hists[pl], rankHists[pl], bands, t)
 		},
-		LocalQueue: cfg.LocalQueue,
-		Injectors:  cfg.Producers,
-		Batch:      cfg.Batch,
-		Stickiness: cfg.Stickiness,
-		Seed:       cfg.Seed,
+		LocalQueue:    cfg.LocalQueue,
+		Injectors:     cfg.Producers,
+		Batch:         cfg.Batch,
+		Stickiness:    cfg.Stickiness,
+		AdaptInterval: cfg.AdaptInterval,
+		Seed:          cfg.Seed,
 	}
 	if cfg.Adaptive {
-		tr.decay = stats.NewDecayingHist()
 		scfg.Adaptive = true
+	}
+	if cfg.Backpressure {
+		scfg.Backpressure = true
+		scfg.Priority = func(t Task) int64 { return t.Prio }
+		scfg.MaxPrio = cfg.PrioRange - 1
+		scfg.SojournBudget = cfg.SojournBudget
+		scfg.ProtectedBand = cfg.ProtectedBand
+		scfg.SpillCap = cfg.SpillCap
+	}
+	if cfg.Adaptive || (cfg.Backpressure && cfg.RankErrorBudget > 0) {
+		// Both runtime controllers consume the same decaying rank-error
+		// estimator through sched's shared once-per-window signal read.
+		tr.decay = stats.NewDecayingHist()
 		scfg.RankErrorBudget = cfg.RankErrorBudget
-		scfg.AdaptInterval = cfg.AdaptInterval
 		// One read per controller window: report the decayed p99, then
 		// age the window so the signal tracks recent pops rather than
 		// the whole run (-1 from an empty estimator means "no signal").
@@ -608,6 +781,54 @@ func Run(cfg Config) (Result, error) {
 			res.FinalStickiness, res.FinalBatch = st, b
 		}
 		res.AdaptTrace = s.AdaptiveTrace()
+	}
+	if cfg.Backpressure {
+		res.Backpressure = true
+		res.RankErrorBudget = cfg.RankErrorBudget
+		res.SojournBudgetMs = float64(cfg.SojournBudget) / 1e6
+		res.ProtectedBand = cfg.ProtectedBand
+		res.Shed = st.DS.Shed
+		res.Deferred = st.DS.Deferred
+		res.Readmitted = st.DS.Readmitted
+		res.Attempted = res.Submitted + res.Shed
+		if res.Attempted > 0 {
+			res.ShedRate = float64(res.Shed) / float64(res.Attempted)
+		}
+		if bst, ok := s.BackpressureState(); ok {
+			res.FinalThreshold = bst.Threshold
+		}
+		res.BPTrace = s.BackpressureTrace()
+		elapsed := res.ElapsedSec
+		for b := 0; b < numBands; b++ {
+			lo, hi := int64(0), cfg.ProtectedBand
+			if b > 0 {
+				// The exact inverse of tracker.band's floor division:
+				// band b starts at the smallest priority that floors
+				// into it.
+				span := cfg.PrioRange - cfg.ProtectedBand
+				lo = cfg.ProtectedBand + (int64(b-1)*span+numBands-2)/(numBands-1)
+				hi = cfg.ProtectedBand + (int64(b)*span+numBands-2)/(numBands-1)
+			}
+			merged := stats.NewHistogram()
+			for pl := range bandHists {
+				merged.Merge(bandHists[pl][b])
+			}
+			br := BandResult{
+				Lo:        lo,
+				Hi:        hi,
+				Protected: b == 0,
+				Attempted: tr.bandAttempted[b].Load(),
+				Admitted:  tr.bandAdmitted[b].Load(),
+				Deferred:  tr.bandDeferred[b].Load(),
+				Shed:      tr.bandShed[b].Load(),
+				Executed:  tr.bandExecuted[b].Load(),
+				SojournNs: merged.Summarize(),
+			}
+			if elapsed > 0 {
+				br.GoodputPerSec = float64(br.Executed) / elapsed
+			}
+			res.Bands = append(res.Bands, br)
+		}
 	}
 	if cfg.Arrival != ClosedLoop {
 		res.TargetRate = cfg.Rate

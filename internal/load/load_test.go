@@ -283,3 +283,183 @@ func TestArrivalAndDistStrings(t *testing.T) {
 		t.Fatal("unknown values must still render")
 	}
 }
+
+// TestRunBackpressureOverload floods a throttled scheduler at several
+// times its service capacity and checks the generator's backpressure
+// instrumentation end to end: shed rate and bands in the result, the
+// protected band never shed and fully executed, the admission counters
+// balancing against the execution count, and the controller trace
+// recorded.
+func TestRunBackpressureOverload(t *testing.T) {
+	res, err := Run(Config{
+		Strategy:      sched.RelaxedSampleTwo,
+		Places:        2,
+		Producers:     4,
+		Duration:      2 * shortDur(t),
+		Arrival:       Poisson,
+		Rate:          400000,
+		WorkSpin:      3000, // throttle the workers so the flood overloads
+		Backpressure:  true,
+		SojournBudget: 5 * time.Millisecond,
+		SpillCap:      256,
+		AdaptInterval: 2 * time.Millisecond,
+		RankSample:    4,
+		Seed:          13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Backpressure || res.ProtectedBand != res.Bands[0].Hi {
+		t.Fatalf("backpressure metadata missing: %+v", res)
+	}
+	if res.Shed == 0 || res.ShedRate <= 0 {
+		t.Fatalf("overload shed nothing: shed=%d rate=%v", res.Shed, res.ShedRate)
+	}
+	if res.Attempted != res.Submitted+res.Shed {
+		t.Fatalf("attempted %d != submitted %d + shed %d", res.Attempted, res.Submitted, res.Shed)
+	}
+	if res.Executed != res.Submitted {
+		t.Fatalf("executed %d of %d accepted", res.Executed, res.Submitted)
+	}
+	if res.Deferred != res.Readmitted {
+		t.Fatalf("deferred %d != readmitted %d at quiescence", res.Deferred, res.Readmitted)
+	}
+	if len(res.Bands) != numBands {
+		t.Fatalf("got %d bands, want %d", len(res.Bands), numBands)
+	}
+	var attempted, shed, executed int64
+	for i, b := range res.Bands {
+		attempted += b.Attempted
+		shed += b.Shed
+		executed += b.Executed
+		if b.Attempted != b.Admitted+b.Deferred+b.Shed {
+			t.Fatalf("band %d outcomes do not sum: %+v", i, b)
+		}
+		if b.Executed != b.Admitted+b.Deferred {
+			t.Fatalf("band %d executed %d of %d accepted", i, b.Executed, b.Admitted+b.Deferred)
+		}
+	}
+	if attempted != res.Attempted || shed != res.Shed || executed != res.Executed {
+		t.Fatalf("band totals %d/%d/%d disagree with run totals %d/%d/%d",
+			attempted, shed, executed, res.Attempted, res.Shed, res.Executed)
+	}
+	prot := res.Bands[0]
+	if !prot.Protected || prot.Shed != 0 || prot.Deferred != 0 {
+		t.Fatalf("protected band gated: %+v", prot)
+	}
+	if prot.Attempted == 0 || prot.Executed != prot.Attempted {
+		t.Fatalf("protected band not fully served: %+v", prot)
+	}
+	if len(res.BPTrace) == 0 {
+		t.Fatal("no backpressure trace recorded")
+	}
+	min := int64(res.Bands[numBands-1].Hi)
+	for _, w := range res.BPTrace {
+		if w.State.Threshold < min {
+			min = w.State.Threshold
+		}
+	}
+	if min >= res.Bands[numBands-1].Hi-1 {
+		t.Fatal("threshold never tightened under overload")
+	}
+	if min < res.ProtectedBand {
+		t.Fatalf("threshold tightened into the protected band: %d", min)
+	}
+}
+
+// TestRunBackpressureUnderload: a comfortably provisioned run must not
+// shed and must keep the gate fully open.
+func TestRunBackpressureUnderload(t *testing.T) {
+	res, err := Run(Config{
+		Strategy:     sched.RelaxedSampleTwo,
+		Places:       4,
+		Producers:    2,
+		Duration:     shortDur(t),
+		Arrival:      Poisson,
+		Rate:         20000,
+		Backpressure: true,
+		RankSample:   4,
+		Seed:         17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shed != 0 || res.Deferred != 0 {
+		t.Fatalf("underload gated traffic: shed=%d deferred=%d", res.Shed, res.Deferred)
+	}
+	if res.Executed != res.Submitted || res.Submitted == 0 {
+		t.Fatalf("executed %d / submitted %d", res.Executed, res.Submitted)
+	}
+	if res.FinalThreshold != res.Bands[numBands-1].Hi-1 {
+		t.Fatalf("underload moved the threshold to %d, want fully open %d",
+			res.FinalThreshold, res.Bands[numBands-1].Hi-1)
+	}
+}
+
+// TestRunBackpressureClosedLoop: shed tasks release their closed-loop
+// budget token, so the loop keeps flowing under a gate instead of
+// deadlocking on its own tokens.
+func TestRunBackpressureClosedLoop(t *testing.T) {
+	res, err := Run(Config{
+		Strategy:      sched.RelaxedSampleTwo,
+		Places:        2,
+		Producers:     2,
+		Duration:      shortDur(t),
+		Arrival:       ClosedLoop,
+		Window:        32,
+		WorkSpin:      2000,
+		Backpressure:  true,
+		SojournBudget: 5 * time.Millisecond,
+		AdaptInterval: 2 * time.Millisecond,
+		RankSample:    4,
+		Seed:          19,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed != res.Submitted {
+		t.Fatalf("executed %d of %d accepted", res.Executed, res.Submitted)
+	}
+	if res.Attempted != res.Submitted+res.Shed {
+		t.Fatalf("attempted %d != submitted %d + shed %d", res.Attempted, res.Submitted, res.Shed)
+	}
+}
+
+func TestBackpressureConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Backpressure: true, ProtectedBand: 1 << 20}, // == PrioRange
+		{Backpressure: true, ProtectedBand: -1},
+		{Backpressure: true, SpillCap: -1},
+		{Backpressure: true, SojournBudget: -time.Second},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestBandMapping(t *testing.T) {
+	cfg, err := Config{Backpressure: true, Duration: time.Second}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := newTracker(cfg)
+	pb := cfg.ProtectedBand
+	span := cfg.PrioRange - pb
+	band2Lo := pb + (span+2)/3 // smallest priority flooring into band 2
+	cases := []struct {
+		prio int64
+		want int
+	}{
+		{0, 0}, {pb - 1, 0}, {pb, 1},
+		{band2Lo - 1, 1},
+		{band2Lo, 2},
+		{cfg.PrioRange - 1, 3},
+	}
+	for _, tc := range cases {
+		if got := tr.band(tc.prio); got != tc.want {
+			t.Errorf("band(%d) = %d, want %d", tc.prio, got, tc.want)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/adapt"
+	"repro/internal/ctl"
 )
 
 // TestServeAdaptiveRaceStress floods an adaptive scheduler from
@@ -333,9 +334,10 @@ func TestAdaptiveTraceBounded(t *testing.T) {
 		t.Fatal(err)
 	}
 	s.ctrl = ctrl
+	s.trace = ctl.NewRing[adapt.Window](maxTraceWindows)
 	const extra = 37
 	for i := 0; i < maxTraceWindows+extra; i++ {
-		s.adaptTick(time.Duration(i) * time.Millisecond)
+		s.adaptTick(time.Duration(i)*time.Millisecond, -1)
 	}
 	trace := s.AdaptiveTrace()
 	if len(trace) != maxTraceWindows {

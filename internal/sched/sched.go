@@ -27,11 +27,13 @@ import (
 	"time"
 
 	"repro/internal/adapt"
+	"repro/internal/backpressure"
 	"repro/internal/core"
 	"repro/internal/core/centralized"
 	"repro/internal/core/globalpq"
 	"repro/internal/core/hybrid"
 	"repro/internal/core/wsprio"
+	"repro/internal/ctl"
 	"repro/internal/relaxed"
 	"repro/internal/xrand"
 )
@@ -178,9 +180,41 @@ type Config[T any] struct {
 	// return means "no signal this window" and skips the budget check.
 	// Nil behaves like a permanently absent signal.
 	RankSignal func() float64
-	// AdaptInterval is the controller's sampling window (0 selects
+	// AdaptInterval is the sampling window shared by the runtime
+	// controllers — the adaptive S/B tuner and the backpressure
+	// admission controller tick on the same cadence (0 selects
 	// adapt.DefaultInterval).
 	AdaptInterval time.Duration
+	// Backpressure enables priority-aware admission control in serve
+	// mode (internal/backpressure): every AdaptInterval the controller
+	// compares the structure's backlog against what the observed service
+	// rate clears within SojournBudget (plus the RankSignal estimate
+	// against RankErrorBudget) and maintains an admission threshold over
+	// the numeric priority domain. Submissions above the threshold are
+	// deferred to a bounded spillway — re-submitted on under-loaded
+	// windows — or, when it is full, rejected with ErrShed. Closed-world
+	// Run is not gated: admission control exists to protect an open
+	// system from its callers.
+	Backpressure bool
+	// Priority maps a task to its numeric priority (smaller is more
+	// urgent), the value the admission threshold is compared against at
+	// Submit time. Required when Backpressure is set; it must agree with
+	// Less (Priority(a) < Priority(b) implies Less(a, b)) or the gate
+	// polices a different order than the structure serves.
+	Priority func(T) int64
+	// MaxPrio is the inclusive upper bound of the Priority domain
+	// (required ≥ 1 with Backpressure).
+	MaxPrio int64
+	// SojournBudget is the target sojourn time backpressure polices
+	// (0 selects backpressure.DefaultSojournBudget).
+	SojournBudget time.Duration
+	// ProtectedBand is the never-shed guarantee: tasks with
+	// Priority < ProtectedBand are admitted unconditionally — the
+	// threshold structurally cannot tighten below the band.
+	ProtectedBand int64
+	// SpillCap bounds the deferral spillway (0 selects
+	// backpressure.DefaultSpillCap).
+	SpillCap int
 	// Seed drives all internal randomization.
 	Seed uint64
 }
@@ -189,6 +223,14 @@ type Config[T any] struct {
 type envelope[T any] struct {
 	v   T
 	fin *finishRegion
+}
+
+// deferredTask is a spillway entry: the envelope plus the relaxation
+// parameter its Submit requested, so readmission pushes it with the
+// caller's k rather than the scheduler default.
+type deferredTask[T any] struct {
+	env envelope[T]
+	k   int
 }
 
 // finishRegion counts the outstanding tasks transitively spawned inside
@@ -243,8 +285,25 @@ type Scheduler[T any] struct {
 	ctrlStop  chan struct{}
 	ctrlDone  chan struct{}
 	adaptLast adapt.State
-	trace     []adapt.Window // ring once maxTraceWindows is reached
-	traceHead int            // oldest element when the ring is full
+	trace     *ctl.Ring[adapt.Window]
+
+	// Backpressure state (see serve.go). bpGate is the admission
+	// threshold in force — one atomic load on every Submit; spill is
+	// the bounded deferral buffer between the gate and ErrShed;
+	// shed/deferredN/readmitted/admittedN are the scheduler-level
+	// admission counters merged into Stats(). bpMu guards the
+	// controller, its trace and bpLast against concurrent observers.
+	bpCfg      backpressure.Config
+	bpGate     atomic.Int64
+	spill      *backpressure.Spillway[deferredTask[T]]
+	bpMu       sync.Mutex
+	bpCtrl     *backpressure.Controller
+	bpLast     backpressure.State
+	bpTrace    *ctl.Ring[backpressure.Window]
+	shed       atomic.Int64
+	deferredN  atomic.Int64
+	readmitted atomic.Int64
+	admittedN  atomic.Int64
 }
 
 // New constructs a scheduler. The data structure instance is created here
@@ -310,6 +369,26 @@ func New[T any](cfg Config[T]) (*Scheduler[T], error) {
 		if acfg.Limits.MaxBatch > s.maxBatch {
 			s.maxBatch = acfg.Limits.MaxBatch
 		}
+	}
+	if cfg.Backpressure {
+		if cfg.Priority == nil {
+			return nil, fmt.Errorf("sched: Backpressure requires a Priority function (the admission threshold is compared against it at Submit time)")
+		}
+		bcfg := backpressure.Config{
+			MaxPrio:         cfg.MaxPrio,
+			ProtectedBand:   cfg.ProtectedBand,
+			SojournBudget:   cfg.SojournBudget,
+			RankErrorBudget: cfg.RankErrorBudget,
+			Interval:        cfg.AdaptInterval,
+			SpillCap:        cfg.SpillCap,
+		}
+		if err := bcfg.Validate(); err != nil {
+			return nil, err
+		}
+		s.bpCfg = bcfg
+		s.spill = backpressure.NewSpillway[deferredTask[T]](bcfg.SpillCap)
+		s.bpGate.Store(bcfg.MaxPrio)
+		s.bpLast = bcfg.Open()
 	}
 	s.effBatch.Store(int32(cfg.Batch))
 	for i := 0; i < cfg.Injectors; i++ {
@@ -394,7 +473,7 @@ func (s *Scheduler[T]) Run(roots ...T) (RunStats, error) {
 	}
 	defer s.active.Store(false)
 
-	dsBefore := s.ds.Stats()
+	dsBefore := s.Stats()
 	elimBefore := s.elim.Load()
 	execBefore := s.executed.Load()
 	spawnBefore := s.spawned.Load()
@@ -425,7 +504,7 @@ func (s *Scheduler[T]) Run(roots ...T) (RunStats, error) {
 		Executed:   s.executed.Load() - execBefore,
 		Eliminated: s.elim.Load() - elimBefore,
 		Spawned:    s.spawned.Load() - spawnBefore,
-		DS:         s.ds.Stats().Sub(dsBefore),
+		DS:         s.Stats().Sub(dsBefore),
 	}, nil
 }
 
@@ -538,8 +617,17 @@ func backoff(fails int) {
 	}
 }
 
-// Stats exposes the backing data structure's cumulative counters.
-func (s *Scheduler[T]) Stats() core.Stats { return s.ds.Stats() }
+// Stats exposes the backing data structure's cumulative counters,
+// merged with the scheduler-level admission counters (Shed, Deferred,
+// Readmitted) — a raw DS never sheds, so the scheduler is the only
+// writer of those three.
+func (s *Scheduler[T]) Stats() core.Stats {
+	st := s.ds.Stats()
+	st.Shed = s.shed.Load()
+	st.Deferred = s.deferredN.Load()
+	st.Readmitted = s.readmitted.Load()
+	return st
+}
 
 // Ctx is the per-place execution context passed to Execute.
 type Ctx[T any] struct {

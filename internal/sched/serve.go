@@ -24,6 +24,8 @@ import (
 	"time"
 
 	"repro/internal/adapt"
+	"repro/internal/backpressure"
+	"repro/internal/ctl"
 	"repro/internal/xrand"
 )
 
@@ -35,6 +37,28 @@ var (
 	// ErrAlreadyServing is returned by Start when the scheduler is
 	// already serving.
 	ErrAlreadyServing = errors.New("sched: scheduler is already serving")
+	// ErrShed is returned by the Submit family under Config.Backpressure
+	// when the admission controller rejects a task: its priority is
+	// above the current threshold and the deferral spillway is full.
+	// The task was not stored and will not run; closed-loop callers
+	// should back off and retry, open-loop callers count it as load
+	// shed. Priorities below Config.ProtectedBand never see this error.
+	ErrShed = errors.New("sched: task shed by backpressure (scheduler overloaded)")
+)
+
+// Outcome is the per-task admission result reported by
+// SubmitAllKOutcomes.
+type Outcome uint8
+
+const (
+	// Admitted: the task passed the gate and was stored.
+	Admitted Outcome = iota
+	// Deferred: the task was parked in the spillway; it is accepted
+	// (it will execute, at the latest when Stop flushes the spillway)
+	// but waits for an under-loaded window.
+	Deferred
+	// Shed: the task was rejected and will not run.
+	Shed
 )
 
 // injector is one external submission lane: a mutex-guarded place id.
@@ -83,7 +107,7 @@ func (s *Scheduler[T]) Start() error {
 		Executed:   s.executed.Load(),
 		Eliminated: s.elim.Load(),
 		Spawned:    s.spawned.Load(),
-		DS:         s.ds.Stats(),
+		DS:         s.Stats(),
 	}
 
 	seeds := xrand.New(s.cfg.Seed ^ 0x5e7e5e7e)
@@ -115,40 +139,76 @@ func (s *Scheduler[T]) Start() error {
 		s.adaptMu.Lock()
 		s.ctrl = ctrl
 		s.adaptLast = ctrl.State()
-		s.trace = nil
-		s.traceHead = 0
+		s.trace = ctl.NewRing[adapt.Window](maxTraceWindows)
 		s.adaptMu.Unlock()
 		s.applyKnobs(ctrl.State())
+	}
+	if s.cfg.Backpressure {
+		// Like the adaptive controller, each session starts from a clean
+		// slate: the gate fully open, a fresh controller primed with the
+		// current cumulative totals.
+		ctrl, err := backpressure.NewController(s.bpCfg)
+		if err != nil {
+			// bpCfg was validated in New; a failure here is a bug.
+			panic(fmt.Sprintf("sched: backpressure controller: %v", err))
+		}
+		ctrl.Prime(s.bpSnapshot(-1))
+		s.bpMu.Lock()
+		s.bpCtrl = ctrl
+		s.bpLast = ctrl.State()
+		s.bpTrace = ctl.NewRing[backpressure.Window](maxTraceWindows)
+		s.bpMu.Unlock()
+		s.bpGate.Store(ctrl.State().Threshold)
+	}
+	if s.cfg.Adaptive || s.cfg.Backpressure {
 		s.ctrlStop = make(chan struct{})
 		s.ctrlDone = make(chan struct{})
-		go s.adaptLoop(s.ctrlStop, s.ctrlDone)
+		go s.ctlLoop(s.ctrlStop, s.ctrlDone)
 	}
 	s.serving.Store(true)
 	s.accepting.Store(true)
 	return nil
 }
 
-// adaptLoop is the controller goroutine: one adaptTick per interval
-// until Stop closes the stop channel. It lives strictly inside a serve
-// session — Start creates it and Stop joins it before returning.
-func (s *Scheduler[T]) adaptLoop(stop <-chan struct{}, done chan<- struct{}) {
+// ctlLoop is the controller goroutine: one tick per interval until Stop
+// closes the stop channel. It lives strictly inside a serve session —
+// Start creates it and Stop joins it before returning. Both runtime
+// controllers (adaptive S/B and backpressure admission) share the loop:
+// Config.RankSignal reads have a side effect (the estimator decays), so
+// a single read per window is taken here and fanned out to both.
+func (s *Scheduler[T]) ctlLoop(stop <-chan struct{}, done chan<- struct{}) {
 	defer close(done)
-	t := time.NewTicker(s.adaptCfg.Interval)
+	interval := s.adaptCfg.Interval
+	if !s.cfg.Adaptive {
+		interval = s.bpCfg.Interval
+	}
+	t := time.NewTicker(interval)
 	defer t.Stop()
 	for {
 		select {
 		case <-stop:
 			return
 		case <-t.C:
-			s.adaptTick(time.Since(s.serveT0))
+			at := time.Since(s.serveT0)
+			rank := -1.0
+			if s.cfg.RankSignal != nil {
+				rank = s.cfg.RankSignal()
+			}
+			if s.cfg.Adaptive {
+				s.adaptTick(at, rank)
+			}
+			if s.cfg.Backpressure {
+				s.bpTick(at, rank)
+			}
 		}
 	}
 }
 
-// snapshot collects the cumulative counter totals the controller
-// differences into window samples. The rank signal is deliberately not
-// read here: it is a per-window estimate whose read has a side effect
-// (the estimator decays), so only adaptTick consumes it.
+// snapshot collects the cumulative counter totals the adaptive
+// controller differences into window samples. The rank signal is
+// deliberately not read here: it is a per-window estimate whose read
+// has a side effect (the estimator decays), so ctlLoop reads it once
+// per window and passes it in.
 func (s *Scheduler[T]) snapshot() adapt.Cumulative {
 	st := s.ds.Stats()
 	cum := adapt.Cumulative{
@@ -173,26 +233,16 @@ func (s *Scheduler[T]) snapshot() adapt.Cumulative {
 // their full trajectory.
 const maxTraceWindows = 4096
 
-// adaptTick closes one control window: sample the cumulative counters
-// and the rank signal, step the controller, and apply its decision to
-// the live knobs.
-func (s *Scheduler[T]) adaptTick(at time.Duration) {
+// adaptTick closes one adaptive control window: sample the cumulative
+// counters, step the controller, and apply its decision to the live
+// knobs. rank is the window's rank-error p99 estimate (< 0: none).
+func (s *Scheduler[T]) adaptTick(at time.Duration, rank float64) {
 	cum := s.snapshot()
-	if s.cfg.RankSignal != nil {
-		cum.RankErrP99 = s.cfg.RankSignal()
-	}
+	cum.RankErrP99 = rank
 	s.adaptMu.Lock()
 	w := s.ctrl.Step(at, cum)
 	s.adaptLast = w.State
-	if len(s.trace) < maxTraceWindows {
-		s.trace = append(s.trace, w)
-	} else {
-		s.trace[s.traceHead] = w
-		s.traceHead++
-		if s.traceHead == maxTraceWindows {
-			s.traceHead = 0
-		}
-	}
+	s.trace.Append(w)
 	s.adaptMu.Unlock()
 	s.applyKnobs(w.State)
 }
@@ -211,6 +261,80 @@ func (s *Scheduler[T]) applyKnobs(st adapt.State) {
 	s.effBatch.Store(int32(b))
 	if s.stickDS != nil {
 		s.stickDS.SetStickiness(st.Stickiness)
+	}
+}
+
+// bpSnapshot collects the cumulative admission totals the backpressure
+// controller differences into window samples. rank is the window's
+// rank-error p99 estimate (< 0: none).
+func (s *Scheduler[T]) bpSnapshot(rank float64) backpressure.Cumulative {
+	return backpressure.Cumulative{
+		Admitted:   s.admittedN.Load(),
+		Deferred:   s.deferredN.Load(),
+		Shed:       s.shed.Load(),
+		Readmitted: s.readmitted.Load(),
+		Executed:   s.executed.Load(),
+		Pending:    s.pending.Load(),
+		Spill:      int64(s.spill.Len()),
+		RankErrP99: rank,
+	}
+}
+
+// bpTick closes one backpressure control window: sample, step the
+// controller, publish the new threshold to the Submit hot path, and
+// re-admit whatever the window's spare capacity allows back out of the
+// spillway.
+func (s *Scheduler[T]) bpTick(at time.Duration, rank float64) {
+	cum := s.bpSnapshot(rank)
+	s.bpMu.Lock()
+	w := s.bpCtrl.Step(at, cum)
+	s.bpLast = w.State
+	s.bpTrace.Append(w)
+	s.bpMu.Unlock()
+	s.bpGate.Store(w.State.Threshold)
+	if q := backpressure.ReadmitQuota(s.bpCfg, w.Sample); q > 0 {
+		s.readmitSpill(int(q))
+	}
+}
+
+// readmitSpill moves up to max deferred tasks (oldest first) from the
+// spillway into the data structure, through an injector lane like any
+// external batch — each task with the relaxation parameter its Submit
+// originally requested (runs of equal k share one batch push). Their
+// pending/finish accounting was taken at deferral time, so only the
+// Readmitted counter moves here. Reports whether anything drained.
+func (s *Scheduler[T]) readmitSpill(max int) bool {
+	ds := s.spill.DrainUpTo(max)
+	if len(ds) == 0 {
+		return false
+	}
+	s.readmitted.Add(int64(len(ds)))
+	inj := s.injectors[s.nextInj.Add(1)%uint64(len(s.injectors))]
+	inj.mu.Lock()
+	for i := 0; i < len(ds); {
+		j := i + 1
+		for j < len(ds) && ds[j].k == ds[i].k {
+			j++
+		}
+		envs := make([]envelope[T], 0, j-i)
+		for _, d := range ds[i:j] {
+			envs = append(envs, d.env)
+		}
+		s.bds.PushK(inj.place, ds[i].k, envs)
+		i = j
+	}
+	inj.mu.Unlock()
+	return true
+}
+
+// flushSpill drains the spillway completely. Stop calls it after
+// closing the submission gate so every deferred (accepted) task
+// executes before Stop returns; the Submit paths call it again when
+// they observe a closed gate right after deferring, closing the race
+// where a task is parked just after Stop's flush (the seq-cst order of
+// the accepting flag guarantees one of the two flushes sees it).
+func (s *Scheduler[T]) flushSpill() {
+	for s.readmitSpill(1024) {
 	}
 }
 
@@ -234,20 +358,44 @@ func (s *Scheduler[T]) AdaptiveState() (stickiness, batch int, ok bool) {
 func (s *Scheduler[T]) AdaptiveTrace() []adapt.Window {
 	s.adaptMu.Lock()
 	defer s.adaptMu.Unlock()
-	out := make([]adapt.Window, 0, len(s.trace))
-	out = append(out, s.trace[s.traceHead:]...)
-	out = append(out, s.trace[:s.traceHead]...)
-	if len(out) == 0 {
+	if s.trace == nil {
 		return nil
 	}
-	return out
+	return s.trace.Snapshot()
+}
+
+// BackpressureState reports the admission threshold currently in force
+// (fully open before the first window, the last decision after). ok is
+// false when the scheduler was not built with Config.Backpressure.
+func (s *Scheduler[T]) BackpressureState() (backpressure.State, bool) {
+	if !s.cfg.Backpressure {
+		return backpressure.State{}, false
+	}
+	s.bpMu.Lock()
+	defer s.bpMu.Unlock()
+	return s.bpLast, true
+}
+
+// BackpressureTrace returns a copy of the admission controller's
+// per-window decision trace of the current (or most recent) serve
+// session, oldest window first. Only the most recent maxTraceWindows
+// windows are retained. Nil when Config.Backpressure is off.
+func (s *Scheduler[T]) BackpressureTrace() []backpressure.Window {
+	s.bpMu.Lock()
+	defer s.bpMu.Unlock()
+	if s.bpTrace == nil {
+		return nil
+	}
+	return s.bpTrace.Snapshot()
 }
 
 // Submit stores v for execution by the serving workers with the
 // scheduler's default k. It is safe to call from any number of
 // goroutines concurrently. It fails with ErrNotServing outside a
-// Start/Stop window; a task whose Submit returned nil is guaranteed to
-// be executed (or staleness-eliminated) before Stop returns.
+// Start/Stop window (and, under Config.Backpressure, with ErrShed when
+// the admission controller rejects the task); a task whose Submit
+// returned nil is guaranteed to be executed (or staleness-eliminated)
+// before Stop returns — deferred tasks included.
 func (s *Scheduler[T]) Submit(v T) error { return s.SubmitK(s.cfg.K, v) }
 
 // SubmitK stores v with an explicit per-task relaxation parameter k.
@@ -260,6 +408,12 @@ func (s *Scheduler[T]) SubmitK(k int, v T) error {
 		s.pending.Add(-1)
 		return ErrNotServing
 	}
+	if s.spill != nil && s.cfg.Priority(v) > s.bpGate.Load() {
+		return s.deferOrShed(k, v)
+	}
+	if s.spill != nil {
+		s.admittedN.Add(1)
+	}
 	s.serveFin.pending.Add(1)
 	s.spawned.Add(1)
 	inj := s.injectors[s.nextInj.Add(1)%uint64(len(s.injectors))]
@@ -267,6 +421,28 @@ func (s *Scheduler[T]) SubmitK(k int, v T) error {
 	s.ds.Push(inj.place, k, envelope[T]{v: v, fin: s.serveFin})
 	inj.mu.Unlock()
 	return nil
+}
+
+// deferOrShed handles a submission above the admission threshold: park
+// it in the spillway, or reject it with ErrShed when the spillway is
+// full. The caller has already raised pending.
+func (s *Scheduler[T]) deferOrShed(k int, v T) error {
+	s.serveFin.pending.Add(1)
+	s.spawned.Add(1)
+	if s.spill.Offer(deferredTask[T]{env: envelope[T]{v: v, fin: s.serveFin}, k: k}) {
+		s.deferredN.Add(1)
+		if !s.accepting.Load() {
+			// Stop may have flushed the spillway between our gate check
+			// and the Offer; flush again so the envelope is not stranded.
+			s.flushSpill()
+		}
+		return nil
+	}
+	s.serveFin.pending.Add(-1)
+	s.spawned.Add(-1)
+	s.pending.Add(-1)
+	s.shed.Add(1)
+	return ErrShed
 }
 
 // SubmitAll stores every element of vs for execution with the
@@ -277,41 +453,120 @@ func (s *Scheduler[T]) SubmitAll(vs []T) error { return s.SubmitAllK(s.cfg.K, vs
 // relaxation parameter k, as one batch: the whole group is pushed under
 // a single injector-lane lock and — on structures with a native batch
 // path (core.BatchDS.PushK) — a single data structure lock acquisition.
-// Acceptance is all-or-nothing: either every task is accepted (nil) or
-// none is (ErrNotServing). Tasks of one batch land in the structure
+// Without backpressure, acceptance is all-or-nothing: either every task
+// is accepted (nil) or none is (ErrNotServing). Under
+// Config.Backpressure the admission gate decides per task, so a batch
+// can be partially accepted: the admitted subset is still pushed as one
+// batch, the rest is deferred or shed, and ErrShed reports that at
+// least one task was dropped — callers needing per-task results use
+// SubmitAllKOutcomes. Tasks of one batch land in the structure
 // together, so producers trading latency for throughput should keep
 // batches small relative to their latency budget.
 func (s *Scheduler[T]) SubmitAllK(k int, vs []T) error {
-	if len(vs) == 0 {
-		if !s.accepting.Load() {
-			return ErrNotServing
-		}
-		return nil
-	}
 	if len(vs) == 1 {
 		// The singles path skips the envelope-slice allocation — this
 		// matters because SubmitAll with a 1-element buffer is exactly
 		// what an unbatched producer loop degenerates to.
 		return s.SubmitK(k, vs[0])
 	}
+	_, err := s.SubmitAllKOutcomes(k, vs, nil)
+	return err
+}
+
+// SubmitAllKOutcomes is SubmitAllK with per-task admission results:
+// out, when non-nil, must have at least len(vs) entries and out[i] is
+// filled with the Outcome of vs[i]. It returns the number of accepted
+// tasks (admitted or deferred) and nil, ErrShed (≥ 1 task shed) or
+// ErrNotServing (nothing submitted). Without backpressure every task is
+// admitted and the call is exactly SubmitAllK.
+func (s *Scheduler[T]) SubmitAllKOutcomes(k int, vs []T, out []Outcome) (int, error) {
+	if out != nil && len(out) < len(vs) {
+		// Checked before any state change: failing mid-batch would leave
+		// pending raised for tasks never processed and wedge Stop.
+		return 0, fmt.Errorf("sched: SubmitAllKOutcomes out has %d entries for %d tasks", len(out), len(vs))
+	}
+	if len(vs) == 0 {
+		if !s.accepting.Load() {
+			return 0, ErrNotServing
+		}
+		return 0, nil
+	}
 	n := int64(len(vs))
 	// Count the batch before checking the gate, exactly like SubmitK.
 	s.pending.Add(n)
 	if !s.accepting.Load() {
 		s.pending.Add(-n)
-		return ErrNotServing
+		return 0, ErrNotServing
 	}
-	s.serveFin.pending.Add(n)
-	s.spawned.Add(n)
-	envs := make([]envelope[T], len(vs))
+	if s.spill == nil {
+		// Ungated: the whole batch is admitted as one push.
+		for i := range vs {
+			if out != nil {
+				out[i] = Admitted
+			}
+		}
+		s.serveFin.pending.Add(n)
+		s.spawned.Add(n)
+		envs := make([]envelope[T], len(vs))
+		for i, v := range vs {
+			envs[i] = envelope[T]{v: v, fin: s.serveFin}
+		}
+		inj := s.injectors[s.nextInj.Add(1)%uint64(len(s.injectors))]
+		inj.mu.Lock()
+		s.bds.PushK(inj.place, k, envs)
+		inj.mu.Unlock()
+		return len(vs), nil
+	}
+	// Gated: one threshold read decides the whole batch, so a batch is
+	// internally consistent even while the controller moves the gate.
+	threshold := s.bpGate.Load()
+	envs := make([]envelope[T], 0, len(vs))
+	deferred, shedN := 0, 0
 	for i, v := range vs {
-		envs[i] = envelope[T]{v: v, fin: s.serveFin}
+		if s.cfg.Priority(v) <= threshold {
+			if out != nil {
+				out[i] = Admitted
+			}
+			envs = append(envs, envelope[T]{v: v, fin: s.serveFin})
+			continue
+		}
+		s.serveFin.pending.Add(1)
+		s.spawned.Add(1)
+		if s.spill.Offer(deferredTask[T]{env: envelope[T]{v: v, fin: s.serveFin}, k: k}) {
+			s.deferredN.Add(1)
+			deferred++
+			if out != nil {
+				out[i] = Deferred
+			}
+			continue
+		}
+		s.serveFin.pending.Add(-1)
+		s.spawned.Add(-1)
+		s.pending.Add(-1)
+		s.shed.Add(1)
+		shedN++
+		if out != nil {
+			out[i] = Shed
+		}
 	}
-	inj := s.injectors[s.nextInj.Add(1)%uint64(len(s.injectors))]
-	inj.mu.Lock()
-	s.bds.PushK(inj.place, k, envs)
-	inj.mu.Unlock()
-	return nil
+	if len(envs) > 0 {
+		s.serveFin.pending.Add(int64(len(envs)))
+		s.spawned.Add(int64(len(envs)))
+		s.admittedN.Add(int64(len(envs)))
+		inj := s.injectors[s.nextInj.Add(1)%uint64(len(s.injectors))]
+		inj.mu.Lock()
+		s.bds.PushK(inj.place, k, envs)
+		inj.mu.Unlock()
+	}
+	if deferred > 0 && !s.accepting.Load() {
+		// Stop may have flushed the spillway while we were deferring;
+		// flush again so nothing is stranded (see flushSpill).
+		s.flushSpill()
+	}
+	if shedN > 0 {
+		return len(vs) - shedN, ErrShed
+	}
+	return len(vs), nil
 }
 
 // Drain blocks until the scheduler observes a quiescent instant: every
@@ -342,22 +597,35 @@ func (s *Scheduler[T]) Stop() (RunStats, error) {
 		return RunStats{}, nil
 	}
 	s.accepting.Store(false)
+	if s.spill != nil {
+		// Every deferred task was accepted (its Submit returned nil), so
+		// it must execute before Stop returns: push the whole spillway
+		// into the structure while the workers are still running.
+		s.flushSpill()
+	}
 	s.stopping.Store(true)
 	s.workers.Wait()
 	if s.ctrlStop != nil {
 		// Join the controller goroutine, then restore the raw
 		// configured knobs — not the limit-clamped controller seed, so
 		// a closed-world Run behaves identically before and after a
-		// serve session. The trace and AdaptiveState keep reporting the
-		// session's final adapted values.
+		// serve session. The trace, AdaptiveState and BackpressureState
+		// keep reporting the session's final values.
 		close(s.ctrlStop)
 		<-s.ctrlDone
 		s.ctrlStop, s.ctrlDone = nil, nil
-		stick := s.cfg.Stickiness
-		if stick < 1 {
-			stick = 1 // the relaxed structures' unsticky default
+		if s.cfg.Adaptive {
+			stick := s.cfg.Stickiness
+			if stick < 1 {
+				stick = 1 // the relaxed structures' unsticky default
+			}
+			s.applyKnobs(adapt.State{Stickiness: stick, Batch: s.cfg.Batch})
 		}
-		s.applyKnobs(adapt.State{Stickiness: stick, Batch: s.cfg.Batch})
+		if s.spill != nil {
+			// Reopen the gate between sessions: the next Start begins
+			// from a clean, fully open slate.
+			s.bpGate.Store(s.bpCfg.MaxPrio)
+		}
 	}
 	s.started = false
 	s.serving.Store(false)
@@ -367,7 +635,7 @@ func (s *Scheduler[T]) Stop() (RunStats, error) {
 		Executed:   s.executed.Load() - s.serveBase.Executed,
 		Eliminated: s.elim.Load() - s.serveBase.Eliminated,
 		Spawned:    s.spawned.Load() - s.serveBase.Spawned,
-		DS:         s.ds.Stats().Sub(s.serveBase.DS),
+		DS:         s.Stats().Sub(s.serveBase.DS),
 	}
 	return st, nil
 }

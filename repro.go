@@ -152,9 +152,32 @@ type SchedulerConfig[T any] struct {
 	// estimate the budget is checked against; negative return values
 	// mean "no signal". Nil disables the budget check.
 	RankSignal func() float64
-	// AdaptInterval is the adaptive controller's sampling window
-	// (0 = the 10ms default).
+	// AdaptInterval is the sampling window shared by the runtime
+	// controllers — adaptive tuning and backpressure (0 = the 10ms
+	// default).
 	AdaptInterval time.Duration
+	// Backpressure enables priority-aware admission control in serve
+	// mode: an admission threshold over the Priority domain tightens
+	// when the backlog exceeds what the observed service rate clears
+	// within SojournBudget, deferring gated tasks to a bounded spillway
+	// and shedding (ErrShed) once it is full. Priorities below
+	// ProtectedBand are never gated.
+	Backpressure bool
+	// Priority maps a task to its numeric priority (smaller is more
+	// urgent); required with Backpressure and must agree with Less.
+	Priority func(T) int64
+	// MaxPrio is the inclusive upper bound of the Priority domain
+	// (required ≥ 1 with Backpressure).
+	MaxPrio int64
+	// SojournBudget is the target sojourn time backpressure polices
+	// (0 = the 50ms default).
+	SojournBudget time.Duration
+	// ProtectedBand is the never-shed band: tasks with
+	// Priority < ProtectedBand are admitted unconditionally.
+	ProtectedBand int64
+	// SpillCap bounds the backpressure deferral spillway (0 = the
+	// 4096-task default).
+	SpillCap int
 	// Seed makes scheduling randomness reproducible.
 	Seed uint64
 }
@@ -196,6 +219,12 @@ func NewScheduler[T any](cfg SchedulerConfig[T]) (*Scheduler[T], error) {
 		RankErrorBudget: cfg.RankErrorBudget,
 		RankSignal:      cfg.RankSignal,
 		AdaptInterval:   cfg.AdaptInterval,
+		Backpressure:    cfg.Backpressure,
+		Priority:        cfg.Priority,
+		MaxPrio:         cfg.MaxPrio,
+		SojournBudget:   cfg.SojournBudget,
+		ProtectedBand:   cfg.ProtectedBand,
+		SpillCap:        cfg.SpillCap,
 		Seed:            cfg.Seed,
 		Execute: func(ic *sched.Ctx[T], v T) {
 			cfg.Execute(Ctx[T]{inner: ic}, v)
@@ -233,6 +262,11 @@ var (
 	ErrNotServing = sched.ErrNotServing
 	// ErrAlreadyServing is returned by Start on a serving scheduler.
 	ErrAlreadyServing = sched.ErrAlreadyServing
+	// ErrShed is returned by the Submit family under
+	// SchedulerConfig.Backpressure when the admission controller rejects
+	// a task under overload. The task will not run; closed-loop callers
+	// should back off and retry.
+	ErrShed = sched.ErrShed
 )
 
 // Start switches the scheduler into the open-system serving mode: worker
@@ -251,7 +285,9 @@ func (s *Scheduler[T]) SubmitK(k int, v T) error { return s.inner.SubmitK(k, v) 
 
 // SubmitAll stores every element of vs as one batch with the default k:
 // one injector-lane lock, and on strategies with a native batch path a
-// single data structure lock acquisition. All-or-nothing acceptance.
+// single data structure lock acquisition. Acceptance is all-or-nothing,
+// except under Backpressure where the gate decides per task and ErrShed
+// reports a partially dropped batch.
 func (s *Scheduler[T]) SubmitAll(vs []T) error { return s.inner.SubmitAll(vs) }
 
 // SubmitAllK stores every element of vs as one batch with an explicit
@@ -287,6 +323,15 @@ func (s *Scheduler[T]) Serving() bool { return s.inner.Serving() }
 // when the scheduler is not adaptive.
 func (s *Scheduler[T]) AdaptiveState() (stickiness, batch int, ok bool) {
 	return s.inner.AdaptiveState()
+}
+
+// BackpressureState reports the admission threshold currently in force
+// under SchedulerConfig.Backpressure: tasks with Priority at or below
+// threshold are admitted, the rest deferred or shed. MaxPrio means
+// fully open. ok is false when backpressure is not configured.
+func (s *Scheduler[T]) BackpressureState() (threshold int64, ok bool) {
+	st, ok := s.inner.BackpressureState()
+	return st.Threshold, ok
 }
 
 // Pending returns the number of submitted-or-spawned tasks not yet
