@@ -15,17 +15,26 @@
 //	        [-places N] [-k 512] [-arrival poisson|bursty|closed-loop]
 //	        [-dist uniform|skewed|ramp] [-window 64] [-on 10ms] [-off 10ms]
 //	        [-spin 0] [-ranksample 1] [-batch 1] [-stickiness 0]
+//	        [-groups 0] [-adaptiveplacement]
 //	        [-adaptive] [-rankbudget 0] [-adaptinterval 10ms]
 //	        [-backpressure] [-sojournbudget 50ms] [-protectedband 0]
 //	        [-spillcap 0] [-seed 20140215]
 //
-// -strategy, -rate, -producers, -batch and -stickiness accept
+// -strategy, -rate, -producers, -batch, -stickiness and -groups accept
 // comma-separated lists; "-strategy all" expands to the six headline
 // strategies (work-stealing, centralized, hybrid, global-heap, relaxed,
 // relaxed-two). -batch sets both the producers' submit batch and the
 // workers' pop batch; -stickiness sets the relaxed strategies' lane
 // stickiness S — together they sweep the MultiQueue throughput vs.
 // rank-error trade-off.
+//
+// -groups partitions the relaxed strategies' lanes into per-producer-
+// group lane groups (0/1 = flat): sampling and stickiness stay
+// group-local, with a bounded cross-group steal when a home group runs
+// dry. Grouped rows report the steal rate and per-group stats
+// (steal_rate, groups in the JSON); -adaptiveplacement hands the group
+// count to the placement controller (-groups becomes the ceiling) and
+// adds its per-window trace (placement_trace).
 //
 // -adaptive hands both knobs to the runtime controller instead
 // (internal/adapt): -stickiness and -batch become seeds, -rankbudget is
@@ -158,6 +167,8 @@ func main() {
 		rankSample = flag.Int("ranksample", 1, "measure rank error on every Nth task")
 		batches    = flag.String("batch", "1", "operation batch sizes: producer submit + worker pop batch (comma list)")
 		stickiness = flag.String("stickiness", "0", "relaxed lane stickiness S values, 0 = unsticky (comma list)")
+		groups     = flag.String("groups", "0", "relaxed lane-group counts, 0 = flat (comma list)")
+		adaptPlace = flag.Bool("adaptiveplacement", false, "let the placement controller resize the lane groups (-groups becomes the ceiling)")
 		adaptive   = flag.Bool("adaptive", false, "let the runtime controller tune S and the pop batch (batch/stickiness become seeds)")
 		rankBudget = flag.Float64("rankbudget", 0, "p99 rank-error budget for the runtime controllers (0 = none)")
 		adaptEvery = flag.Duration("adaptinterval", 0, "runtime controllers' window (0 = default)")
@@ -198,87 +209,134 @@ func main() {
 	if err != nil {
 		log.Fatalf("bad -stickiness: %v", err)
 	}
+	groupList, err := parseInts(*groups)
+	if err != nil {
+		log.Fatalf("bad -groups: %v", err)
+	}
+	if *adaptPlace {
+		// Refuse rather than silently measuring a flat, non-adaptive
+		// run: the placement controller needs a partition to resize and
+		// a relaxed strategy to resize it on.
+		usable := false
+		for _, g := range groupList {
+			if g > 1 {
+				usable = true
+			}
+		}
+		if !usable {
+			log.Fatalf("-adaptiveplacement needs a -groups value ≥ 2 (the controller's ceiling); got -groups %s", *groups)
+		}
+		relaxedSwept := false
+		for _, st := range stratList {
+			if st == sched.Relaxed || st == sched.RelaxedSampleTwo {
+				relaxedSwept = true
+			}
+		}
+		if !relaxedSwept {
+			log.Fatalf("-adaptiveplacement applies only to the relaxed strategies; none in -strategy %s", *strategy)
+		}
+	}
 
 	var results []load.Result
 	table := &stats.Table{Header: []string{
-		"strategy", "producers", "rate", "batch", "stick", "S/B-final", "throughput/s",
+		"strategy", "producers", "rate", "batch", "stick", "groups", "S/B-final", "throughput/s",
 		"p50(us)", "p95(us)", "p99(us)", "rank-err-mean", "rank-err-p99", "rank-err-max",
-		"shed%", "prot-p99(us)",
+		"steal%", "shed%", "prot-p99(us)",
 	}}
 	for _, strat := range stratList {
 		for _, np := range prodList {
 			for _, rate := range rateList {
 				for _, batch := range batchList {
 					// Only the relaxed strategies consume the stickiness
-					// knob; for the others a stickiness sweep would re-run
-					// bit-identical configurations and emit rows that look
-					// like a measured tradeoff where none exists.
-					sticks := stickList
+					// and lane-group knobs; for the others such sweeps
+					// would re-run bit-identical configurations and emit
+					// rows that look like a measured tradeoff where none
+					// exists — and the placement knobs are outright
+					// config errors there (AdaptivePlacement requires a
+					// relaxed strategy), so a mixed "-strategy all"
+					// sweep with -groups must run the other strategies
+					// flat rather than abort.
+					sticks, grps := stickList, groupList
 					if strat != sched.Relaxed && strat != sched.RelaxedSampleTwo {
-						sticks = stickList[:1]
+						sticks, grps = stickList[:1], []int{0}
 					}
 					for _, stick := range sticks {
-						fmt.Fprintf(os.Stderr, "loadgen: %s producers=%d rate=%.0f batch=%d stickiness=%d adaptive=%v arrival=%s dist=%s duration=%s\n",
-							strat, np, rate, batch, stick, *adaptive, arr, pd, *duration)
-						res, err := load.Run(load.Config{
-							Strategy:        strat,
-							Places:          *places,
-							K:               *k,
-							Producers:       np,
-							Duration:        *duration,
-							Arrival:         arr,
-							Rate:            rate,
-							OnPeriod:        *onPeriod,
-							OffPeriod:       *offPeriod,
-							Window:          *window,
-							Dist:            pd,
-							WorkSpin:        *spin,
-							RankSample:      *rankSample,
-							Batch:           batch,
-							Stickiness:      stick,
-							Adaptive:        *adaptive,
-							RankErrorBudget: *rankBudget,
-							AdaptInterval:   *adaptEvery,
-							Backpressure:    *backpress,
-							SojournBudget:   *sojournBud,
-							ProtectedBand:   *protBand,
-							SpillCap:        *spillCap,
-							Seed:            *seed,
-						})
-						if err != nil {
-							log.Fatalf("%s: %v", strat, err)
+						for _, grp := range grps {
+							fmt.Fprintf(os.Stderr, "loadgen: %s producers=%d rate=%.0f batch=%d stickiness=%d groups=%d adaptive=%v arrival=%s dist=%s duration=%s\n",
+								strat, np, rate, batch, stick, grp, *adaptive, arr, pd, *duration)
+							res, err := load.Run(load.Config{
+								Strategy:          strat,
+								Places:            *places,
+								K:                 *k,
+								Producers:         np,
+								Duration:          *duration,
+								Arrival:           arr,
+								Rate:              rate,
+								OnPeriod:          *onPeriod,
+								OffPeriod:         *offPeriod,
+								Window:            *window,
+								Dist:              pd,
+								WorkSpin:          *spin,
+								RankSample:        *rankSample,
+								Batch:             batch,
+								Stickiness:        stick,
+								LaneGroups:        grp,
+								AdaptivePlacement: *adaptPlace && grp > 1,
+								Adaptive:          *adaptive,
+								RankErrorBudget:   *rankBudget,
+								AdaptInterval:     *adaptEvery,
+								Backpressure:      *backpress,
+								SojournBudget:     *sojournBud,
+								ProtectedBand:     *protBand,
+								SpillCap:          *spillCap,
+								Seed:              *seed,
+							})
+							if err != nil {
+								log.Fatalf("%s: %v", strat, err)
+							}
+							results = append(results, res)
+							rateCell := stats.F(rate, 0)
+							if arr == load.ClosedLoop {
+								rateCell = "closed" // the rate flag is ignored
+							}
+							finalCell := "-"
+							if res.Adaptive {
+								finalCell = fmt.Sprintf("%d/%d", res.FinalStickiness, res.FinalBatch)
+							}
+							groupCell, stealCell := "-", "-"
+							if res.LaneGroups > 1 {
+								groupCell = fmt.Sprintf("%d", res.LaneGroups)
+								if res.AdaptivePlacement {
+									// ASCII arrow: the table pads by byte width.
+									groupCell = fmt.Sprintf("%d->%d", res.LaneGroups, res.FinalGroups)
+								}
+								stealCell = stats.F(res.StealRate*100, 2)
+							}
+							shedCell, protCell := "-", "-"
+							if res.Backpressure {
+								shedCell = stats.F(res.ShedRate*100, 2)
+								protCell = stats.F(res.Bands[0].SojournNs.P99/1e3, 1)
+							}
+							table.AddRow(
+								res.Strategy,
+								stats.I(int64(res.Producers)),
+								rateCell,
+								stats.I(int64(res.Batch)),
+								stats.I(int64(res.Stickiness)),
+								groupCell,
+								finalCell,
+								stats.F(res.ThroughputPerSec, 0),
+								stats.F(res.SojournNs.P50/1e3, 1),
+								stats.F(res.SojournNs.P95/1e3, 1),
+								stats.F(res.SojournNs.P99/1e3, 1),
+								stats.F(res.RankErrMean, 1),
+								stats.F(res.RankErr.P99, 0),
+								stats.I(res.RankErrMax),
+								stealCell,
+								shedCell,
+								protCell,
+							)
 						}
-						results = append(results, res)
-						rateCell := stats.F(rate, 0)
-						if arr == load.ClosedLoop {
-							rateCell = "closed" // the rate flag is ignored
-						}
-						finalCell := "-"
-						if res.Adaptive {
-							finalCell = fmt.Sprintf("%d/%d", res.FinalStickiness, res.FinalBatch)
-						}
-						shedCell, protCell := "-", "-"
-						if res.Backpressure {
-							shedCell = stats.F(res.ShedRate*100, 2)
-							protCell = stats.F(res.Bands[0].SojournNs.P99/1e3, 1)
-						}
-						table.AddRow(
-							res.Strategy,
-							stats.I(int64(res.Producers)),
-							rateCell,
-							stats.I(int64(res.Batch)),
-							stats.I(int64(res.Stickiness)),
-							finalCell,
-							stats.F(res.ThroughputPerSec, 0),
-							stats.F(res.SojournNs.P50/1e3, 1),
-							stats.F(res.SojournNs.P95/1e3, 1),
-							stats.F(res.SojournNs.P99/1e3, 1),
-							stats.F(res.RankErrMean, 1),
-							stats.F(res.RankErr.P99, 0),
-							stats.I(res.RankErrMax),
-							shedCell,
-							protCell,
-						)
 					}
 				}
 			}

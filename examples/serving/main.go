@@ -14,7 +14,8 @@
 // Run with:
 //
 //	go run ./examples/serving [-rate 20000] [-producers 4] [-duration 1s]
-//	                          [-batch 1] [-stickiness 0] [-adaptive]
+//	                          [-batch 1] [-stickiness 0] [-groups 0]
+//	                          [-adaptiveplacement] [-adaptive]
 //	                          [-backpressure] [-spin 0]
 //
 // -batch > 1 makes producers submit groups of requests through
@@ -22,6 +23,12 @@
 // lock episode; -stickiness S makes the relaxed strategies reuse a lane
 // for S consecutive operations. Both trade priority adherence for
 // throughput — compare the relaxed rows as the knobs change.
+//
+// -groups G partitions the relaxed strategies' lanes into G lane groups
+// with group-local sampling and bounded cross-group stealing — the
+// locality knob for high place counts; -adaptiveplacement lets the
+// placement controller merge and split the partition at runtime (the
+// relaxed rows then report where it landed).
 //
 // -adaptive hands both knobs to the runtime controller instead: the
 // flags become seeds, and each row reports where the controller drove
@@ -66,6 +73,8 @@ func main() {
 		duration   = flag.Duration("duration", time.Second, "traffic duration")
 		batch      = flag.Int("batch", 1, "submit/pop batch size (1 = unbatched)")
 		stickiness = flag.Int("stickiness", 0, "relaxed lane stickiness S (0 = unsticky)")
+		groups     = flag.Int("groups", 0, "relaxed lane groups (0 = flat)")
+		adaptPlace = flag.Bool("adaptiveplacement", false, "auto-resize the lane groups at runtime (-groups is the ceiling)")
 		adaptive   = flag.Bool("adaptive", false, "auto-tune S and the pop batch at runtime (flags become seeds)")
 		backpress  = flag.Bool("backpressure", false, "shed low-priority requests under overload")
 		spin       = flag.Int("spin", 0, "per-request busy-work iterations (use with -backpressure to overload)")
@@ -109,6 +118,12 @@ func main() {
 				hists[ctx.Place()].Observe(float64(time.Since(epoch) - r.enq))
 			},
 			Seed: 1,
+		}
+		if *groups > 1 && (strategy == repro.Relaxed || strategy == repro.RelaxedSampleTwo) {
+			// Only the relaxed strategies have lanes to place; setting
+			// AdaptivePlacement on the others is a config error.
+			cfg.LaneGroups = *groups
+			cfg.AdaptivePlacement = *adaptPlace
 		}
 		if *backpress {
 			cfg.Backpressure = true
@@ -186,6 +201,10 @@ func main() {
 		if err := s.Drain(); err != nil {
 			log.Fatal(err)
 		}
+		// Read the live partition before Stop restores the configured
+		// one — under -adaptiveplacement this is where the controller
+		// landed.
+		liveGroups, grouped := s.PlacementState()
 		st, err := s.Stop()
 		if err != nil {
 			log.Fatal(err)
@@ -199,6 +218,9 @@ func main() {
 		adapted := ""
 		if stick, b, ok := s.AdaptiveState(); ok {
 			adapted = fmt.Sprintf("   adapted S=%d B=%d", stick, b)
+		}
+		if grouped {
+			adapted += fmt.Sprintf("   groups=%d", liveGroups)
 		}
 		if *backpress {
 			adapted += fmt.Sprintf("   shed %d deferred %d", st.DS.Shed, st.DS.Deferred)

@@ -227,9 +227,18 @@ type Stats struct {
 	Publishes    int64 // hybrid: local lists appended to the global list
 	Spies        int64 // hybrid: spy attempts
 	SpyHits      int64 // hybrid: spy attempts that found tasks
-	Steals       int64 // work-stealing: steal attempts
+	Steals       int64 // work-stealing / grouped relaxed: steal attempts
 	StealHits    int64 // work-stealing: steals that obtained tasks
 	StolenTasks  int64 // work-stealing: tasks moved by successful steals
+	// CrossGroupPops counts tasks a grouped relaxed structure obtained
+	// from lanes outside the popping place's home lane group — the
+	// success side of the bounded cross-group steal a place falls back
+	// to when its home group is empty or fully contended. Flat (single
+	// group) structures never move it. Together with Steals (attempts,
+	// shared with the work-stealing structure whose steals are the same
+	// concept one layer down) it is the locality signal the placement
+	// controller samples.
+	CrossGroupPops int64 // grouped relaxed: tasks popped from out-of-group lanes
 
 	// The admission-control counters are written by the scheduler layer
 	// (sched serve-mode backpressure), never by a data structure: a shed
@@ -247,26 +256,27 @@ type Stats struct {
 // deltas from cumulative counters.
 func (s Stats) Sub(other Stats) Stats {
 	return Stats{
-		Pushes:       s.Pushes - other.Pushes,
-		Pops:         s.Pops - other.Pops,
-		PopFailures:  s.PopFailures - other.PopFailures,
-		BatchPushes:  s.BatchPushes - other.BatchPushes,
-		BatchPops:    s.BatchPops - other.BatchPops,
-		PopRetries:   s.PopRetries - other.PopRetries,
-		Resticks:     s.Resticks - other.Resticks,
-		Eliminated:   s.Eliminated - other.Eliminated,
-		TailAdvances: s.TailAdvances - other.TailAdvances,
-		Probes:       s.Probes - other.Probes,
-		ProbeHits:    s.ProbeHits - other.ProbeHits,
-		Publishes:    s.Publishes - other.Publishes,
-		Spies:        s.Spies - other.Spies,
-		SpyHits:      s.SpyHits - other.SpyHits,
-		Steals:       s.Steals - other.Steals,
-		StealHits:    s.StealHits - other.StealHits,
-		StolenTasks:  s.StolenTasks - other.StolenTasks,
-		Shed:         s.Shed - other.Shed,
-		Deferred:     s.Deferred - other.Deferred,
-		Readmitted:   s.Readmitted - other.Readmitted,
+		Pushes:         s.Pushes - other.Pushes,
+		Pops:           s.Pops - other.Pops,
+		PopFailures:    s.PopFailures - other.PopFailures,
+		BatchPushes:    s.BatchPushes - other.BatchPushes,
+		BatchPops:      s.BatchPops - other.BatchPops,
+		PopRetries:     s.PopRetries - other.PopRetries,
+		Resticks:       s.Resticks - other.Resticks,
+		Eliminated:     s.Eliminated - other.Eliminated,
+		TailAdvances:   s.TailAdvances - other.TailAdvances,
+		Probes:         s.Probes - other.Probes,
+		ProbeHits:      s.ProbeHits - other.ProbeHits,
+		Publishes:      s.Publishes - other.Publishes,
+		Spies:          s.Spies - other.Spies,
+		SpyHits:        s.SpyHits - other.SpyHits,
+		Steals:         s.Steals - other.Steals,
+		StealHits:      s.StealHits - other.StealHits,
+		StolenTasks:    s.StolenTasks - other.StolenTasks,
+		CrossGroupPops: s.CrossGroupPops - other.CrossGroupPops,
+		Shed:           s.Shed - other.Shed,
+		Deferred:       s.Deferred - other.Deferred,
+		Readmitted:     s.Readmitted - other.Readmitted,
 	}
 }
 
@@ -289,6 +299,7 @@ func (s *Stats) Add(other Stats) {
 	s.Steals += other.Steals
 	s.StealHits += other.StealHits
 	s.StolenTasks += other.StolenTasks
+	s.CrossGroupPops += other.CrossGroupPops
 	s.Shed += other.Shed
 	s.Deferred += other.Deferred
 	s.Readmitted += other.Readmitted
@@ -297,9 +308,10 @@ func (s *Stats) Add(other Stats) {
 // String renders the non-zero counters compactly.
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"pushes=%d pops=%d popFail=%d batchPush=%d batchPop=%d popRetry=%d restick=%d elim=%d tailAdv=%d probes=%d/%d publishes=%d spies=%d/%d steals=%d/%d stolen=%d shed=%d deferred=%d readmit=%d",
+		"pushes=%d pops=%d popFail=%d batchPush=%d batchPop=%d popRetry=%d restick=%d elim=%d tailAdv=%d probes=%d/%d publishes=%d spies=%d/%d steals=%d/%d stolen=%d xgroup=%d shed=%d deferred=%d readmit=%d",
 		s.Pushes, s.Pops, s.PopFailures, s.BatchPushes, s.BatchPops,
 		s.PopRetries, s.Resticks, s.Eliminated, s.TailAdvances,
 		s.ProbeHits, s.Probes, s.Publishes, s.SpyHits, s.Spies,
-		s.StealHits, s.Steals, s.StolenTasks, s.Shed, s.Deferred, s.Readmitted)
+		s.StealHits, s.Steals, s.StolenTasks, s.CrossGroupPops,
+		s.Shed, s.Deferred, s.Readmitted)
 }

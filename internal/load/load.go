@@ -32,6 +32,7 @@ import (
 	"repro/internal/adapt"
 	"repro/internal/backpressure"
 	"repro/internal/core"
+	"repro/internal/placement"
 	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/xrand"
@@ -154,6 +155,18 @@ type Config struct {
 	// Stickiness is the relaxed strategies' per-place lane stickiness S
 	// (default: re-sample every operation). Ignored by the others.
 	Stickiness int
+	// LaneGroups partitions the relaxed strategies' lanes into
+	// per-producer-group lane groups with group-local sampling and
+	// bounded cross-group stealing (sched.Config.LaneGroups). 0 and 1
+	// select the flat structure; the others ignore it. Grouped runs
+	// report the steal rate, per-group executed/contention stats and —
+	// under AdaptivePlacement — the controller's group-count trace.
+	LaneGroups int
+	// AdaptivePlacement hands the group count to the placement
+	// controller (sched.Config.AdaptivePlacement): LaneGroups becomes
+	// the finest partition and the controller merges/splits from the
+	// steal and contention signals.
+	AdaptivePlacement bool
 	// Adaptive enables the scheduler's runtime S/B controller
 	// (sched.Config.Adaptive): Stickiness and Batch become seeds rather
 	// than fixed settings, and the generator wires a decaying rank-error
@@ -197,6 +210,16 @@ const rankBuckets = 256
 // backpressure runs: band 0 is the protected band, bands 1–3 split the
 // rest of the priority range into equal thirds (most to least urgent).
 const numBands = 4
+
+// GroupResult is one lane group's placement report.
+type GroupResult struct {
+	// Group is the home-group index in [0, LaneGroups).
+	Group int `json:"group"`
+	// Executed counts the tasks run by the group's worker places.
+	Executed int64 `json:"executed"`
+	// Contention is the group's cumulative failed lane try-locks.
+	Contention int64 `json:"contention"`
+}
 
 // BandResult is one priority band's admission and goodput report.
 type BandResult struct {
@@ -257,6 +280,17 @@ type Result struct {
 	FinalStickiness int            `json:"final_stickiness,omitempty"`
 	FinalBatch      int            `json:"final_batch,omitempty"`
 	AdaptTrace      []adapt.Window `json:"adapt_trace,omitempty"`
+
+	// Grouped-placement extras: the configured partition, the active
+	// group count at the end of the run (== LaneGroups for fixed runs),
+	// the cross-group steal fraction of all pops, per-group stats, and —
+	// for AdaptivePlacement runs — the controller's per-window trace.
+	LaneGroups        int                `json:"lane_groups,omitempty"`
+	AdaptivePlacement bool               `json:"adaptive_placement,omitempty"`
+	FinalGroups       int                `json:"final_groups,omitempty"`
+	StealRate         float64            `json:"steal_rate,omitempty"`
+	Groups            []GroupResult      `json:"groups,omitempty"`
+	PlacementTrace    []placement.Window `json:"placement_trace,omitempty"`
 
 	// Backpressure-run extras: the admission totals (Attempted =
 	// Submitted + Shed), the shed rate, goodput by priority band, the
@@ -330,6 +364,12 @@ func (c Config) withDefaults() (Config, error) {
 	if c.RankErrorBudget < 0 || c.AdaptInterval < 0 {
 		return c, fmt.Errorf("load: negative adaptive parameter")
 	}
+	if c.LaneGroups < 0 {
+		return c, fmt.Errorf("load: negative LaneGroups")
+	}
+	if c.AdaptivePlacement && c.LaneGroups < 2 {
+		return c, fmt.Errorf("load: AdaptivePlacement needs LaneGroups ≥ 2, got %d", c.LaneGroups)
+	}
 	if c.Backpressure {
 		if c.SojournBudget == 0 {
 			c.SojournBudget = backpressure.DefaultSojournBudget
@@ -365,6 +405,11 @@ type tracker struct {
 	// decay is the live windowed rank-error estimator feeding the
 	// controllers' budget checks (nil when no controller consumes it).
 	decay *stats.DecayingHist
+
+	// groupExec tallies executed tasks per worker home group (grouped
+	// runs only; nil otherwise), attributed via sched.HomeGroup — the
+	// same mapping the scheduler partitions the worker places by.
+	groupExec []atomic.Int64
 
 	// Backpressure-run band accounting (zero-valued when off): per-band
 	// admission outcomes and execution counts, written by the producer
@@ -404,6 +449,9 @@ func newTracker(cfg Config) *tracker {
 		for i := 0; i < cap(tr.tokens); i++ {
 			tr.tokens <- struct{}{}
 		}
+	}
+	if cfg.LaneGroups > 1 {
+		tr.groupExec = make([]atomic.Int64, cfg.LaneGroups)
 	}
 	return tr
 }
@@ -684,14 +732,19 @@ func Run(cfg Config) (Result, error) {
 			if bandHists != nil {
 				bands = bandHists[pl]
 			}
+			if tr.groupExec != nil {
+				tr.groupExec[sched.HomeGroup(pl, cfg.Places, cfg.LaneGroups)].Add(1)
+			}
 			tr.onExecute(hists[pl], rankHists[pl], bands, t)
 		},
-		LocalQueue:    cfg.LocalQueue,
-		Injectors:     cfg.Producers,
-		Batch:         cfg.Batch,
-		Stickiness:    cfg.Stickiness,
-		AdaptInterval: cfg.AdaptInterval,
-		Seed:          cfg.Seed,
+		LocalQueue:        cfg.LocalQueue,
+		Injectors:         cfg.Producers,
+		Batch:             cfg.Batch,
+		Stickiness:        cfg.Stickiness,
+		LaneGroups:        cfg.LaneGroups,
+		AdaptivePlacement: cfg.AdaptivePlacement,
+		AdaptInterval:     cfg.AdaptInterval,
+		Seed:              cfg.Seed,
 	}
 	if cfg.Adaptive {
 		scfg.Adaptive = true
@@ -740,6 +793,9 @@ func Run(cfg Config) (Result, error) {
 	if err := s.Drain(); err != nil {
 		return Result{}, err
 	}
+	// Read the live partition before Stop restores the configured one;
+	// for AdaptivePlacement runs this is where the controller landed.
+	finalGroups, grouped := s.PlacementState()
 	st, err := s.Stop()
 	if err != nil {
 		return Result{}, err
@@ -781,6 +837,28 @@ func Run(cfg Config) (Result, error) {
 			res.FinalStickiness, res.FinalBatch = st, b
 		}
 		res.AdaptTrace = s.AdaptiveTrace()
+	}
+	if grouped {
+		// Only the relaxed strategies actually group their lanes; the
+		// others ignore LaneGroups, so the grouped extras key off the
+		// scheduler's report rather than the config.
+		res.LaneGroups = cfg.LaneGroups
+		res.FinalGroups = finalGroups
+		if res.DS.Pops > 0 {
+			res.StealRate = float64(res.DS.CrossGroupPops) / float64(res.DS.Pops)
+		}
+		gc := s.GroupContention()
+		for grp := 0; grp < cfg.LaneGroups; grp++ {
+			gr := GroupResult{Group: grp, Executed: tr.groupExec[grp].Load()}
+			if grp < len(gc) {
+				gr.Contention = gc[grp]
+			}
+			res.Groups = append(res.Groups, gr)
+		}
+		if cfg.AdaptivePlacement {
+			res.AdaptivePlacement = true
+			res.PlacementTrace = s.PlacementTrace()
+		}
 	}
 	if cfg.Backpressure {
 		res.Backpressure = true

@@ -463,3 +463,90 @@ func TestBandMapping(t *testing.T) {
 		}
 	}
 }
+
+// TestRunGrouped drives a grouped run end to end: the result must carry
+// the grouped extras (lane_groups, per-group stats summing to the
+// executed total, a bounded steal rate), and an adaptive-placement run
+// must additionally carry the controller's trace with every decision in
+// bounds.
+func TestRunGrouped(t *testing.T) {
+	res, err := Run(Config{
+		Strategy:   sched.Relaxed,
+		Places:     4,
+		Producers:  4,
+		Duration:   300 * time.Millisecond,
+		Arrival:    ClosedLoop,
+		Window:     32,
+		LaneGroups: 4,
+		Stickiness: 4,
+		RankSample: 4,
+		Seed:       5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LaneGroups != 4 || res.FinalGroups != 4 {
+		t.Fatalf("grouped extras missing: lane_groups=%d final=%d", res.LaneGroups, res.FinalGroups)
+	}
+	if len(res.Groups) != 4 {
+		t.Fatalf("per-group stats: %d groups, want 4", len(res.Groups))
+	}
+	var groupExec int64
+	for _, g := range res.Groups {
+		groupExec += g.Executed
+	}
+	if groupExec != res.Executed {
+		t.Fatalf("per-group executed sums to %d, run executed %d", groupExec, res.Executed)
+	}
+	if res.StealRate < 0 || res.StealRate > 1 {
+		t.Fatalf("steal rate %v outside [0, 1]", res.StealRate)
+	}
+	if res.AdaptivePlacement || res.PlacementTrace != nil {
+		t.Fatal("fixed grouped run reported adaptive-placement extras")
+	}
+
+	ares, err := Run(Config{
+		Strategy:          sched.RelaxedSampleTwo,
+		Places:            4,
+		Producers:         4,
+		Duration:          300 * time.Millisecond,
+		Arrival:           ClosedLoop,
+		Window:            32,
+		LaneGroups:        4,
+		AdaptivePlacement: true,
+		AdaptInterval:     5 * time.Millisecond,
+		RankSample:        4,
+		Seed:              6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ares.AdaptivePlacement || len(ares.PlacementTrace) == 0 {
+		t.Fatalf("adaptive placement run missing trace (%d windows)", len(ares.PlacementTrace))
+	}
+	for i, w := range ares.PlacementTrace {
+		if w.State.Groups < 1 || w.State.Groups > 4 {
+			t.Fatalf("trace window %d: groups %d outside [1, 4]", i, w.State.Groups)
+		}
+	}
+	if ares.FinalGroups < 1 || ares.FinalGroups > 4 {
+		t.Fatalf("final groups %d outside [1, 4]", ares.FinalGroups)
+	}
+
+	// A flat run must not grow grouped extras.
+	flat, err := Run(Config{
+		Strategy:  sched.Relaxed,
+		Places:    2,
+		Producers: 2,
+		Duration:  100 * time.Millisecond,
+		Arrival:   ClosedLoop,
+		Window:    16,
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.LaneGroups != 0 || flat.Groups != nil {
+		t.Fatalf("flat run reported grouped extras: %+v", flat.Groups)
+	}
+}

@@ -1,0 +1,156 @@
+package placement
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// cfgFromSeed derives an arbitrary-but-valid config from fuzzed inputs.
+func cfgFromSeed(maxGroups uint8) Config {
+	return Config{MaxGroups: int(maxGroups%16) + 1}
+}
+
+// TestDecideNeverLeavesBounds: for any sample and any (even absurd)
+// current state, the decided group count stays inside [1, MaxGroups].
+func TestDecideNeverLeavesBounds(t *testing.T) {
+	f := func(maxGroups uint8, curGroups int16, s Sample) bool {
+		cfg := cfgFromSeed(maxGroups)
+		next := Decide(cfg, State{Groups: int(curGroups)}, s)
+		return next.Groups >= 1 && next.Groups <= cfg.MaxGroups
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecideOneStep: from any in-bounds state, one window moves the
+// group count by at most one doubling or halving step.
+func TestDecideOneStep(t *testing.T) {
+	f := func(maxGroups uint8, curGroups uint8, s Sample) bool {
+		cfg := cfgFromSeed(maxGroups)
+		cur := cfg.Clamp(State{Groups: int(curGroups)})
+		next := Decide(cfg, cur, s)
+		switch next.Groups {
+		case cur.Groups, StepUp(cur.Groups, cfg.MaxGroups), StepDown(cur.Groups):
+			return true
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecideStealingNeverSplits: a window over the steal threshold can
+// only merge or hold — never yield a finer partition. This is the
+// guard that keeps the controller from feeding the failure mode
+// (splitting a partition whose groups are already running dry).
+func TestDecideStealingNeverSplits(t *testing.T) {
+	f := func(maxGroups uint8, curGroups uint8, s Sample) bool {
+		cfg := cfgFromSeed(maxGroups)
+		cur := cfg.Clamp(State{Groups: int(curGroups)})
+		if s.Pops < 1 {
+			s.Pops = 1
+		}
+		s.CrossGroupPops = s.Pops // 100% cross-group: maximally stealing
+		next := Decide(cfg, cur, s)
+		return next.Groups <= cur.Groups
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecidePolicy pins the three branches on hand-built windows.
+func TestDecidePolicy(t *testing.T) {
+	cfg := Config{MaxGroups: 8}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cur := State{Groups: 4}
+
+	idle := Sample{}
+	if got := Decide(cfg, cur, idle); got != cur {
+		t.Fatalf("idle window moved groups: %+v", got)
+	}
+	stealing := Sample{Pops: 1000, CrossGroupPops: 500, LaneContention: 1000}
+	if got := Decide(cfg, cur, stealing); got.Groups != 2 {
+		t.Fatalf("stealing window: groups = %d, want merge to 2 (stealing outranks contention)", got.Groups)
+	}
+	contended := Sample{Pops: 1000, LaneContention: 200}
+	if got := Decide(cfg, cur, contended); got.Groups != 8 {
+		t.Fatalf("contended window: groups = %d, want split to 8", got.Groups)
+	}
+	quiet := Sample{Pops: 1000, Pending: 50}
+	if got := Decide(cfg, cur, quiet); got != cur {
+		t.Fatalf("quiet window moved groups: %+v (no growth pressure of its own)", got)
+	}
+	atMax := State{Groups: 8}
+	if got := Decide(cfg, atMax, contended); got != atMax {
+		t.Fatalf("contended at MaxGroups: %+v, want hold", got)
+	}
+}
+
+// TestConfigValidate pins the rejection paths and the defaults.
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{MaxGroups: 0},
+		{MaxGroups: -3},
+		{MaxGroups: 4, StealFrac: -0.1},
+		{MaxGroups: 4, ContendFrac: -0.1},
+		{MaxGroups: 4, Interval: time.Microsecond},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("config %d validated: %+v", i, c)
+		}
+	}
+	good := Config{MaxGroups: 4}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if good.StealFrac != DefaultStealFrac || good.ContendFrac != DefaultContendFrac || good.Interval != DefaultInterval {
+		t.Fatalf("defaults not applied: %+v", good)
+	}
+}
+
+// TestControllerSeedClamped: the controller clamps its seed and rejects
+// invalid configs.
+func TestControllerSeedClamped(t *testing.T) {
+	if _, err := NewController(Config{}, State{Groups: 1}); err == nil {
+		t.Fatal("zero MaxGroups accepted")
+	}
+	c, err := NewController(Config{MaxGroups: 4}, State{Groups: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.State().Groups; got != 4 {
+		t.Fatalf("seed clamped to %d, want 4", got)
+	}
+	c2, err := NewController(Config{MaxGroups: 4}, State{Groups: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.State().Groups; got != 1 {
+		t.Fatalf("seed clamped to %d, want 1", got)
+	}
+}
+
+// TestControllerDiffing: Step differences cumulative snapshots into
+// window samples, and Prime resets the baseline.
+func TestControllerDiffing(t *testing.T) {
+	c, err := NewController(Config{MaxGroups: 8}, State{Groups: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Prime(Cumulative{Pops: 1000, CrossGroupPops: 900})
+	w := c.Step(time.Millisecond, Cumulative{Pops: 1100, CrossGroupPops: 950, Pending: 7})
+	if w.Sample.Pops != 100 || w.Sample.CrossGroupPops != 50 || w.Sample.Pending != 7 {
+		t.Fatalf("diffed sample %+v", w.Sample)
+	}
+	// 50/100 cross-group: merge one step.
+	if w.State.Groups != 4 {
+		t.Fatalf("groups = %d after 50%% stealing window, want 4", w.State.Groups)
+	}
+}

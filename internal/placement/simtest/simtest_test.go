@@ -1,0 +1,168 @@
+package simtest
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/placement"
+)
+
+// suite is the headline scripted scenario: idle warmup, a balanced
+// high-contention phase (the partition should split toward MaxGroups),
+// a producer-group imbalance phase (the partition should merge back
+// down), and a drain.
+func suite() (placement.Config, placement.State, []Phase) {
+	cfg := placement.Config{MaxGroups: 8}
+	seed := placement.State{Groups: 1}
+	phases := []Phase{
+		{Name: "idle", Windows: 5, Load: Load{}},
+		{Name: "balanced-contended", Windows: 20, Load: Load{
+			Arrivals: 1000, ServiceRate: 1000, Places: 16, Contention: 0.2,
+		}},
+		// The imbalance phase drops the contention signal: the producer
+		// groups have gone quiet-but-skewed (traffic concentrated in a
+		// few groups), which is exactly when steals dominate. A phase
+		// that is simultaneously contended and imbalanced has no good
+		// static partition and the AIMD loop oscillates around its
+		// equilibrium by design, like the adapt controller does.
+		{Name: "imbalanced", Windows: 20, Load: Load{
+			Arrivals: 1000, ServiceRate: 1000, Places: 16, Imbalance: 0.6,
+		}},
+		{Name: "drain", Windows: 5, Load: Load{ServiceRate: 1000, Places: 16}},
+	}
+	return cfg, seed, phases
+}
+
+func mustRun(t *testing.T) Result {
+	t.Helper()
+	cfg, seed, phases := suite()
+	res, err := Run(cfg, seed, phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func byPhase(res Result, name string) []WindowResult {
+	var out []WindowResult
+	for _, w := range res.Windows {
+		if w.Phase == name {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// TestBoundsAlways: every window's decision stays in [1, MaxGroups].
+func TestBoundsAlways(t *testing.T) {
+	cfg, _, _ := suite()
+	res := mustRun(t)
+	for i, w := range res.Windows {
+		if g := w.Window.State.Groups; g < 1 || g > cfg.MaxGroups {
+			t.Fatalf("window %d (%s): groups %d outside [1, %d]", i, w.Phase, g, cfg.MaxGroups)
+		}
+	}
+}
+
+// TestIdleHolds: the idle warmup never moves the partition off its
+// seed — an empty polling scheduler is not evidence.
+func TestIdleHolds(t *testing.T) {
+	res := mustRun(t)
+	for i, w := range byPhase(res, "idle") {
+		if w.Window.State.Groups != 1 {
+			t.Fatalf("idle window %d moved groups to %d", i, w.Window.State.Groups)
+		}
+	}
+}
+
+// TestContentionSplitsToMax: under balanced contention the controller
+// must climb to the finest partition, monotonically (splitting is the
+// only reaction a contended, steal-quiet plant can trigger), and stay
+// there.
+func TestContentionSplitsToMax(t *testing.T) {
+	cfg, _, _ := suite()
+	wins := byPhase(mustRun(t), "balanced-contended")
+	prev := 1
+	for i, w := range wins {
+		g := w.Window.State.Groups
+		if g < prev {
+			t.Fatalf("contended window %d merged: %d after %d", i, g, prev)
+		}
+		prev = g
+	}
+	if prev != cfg.MaxGroups {
+		t.Fatalf("contended phase converged to %d groups, want %d", prev, cfg.MaxGroups)
+	}
+}
+
+// TestImbalanceMergesMonotonically: once the traffic goes imbalanced
+// the steal fraction at 8 groups (0.6·7/8 ≈ 0.53) is far over the
+// threshold — the controller must merge, never split, through the
+// phase.
+func TestImbalanceMergesMonotonically(t *testing.T) {
+	wins := byPhase(mustRun(t), "imbalanced")
+	prev := wins[0].Window.State.Groups
+	for i, w := range wins[1:] {
+		g := w.Window.State.Groups
+		if g > prev {
+			t.Fatalf("imbalanced window %d split: %d after %d", i+1, g, prev)
+		}
+		prev = g
+	}
+	first := wins[0].Window.State.Groups
+	if last := wins[len(wins)-1].Window.State.Groups; last >= first {
+		t.Fatalf("imbalanced phase did not merge: %d -> %d", first, last)
+	}
+	// The model still steals Imbalance·(1−1/2) = 30% at g = 2, so the
+	// equilibrium under this imbalance is fully flat.
+	if final := wins[len(wins)-1].Window.State.Groups; final != 1 {
+		t.Fatalf("imbalanced phase settled at %d groups, want 1 (flat)", final)
+	}
+}
+
+// TestBacklogDrains: the plant itself must be conservative — everything
+// that arrived is eventually popped, and the drain phase ends empty.
+func TestBacklogDrains(t *testing.T) {
+	res := mustRun(t)
+	if last := res.Windows[len(res.Windows)-1]; last.Pending != 0 {
+		t.Fatalf("drain phase left %d pending", last.Pending)
+	}
+	var pops int64
+	for _, w := range res.Windows {
+		pops += w.Window.Sample.Pops
+	}
+	const arrived = 20*1000 + 20*1000
+	if pops != arrived {
+		t.Fatalf("plant popped %d of %d arrivals", pops, arrived)
+	}
+}
+
+// TestDeterminism: two replays of the same script are bit-identical —
+// the property that makes scripted plants usable as regression tests.
+func TestDeterminism(t *testing.T) {
+	a := mustRun(t)
+	b := mustRun(t)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two replays of the same script diverged")
+	}
+}
+
+// TestSeedAtMaxHoldsWhenQuiet: seeded at the finest partition with a
+// balanced, uncontended plant, the controller holds — no thrashing
+// toward flat without a steal signal.
+func TestSeedAtMaxHoldsWhenQuiet(t *testing.T) {
+	cfg := placement.Config{MaxGroups: 8}
+	res, err := Run(cfg, placement.State{Groups: 8}, []Phase{
+		{Name: "quiet", Windows: 10, Load: Load{
+			Arrivals: 500, ServiceRate: 1000, Places: 8,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range res.Windows {
+		if w.Window.State.Groups != 8 {
+			t.Fatalf("quiet window %d moved groups to %d", i, w.Window.State.Groups)
+		}
+	}
+}

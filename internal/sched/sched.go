@@ -34,6 +34,7 @@ import (
 	"repro/internal/core/hybrid"
 	"repro/internal/core/wsprio"
 	"repro/internal/ctl"
+	"repro/internal/placement"
 	"repro/internal/relaxed"
 	"repro/internal/xrand"
 )
@@ -157,6 +158,27 @@ type Config[T any] struct {
 	// lane for up to S consecutive operations before re-sampling. 0
 	// selects the unsticky default (S = 1); other strategies ignore it.
 	Stickiness int
+	// LaneGroups partitions the relaxed strategies' lanes into this many
+	// contiguous per-producer-group lane groups: push/pop sampling and
+	// stickiness stay inside a place's home group (worker places are
+	// assigned to groups in contiguous blocks — pin places to cores
+	// socket by socket and a group is a NUMA node — and the injector
+	// lanes are spread over the groups the same way), with a bounded
+	// cross-group steal when the home group runs empty. 0 and 1 select
+	// the flat structure; other strategies ignore it. For serve mode,
+	// keep Injectors ≥ LaneGroups so every group receives external
+	// submissions — a group no injector maps to is fed only by worker
+	// spawns and steals.
+	LaneGroups int
+	// AdaptivePlacement enables the lane-placement controller
+	// (internal/placement) in serve mode: LaneGroups becomes the finest
+	// partition (the controller's ceiling and starting point), and
+	// every AdaptInterval the controller merges or splits the active
+	// group count one step from the structure's cross-group steal rate
+	// and lane contention. Requires LaneGroups ≥ 2 and a relaxed
+	// strategy. Closed-world Run is not adapted — it keeps the
+	// configured partition.
+	AdaptivePlacement bool
 	// Adaptive enables the runtime feedback controller (internal/adapt)
 	// in serve mode: every AdaptInterval it samples the structure's
 	// counters (pop retries, lane contention, batch pops, pending) plus
@@ -278,6 +300,7 @@ type Scheduler[T any] struct {
 	effBatch  atomic.Int32
 	stickDS   interface{ SetStickiness(int) }
 	contDS    interface{ ContentionTotal() int64 }
+	grpDS     groupedDS
 	adaptCfg  adapt.Config
 	adaptSeed adapt.State
 	adaptMu   sync.Mutex
@@ -286,6 +309,16 @@ type Scheduler[T any] struct {
 	ctrlDone  chan struct{}
 	adaptLast adapt.State
 	trace     *ctl.Ring[adapt.Window]
+
+	// Placement-controller state (see serve.go): the lane-group resize
+	// loop over grpDS, same shape as the adaptive S/B state above.
+	// plMu guards the controller, its trace and plLast against
+	// concurrent observers.
+	plCfg   placement.Config
+	plMu    sync.Mutex
+	plCtrl  *placement.Controller
+	plLast  placement.State
+	plTrace *ctl.Ring[placement.Window]
 
 	// Backpressure state (see serve.go). bpGate is the admission
 	// threshold in force — one atomic load on every Submit; spill is
@@ -304,6 +337,24 @@ type Scheduler[T any] struct {
 	deferredN  atomic.Int64
 	readmitted atomic.Int64
 	admittedN  atomic.Int64
+}
+
+// HomeGroup is the contiguous-block place→group mapping the scheduler
+// installs for its worker places (and, index-shifted, its injector
+// lanes) when Config.LaneGroups > 1: member i of n gets group
+// i·groups/n. Exported so per-group reporting (internal/load's
+// executed-per-group tally) attributes work with the same arithmetic
+// the structure partitions by, rather than re-deriving it.
+func HomeGroup(i, n, groups int) int { return i * groups / n }
+
+// groupedDS is the lane-group hook set of the relaxed structures: live
+// partition resize plus the per-group observability the placement
+// controller and the load generator's per-group stats consume.
+type groupedDS interface {
+	SetGroups(int)
+	ActiveGroups() int
+	MaxGroups() int
+	GroupContention(out []int64) []int64
 }
 
 // New constructs a scheduler. The data structure instance is created here
@@ -338,6 +389,20 @@ func New[T any](cfg Config[T]) (*Scheduler[T], error) {
 	}
 	if cfg.Stickiness > MaxStickiness {
 		return nil, fmt.Errorf("sched: Stickiness = %d exceeds %d; a place would never meaningfully re-sample its lane", cfg.Stickiness, MaxStickiness)
+	}
+	if cfg.LaneGroups < 0 {
+		return nil, fmt.Errorf("sched: LaneGroups = %d, must be non-negative", cfg.LaneGroups)
+	}
+	if cfg.LaneGroups > cfg.Places {
+		return nil, fmt.Errorf("sched: LaneGroups = %d exceeds Places = %d; a group with no worker homes can only be drained by steals", cfg.LaneGroups, cfg.Places)
+	}
+	if cfg.AdaptivePlacement {
+		if cfg.LaneGroups < 2 {
+			return nil, fmt.Errorf("sched: AdaptivePlacement needs LaneGroups ≥ 2 (the configured partition is the controller's ceiling), got %d", cfg.LaneGroups)
+		}
+		if cfg.Strategy != Relaxed && cfg.Strategy != RelaxedSampleTwo {
+			return nil, fmt.Errorf("sched: AdaptivePlacement requires a relaxed strategy (%s has no lanes to place)", cfg.Strategy)
+		}
 	}
 	if cfg.RankErrorBudget < 0 {
 		return nil, fmt.Errorf("sched: RankErrorBudget = %v, must be non-negative", cfg.RankErrorBudget)
@@ -413,6 +478,23 @@ func New[T any](cfg Config[T]) (*Scheduler[T], error) {
 		}
 	}
 
+	// The relaxed construction knobs, shared by both sampling modes:
+	// stickiness plus the lane-group partition. Worker places get
+	// contiguous home-group blocks; injector places are spread over the
+	// groups the same way, so every group receives its share of
+	// external submissions.
+	rcfg := relaxed.Config{Stickiness: cfg.Stickiness}
+	if cfg.LaneGroups > 1 {
+		rcfg.Groups = cfg.LaneGroups
+		g, p, inj := cfg.LaneGroups, cfg.Places, cfg.Injectors
+		rcfg.PlaceGroup = func(pl int) int {
+			if pl < p {
+				return HomeGroup(pl, p, g)
+			}
+			return HomeGroup(pl-p, inj, g)
+		}
+	}
+
 	var (
 		ds  core.DS[envelope[T]]
 		err error
@@ -429,13 +511,11 @@ func New[T any](cfg Config[T]) (*Scheduler[T], error) {
 	case HybridNoSpy:
 		ds, err = hybrid.NewNoSpy(opts)
 	case Relaxed:
-		ds, err = relaxed.NewWithConfig(opts, relaxed.Config{
-			Mode: relaxed.SampleAll, Stickiness: cfg.Stickiness,
-		})
+		rcfg.Mode = relaxed.SampleAll
+		ds, err = relaxed.NewWithConfig(opts, rcfg)
 	case RelaxedSampleTwo:
-		ds, err = relaxed.NewWithConfig(opts, relaxed.Config{
-			Mode: relaxed.SampleTwo, Stickiness: cfg.Stickiness,
-		})
+		rcfg.Mode = relaxed.SampleTwo
+		ds, err = relaxed.NewWithConfig(opts, rcfg)
 	case GlobalHeap:
 		ds, err = globalpq.New(opts)
 	default:
@@ -449,6 +529,18 @@ func New[T any](cfg Config[T]) (*Scheduler[T], error) {
 	s.popInto, _ = ds.(core.BatchPopIntoer[envelope[T]])
 	s.stickDS, _ = ds.(interface{ SetStickiness(int) })
 	s.contDS, _ = ds.(interface{ ContentionTotal() int64 })
+	s.grpDS, _ = ds.(groupedDS)
+	if cfg.AdaptivePlacement {
+		pcfg := placement.Config{
+			MaxGroups: cfg.LaneGroups,
+			Interval:  cfg.AdaptInterval,
+		}
+		if err := pcfg.Validate(); err != nil {
+			return nil, err
+		}
+		s.plCfg = pcfg
+		s.plLast = placement.State{Groups: cfg.LaneGroups}
+	}
 	return s, nil
 }
 

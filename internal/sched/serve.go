@@ -26,6 +26,7 @@ import (
 	"repro/internal/adapt"
 	"repro/internal/backpressure"
 	"repro/internal/ctl"
+	"repro/internal/placement"
 	"repro/internal/xrand"
 )
 
@@ -160,7 +161,24 @@ func (s *Scheduler[T]) Start() error {
 		s.bpMu.Unlock()
 		s.bpGate.Store(ctrl.State().Threshold)
 	}
-	if s.cfg.Adaptive || s.cfg.Backpressure {
+	if s.cfg.AdaptivePlacement {
+		// Like the other controllers, each session starts clean: the
+		// finest partition in force, a fresh controller primed with the
+		// current cumulative totals. Start local, merge on evidence.
+		ctrl, err := placement.NewController(s.plCfg, placement.State{Groups: s.cfg.LaneGroups})
+		if err != nil {
+			// plCfg was validated in New; a failure here is a bug.
+			panic(fmt.Sprintf("sched: placement controller: %v", err))
+		}
+		ctrl.Prime(s.plSnapshot())
+		s.plMu.Lock()
+		s.plCtrl = ctrl
+		s.plLast = ctrl.State()
+		s.plTrace = ctl.NewRing[placement.Window](maxTraceWindows)
+		s.plMu.Unlock()
+		s.grpDS.SetGroups(ctrl.State().Groups)
+	}
+	if s.cfg.Adaptive || s.cfg.Backpressure || s.cfg.AdaptivePlacement {
 		s.ctrlStop = make(chan struct{})
 		s.ctrlDone = make(chan struct{})
 		go s.ctlLoop(s.ctrlStop, s.ctrlDone)
@@ -172,15 +190,21 @@ func (s *Scheduler[T]) Start() error {
 
 // ctlLoop is the controller goroutine: one tick per interval until Stop
 // closes the stop channel. It lives strictly inside a serve session —
-// Start creates it and Stop joins it before returning. Both runtime
-// controllers (adaptive S/B and backpressure admission) share the loop:
-// Config.RankSignal reads have a side effect (the estimator decays), so
-// a single read per window is taken here and fanned out to both.
+// Start creates it and Stop joins it before returning. All the runtime
+// controllers (adaptive S/B, backpressure admission, lane placement)
+// share the loop: Config.RankSignal reads have a side effect (the
+// estimator decays), so a single read per window is taken here and
+// fanned out to the consumers.
 func (s *Scheduler[T]) ctlLoop(stop <-chan struct{}, done chan<- struct{}) {
 	defer close(done)
 	interval := s.adaptCfg.Interval
-	if !s.cfg.Adaptive {
+	switch {
+	case s.cfg.Adaptive:
+		// interval already set
+	case s.cfg.Backpressure:
 		interval = s.bpCfg.Interval
+	default:
+		interval = s.plCfg.Interval
 	}
 	t := time.NewTicker(interval)
 	defer t.Stop()
@@ -199,6 +223,9 @@ func (s *Scheduler[T]) ctlLoop(stop <-chan struct{}, done chan<- struct{}) {
 			}
 			if s.cfg.Backpressure {
 				s.bpTick(at, rank)
+			}
+			if s.cfg.AdaptivePlacement {
+				s.plTick(at)
 			}
 		}
 	}
@@ -297,33 +324,97 @@ func (s *Scheduler[T]) bpTick(at time.Duration, rank float64) {
 	}
 }
 
+// plSnapshot collects the cumulative locality totals the placement
+// controller differences into window samples.
+func (s *Scheduler[T]) plSnapshot() placement.Cumulative {
+	st := s.ds.Stats()
+	cum := placement.Cumulative{
+		Pops:           st.Pops,
+		PopFailures:    st.PopFailures,
+		Steals:         st.Steals,
+		CrossGroupPops: st.CrossGroupPops,
+		Pending:        s.pending.Load(),
+	}
+	if s.contDS != nil {
+		cum.LaneContention = s.contDS.ContentionTotal()
+	}
+	return cum
+}
+
+// plTick closes one placement control window: sample the locality
+// counters, step the controller, and apply its group-count decision to
+// the structure (places pick the new partition up at their next lane
+// selection).
+func (s *Scheduler[T]) plTick(at time.Duration) {
+	cum := s.plSnapshot()
+	s.plMu.Lock()
+	w := s.plCtrl.Step(at, cum)
+	s.plLast = w.State
+	s.plTrace.Append(w)
+	s.plMu.Unlock()
+	s.grpDS.SetGroups(w.State.Groups)
+}
+
+// minReadmitRun is the smallest batch worth its own injector-lane lock
+// episode when a readmitted spillway batch is striped over the lanes: a
+// handful of tasks gains nothing from fanning out and would pay one
+// lock acquisition each.
+const minReadmitRun = 32
+
+// readmitRuns splits a drained spillway batch into the per-lane push
+// runs readmitSpill issues: consecutive tasks of equal k stay together
+// (each run is one PushK with that run's original k), and runs are
+// additionally cut so a batch spreads over up to lanes injector lanes
+// instead of serializing behind a single lane's lock. Order inside the
+// concatenated runs is exactly the input (oldest-first) order. Pure, so
+// the k-preservation and striping properties are unit-testable.
+func readmitRuns[T any](ds []deferredTask[T], lanes int) [][]deferredTask[T] {
+	if lanes < 1 {
+		lanes = 1
+	}
+	chunk := (len(ds) + lanes - 1) / lanes
+	if chunk < minReadmitRun {
+		chunk = minReadmitRun
+	}
+	var runs [][]deferredTask[T]
+	start := 0
+	for i := 1; i <= len(ds); i++ {
+		if i == len(ds) || ds[i].k != ds[start].k || i-start == chunk {
+			runs = append(runs, ds[start:i])
+			start = i
+		}
+	}
+	return runs
+}
+
 // readmitSpill moves up to max deferred tasks (oldest first) from the
-// spillway into the data structure, through an injector lane like any
-// external batch — each task with the relaxation parameter its Submit
-// originally requested (runs of equal k share one batch push). Their
-// pending/finish accounting was taken at deferral time, so only the
-// Readmitted counter moves here. Reports whether anything drained.
+// spillway into the data structure, through the injector lanes like any
+// external traffic — each task with the relaxation parameter its Submit
+// originally requested (runs of equal k share one batch push), and the
+// batch striped over multiple injector lanes rather than funneled
+// through one: a single lane per tick serialized the whole readmission
+// burst behind one lane lock (and, on the grouped relaxed structures,
+// landed it all in one lane group) while the other lanes sat idle.
+// Their pending/finish accounting was taken at deferral time, so only
+// the Readmitted counter moves here. Reports whether anything drained.
+// Safe for concurrent callers (the controller tick, Stop's flush, the
+// Submit re-flush race and Drain's nudge may overlap).
 func (s *Scheduler[T]) readmitSpill(max int) bool {
 	ds := s.spill.DrainUpTo(max)
 	if len(ds) == 0 {
 		return false
 	}
 	s.readmitted.Add(int64(len(ds)))
-	inj := s.injectors[s.nextInj.Add(1)%uint64(len(s.injectors))]
-	inj.mu.Lock()
-	for i := 0; i < len(ds); {
-		j := i + 1
-		for j < len(ds) && ds[j].k == ds[i].k {
-			j++
-		}
-		envs := make([]envelope[T], 0, j-i)
-		for _, d := range ds[i:j] {
+	for _, run := range readmitRuns(ds, len(s.injectors)) {
+		envs := make([]envelope[T], 0, len(run))
+		for _, d := range run {
 			envs = append(envs, d.env)
 		}
-		s.bds.PushK(inj.place, ds[i].k, envs)
-		i = j
+		inj := s.injectors[s.nextInj.Add(1)%uint64(len(s.injectors))]
+		inj.mu.Lock()
+		s.bds.PushK(inj.place, run[0].k, envs)
+		inj.mu.Unlock()
 	}
-	inj.mu.Unlock()
 	return true
 }
 
@@ -387,6 +478,42 @@ func (s *Scheduler[T]) BackpressureTrace() []backpressure.Window {
 		return nil
 	}
 	return s.bpTrace.Snapshot()
+}
+
+// PlacementState reports the active lane-group count currently in
+// force: the configured LaneGroups partition for a fixed grouped
+// scheduler, the controller's latest decision under
+// Config.AdaptivePlacement. ok is false when the scheduler's structure
+// has no lane groups (LaneGroups ≤ 1 or a non-relaxed strategy).
+func (s *Scheduler[T]) PlacementState() (groups int, ok bool) {
+	if s.grpDS == nil || s.grpDS.MaxGroups() <= 1 {
+		return 0, false
+	}
+	return s.grpDS.ActiveGroups(), true
+}
+
+// PlacementTrace returns a copy of the placement controller's
+// per-window decision trace of the current (or most recent) serve
+// session, oldest window first. Only the most recent maxTraceWindows
+// windows are retained. Nil when Config.AdaptivePlacement is off.
+func (s *Scheduler[T]) PlacementTrace() []placement.Window {
+	s.plMu.Lock()
+	defer s.plMu.Unlock()
+	if s.plTrace == nil {
+		return nil
+	}
+	return s.plTrace.Snapshot()
+}
+
+// GroupContention returns the per-active-group failed-try-lock totals
+// of the relaxed structure's lanes — the per-group half of the
+// placement signal, exposed for per-group reporting (internal/load) and
+// diagnostics. Nil for ungrouped structures and other strategies.
+func (s *Scheduler[T]) GroupContention() []int64 {
+	if s.grpDS == nil || s.grpDS.MaxGroups() <= 1 {
+		return nil
+	}
+	return s.grpDS.GroupContention(nil)
 }
 
 // Submit stores v for execution by the serving workers with the
@@ -574,12 +701,24 @@ func (s *Scheduler[T]) SubmitAllKOutcomes(k int, vs []T, out []Outcome) (int, er
 // The scheduler keeps serving — Drain does not stop the workers and
 // concurrent producers may keep submitting, in which case Drain returns
 // at the first moment the outstanding count touches zero.
+//
+// Deferred (spillway) tasks count as outstanding — they were accepted —
+// but re-enter the structure only on under-loaded controller ticks, and
+// a scheduler that has just come off a sustained overload may not see
+// such a tick for a long time (or, with a long AdaptInterval, ever
+// during the wait). Drain therefore nudges readmission itself: each
+// backoff round flushes a bounded chunk of the spillway into the
+// structure, so the quiescence spin always makes progress once the
+// producers go quiet instead of wedging behind a controller schedule.
 func (s *Scheduler[T]) Drain() error {
 	if !s.serving.Load() {
 		return ErrNotServing
 	}
 	fails := 0
 	for s.pending.Load() != 0 {
+		if s.spill != nil && s.spill.Len() > 0 {
+			s.readmitSpill(s.bpCfg.ReadmitChunk)
+		}
 		fails++
 		backoff(fails)
 	}
@@ -625,6 +764,12 @@ func (s *Scheduler[T]) Stop() (RunStats, error) {
 			// Reopen the gate between sessions: the next Start begins
 			// from a clean, fully open slate.
 			s.bpGate.Store(s.bpCfg.MaxPrio)
+		}
+		if s.cfg.AdaptivePlacement {
+			// Restore the configured partition, so a closed-world Run
+			// behaves identically before and after a serve session.
+			// PlacementTrace keeps reporting the session's trajectory.
+			s.grpDS.SetGroups(s.cfg.LaneGroups)
 		}
 	}
 	s.started = false
