@@ -467,25 +467,33 @@ func BenchmarkServeMode(b *testing.B) {
 // BenchmarkServeSticky quantifies the sticky, batched MultiQueue hot
 // path (SERVE): closed-loop saturation traffic from 8 producers through
 // the relaxed strategies, unsticky/unbatched versus stickiness 4 with
-// batch 8. Reported metrics: sustained throughput (tasks/s) and the p99
-// sampled pop rank error (rank_p99) — the two sides of the trade-off,
-// so a throughput win that silently wrecks ordering quality is visible
-// in the same row. The CI bench job gates the relaxed rows of this
-// benchmark against the main-branch baseline.
+// batch 8, plus a multiresolution row (band width 4096 over the 2^20
+// priority domain) on top of the tuned knobs. Reported metrics:
+// sustained throughput (tasks/s), the p99 sampled pop rank error
+// (rank_p99) — the two sides of the trade-off, so a throughput win that
+// silently wrecks ordering quality is visible in the same row — and the
+// measured per-task allocation cost (allocs/op, B/op: process-wide
+// MemStats deltas over the serve window divided by executed tasks;
+// these override the -benchmem columns, whose per-b.N accounting would
+// smear one whole serve run across its task count). The CI bench job
+// gates the relaxed rows of this benchmark, allocation columns
+// included, against the main-branch baseline.
 func BenchmarkServeSticky(b *testing.B) {
 	configs := []struct {
 		name         string
 		strat        repro.Strategy
 		stick, batch int
+		res          int64
 	}{
-		{"relaxed-two/baseline", repro.RelaxedSampleTwo, 1, 1},
-		{"relaxed-two/sticky4-batch8", repro.RelaxedSampleTwo, 4, 8},
-		{"relaxed/baseline", repro.Relaxed, 1, 1},
-		{"relaxed/sticky4-batch8", repro.Relaxed, 4, 8},
+		{"relaxed-two/baseline", repro.RelaxedSampleTwo, 1, 1, 0},
+		{"relaxed-two/sticky4-batch8", repro.RelaxedSampleTwo, 4, 8, 0},
+		{"relaxed/baseline", repro.Relaxed, 1, 1, 0},
+		{"relaxed/sticky4-batch8", repro.Relaxed, 4, 8, 0},
+		{"relaxed/sticky4-batch8-res4096", repro.Relaxed, 4, 8, 4096},
 	}
 	for _, cfg := range configs {
 		b.Run(cfg.name, func(b *testing.B) {
-			var thr, rank float64
+			var thr, rank, allocs, bytes float64
 			for i := 0; i < b.N; i++ {
 				res, err := load.Run(load.Config{
 					Strategy:   sched.Strategy(cfg.strat),
@@ -495,6 +503,7 @@ func BenchmarkServeSticky(b *testing.B) {
 					Window:     64,
 					Batch:      cfg.batch,
 					Stickiness: cfg.stick,
+					Resolution: cfg.res,
 					RankSample: 4,
 					Seed:       uint64(i) + 1,
 				})
@@ -503,9 +512,13 @@ func BenchmarkServeSticky(b *testing.B) {
 				}
 				thr += res.ThroughputPerSec
 				rank += res.RankErr.P99
+				allocs += res.AllocsPerTask
+				bytes += res.BytesPerTask
 			}
 			b.ReportMetric(thr/float64(b.N), "tasks/s")
 			b.ReportMetric(rank/float64(b.N), "rank_p99")
+			b.ReportMetric(allocs/float64(b.N), "allocs/op")
+			b.ReportMetric(bytes/float64(b.N), "B/op")
 		})
 	}
 }
@@ -586,9 +599,10 @@ func BenchmarkServeAdaptive(b *testing.B) {
 // adaptive benchmarks police. The relaxed-two pair documents the other
 // side: two-choice sampling is already O(1) per pop, so on a single
 // socket grouping buys nothing and costs steal-reluctance latency —
-// lane groups are a SampleAll/NUMA tool, not a universal win. The CI
-// bench job tracks all four rows (BENCH_grouped.json) against the
-// main-branch baseline.
+// lane groups are a SampleAll/NUMA tool, not a universal win. Like
+// BenchmarkServeSticky, each row overrides allocs/op and B/op with the
+// measured per-task figures. The CI bench job tracks all four rows
+// (BENCH_grouped.json) against the main-branch baseline.
 func BenchmarkServeGrouped(b *testing.B) {
 	places := 16
 	if g := runtime.GOMAXPROCS(0); g > places {
@@ -607,7 +621,7 @@ func BenchmarkServeGrouped(b *testing.B) {
 	}
 	for _, cfg := range configs {
 		b.Run(cfg.name, func(b *testing.B) {
-			var thr, rank, steal float64
+			var thr, rank, steal, allocs, bytes float64
 			for i := 0; i < b.N; i++ {
 				res, err := load.Run(load.Config{
 					Strategy:   sched.Strategy(cfg.strat),
@@ -626,10 +640,14 @@ func BenchmarkServeGrouped(b *testing.B) {
 				thr += res.ThroughputPerSec
 				rank += res.RankErr.P99
 				steal += res.StealRate
+				allocs += res.AllocsPerTask
+				bytes += res.BytesPerTask
 			}
 			b.ReportMetric(thr/float64(b.N), "tasks/s")
 			b.ReportMetric(rank/float64(b.N), "rank_p99")
 			b.ReportMetric(steal/float64(b.N)*100, "steal_pct")
+			b.ReportMetric(allocs/float64(b.N), "allocs/op")
+			b.ReportMetric(bytes/float64(b.N), "B/op")
 		})
 	}
 }

@@ -18,13 +18,20 @@
 // a regression, and the CV so the gate knows which rows are stable
 // enough to hold.
 //
-// Comparison: only speed-like metrics gate the build — ns/op (smaller
-// is better) and rate units ending in "/s" (bigger is better). A
-// benchmark regresses when its median moves in the bad direction by
-// more than the row's effective threshold. Other metrics (rank errors,
-// counter metrics) are carried in the JSON for trend tracking but never
-// fail the build. Benchmarks present on only one side are reported and
-// skipped.
+// Comparison: speed-like metrics gate the build — ns/op (smaller is
+// better) and rate units ending in "/s" (bigger is better) — and so do
+// the -benchmem allocation rows, allocs/op and B/op (smaller is
+// better). A benchmark regresses when its median moves in the bad
+// direction by more than the row's effective threshold. The allocation
+// rows additionally carry a small absolute floor (0.01 allocs/op, 64
+// B/op): a move within the floor never regresses (percentage noise on
+// a near-zero baseline is meaningless), and a zero baseline — the
+// zero-allocation hot path — regresses as soon as the new median
+// exceeds the floor, which is what keeps an accidentally reintroduced
+// per-task allocation from slipping past a relative-only gate. Other
+// metrics (rank errors, counter metrics) are carried in the JSON for
+// trend tracking but never fail the build. Benchmarks present on only
+// one side are reported and skipped.
 //
 // Variance handling (-max-cv): shared CI runners make some benchmarks
 // too noisy to gate at all. With -max-cv set, a metric row whose CV —
@@ -169,13 +176,29 @@ type delta struct {
 // gated reports whether a metric unit participates in the regression
 // gate, and whether bigger values are better for it.
 func gated(unit string) (ok, biggerBetter bool) {
-	if unit == "ns/op" {
+	if unit == "ns/op" || unit == "allocs/op" || unit == "B/op" {
 		return true, false
 	}
 	if strings.HasSuffix(unit, "/s") {
 		return true, true
 	}
 	return false, false
+}
+
+// absFloor returns the unit's absolute comparison floor: moves within
+// the floor never regress, and a zero-median baseline regresses when
+// the new median exceeds it. Zero for purely relative units. The
+// allocation floors absorb sub-allocation jitter (a rare once-per-run
+// growth event amortized over b.N) while still catching the first real
+// per-op allocation.
+func absFloor(unit string) float64 {
+	switch unit {
+	case "allocs/op":
+		return 0.01
+	case "B/op":
+		return 64
+	}
+	return 0
 }
 
 // compare gates news against olds. Every returned delta is a gated
@@ -213,7 +236,13 @@ func compare(w io.Writer, olds, news []Bench, maxRegressPct, maxCVPct float64) [
 				continue
 			}
 			om, ok := ob.Metrics[unit]
-			if !ok || om.Median == 0 {
+			if !ok {
+				continue
+			}
+			floor := absFloor(unit)
+			if om.Median == 0 && floor == 0 {
+				// A zero baseline breaks relative comparison; only units
+				// with an absolute floor can gate from zero.
 				continue
 			}
 			cv := om.CVPct
@@ -234,9 +263,21 @@ func compare(w io.Writer, olds, news []Bench, maxRegressPct, maxCVPct float64) [
 					threshold = slack
 				}
 			}
-			pct := (nm.Median - om.Median) / om.Median * 100
-			if biggerBetter {
-				pct = -pct
+			var pct float64
+			if om.Median != 0 {
+				pct = (nm.Median - om.Median) / om.Median * 100
+				if biggerBetter {
+					pct = -pct
+				}
+			} else if nm.Median > floor {
+				// 0 -> nonzero past the floor: infinitely worse in
+				// relative terms, and exactly the regression the
+				// zero-allocation gate exists to catch.
+				pct = math.Inf(1)
+			}
+			regressed := pct > threshold
+			if floor > 0 && math.Abs(nm.Median-om.Median) <= floor {
+				regressed = false
 			}
 			ds = append(ds, delta{
 				Name: nb.Name, Unit: unit,
@@ -244,7 +285,7 @@ func compare(w io.Writer, olds, news []Bench, maxRegressPct, maxCVPct float64) [
 				Pct:       pct,
 				CV:        cv,
 				Threshold: threshold,
-				Regressed: pct > threshold,
+				Regressed: regressed,
 			})
 		}
 	}

@@ -237,3 +237,61 @@ PASS
 		t.Fatalf("move past the cv-scaled threshold not flagged: %+v", ds)
 	}
 }
+
+const allocOutput = `
+BenchmarkServeSticky/relaxed/sticky4-batch8-16	3	250000000 ns/op	2400000 tasks/s	0 allocs/op	0 B/op
+`
+
+// TestAllocGateFromZeroBaseline: a zero-allocation baseline must gate —
+// the first reintroduced per-task allocation past the absolute floor
+// fails, while sub-floor jitter passes.
+func TestAllocGateFromZeroBaseline(t *testing.T) {
+	base := mustParse(t, allocOutput, "")
+	leaky := strings.NewReplacer(
+		"0 allocs/op", "2 allocs/op",
+		"0 B/op", "128 B/op",
+	).Replace(allocOutput)
+	regressed := map[string]bool{}
+	for _, d := range compare(io.Discard, base, mustParse(t, leaky, ""), 15, 0) {
+		regressed[d.Unit] = d.Regressed
+	}
+	if !regressed["allocs/op"] || !regressed["B/op"] {
+		t.Fatalf("allocation regressions from a zero baseline not flagged: %v", regressed)
+	}
+
+	jitter := strings.NewReplacer(
+		"0 allocs/op", "0.005 allocs/op",
+		"0 B/op", "32 B/op",
+	).Replace(allocOutput)
+	for _, d := range compare(io.Discard, base, mustParse(t, jitter, ""), 15, 0) {
+		if d.Regressed {
+			t.Fatalf("sub-floor allocation jitter flagged: %+v", d)
+		}
+	}
+}
+
+// TestAllocGateFloorSuppressesRelativeNoise: with a tiny non-zero
+// baseline, a huge relative move that stays inside the absolute floor
+// must not gate; past the floor the relative threshold applies again.
+func TestAllocGateFloorSuppressesRelativeNoise(t *testing.T) {
+	tiny := strings.NewReplacer("0 allocs/op", "0.002 allocs/op", "0 B/op", "40 B/op").Replace(allocOutput)
+	base := mustParse(t, tiny, "")
+	// 4x relative growth, absolute move 0.006 allocs/op and 24 B/op —
+	// both inside the floors.
+	wobble := strings.NewReplacer("0 allocs/op", "0.008 allocs/op", "0 B/op", "64 B/op").Replace(allocOutput)
+	for _, d := range compare(io.Discard, base, mustParse(t, wobble, ""), 15, 0) {
+		if d.Regressed {
+			t.Fatalf("within-floor allocation move flagged: %+v", d)
+		}
+	}
+	leak := strings.NewReplacer("0 allocs/op", "1.5 allocs/op", "0 B/op", "512 B/op").Replace(allocOutput)
+	regressed := 0
+	for _, d := range compare(io.Discard, base, mustParse(t, leak, ""), 15, 0) {
+		if (d.Unit == "allocs/op" || d.Unit == "B/op") && d.Regressed {
+			regressed++
+		}
+	}
+	if regressed != 2 {
+		t.Fatalf("%d allocation units regressed past the floor, want 2", regressed)
+	}
+}

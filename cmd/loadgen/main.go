@@ -15,18 +15,21 @@
 //	        [-places N] [-k 512] [-arrival poisson|bursty|closed-loop]
 //	        [-dist uniform|skewed|ramp] [-window 64] [-on 10ms] [-off 10ms]
 //	        [-spin 0] [-ranksample 1] [-batch 1] [-stickiness 0]
-//	        [-groups 0] [-adaptiveplacement]
+//	        [-groups 0] [-resolution 0] [-adaptiveplacement]
 //	        [-adaptive] [-rankbudget 0] [-adaptinterval 10ms]
 //	        [-backpressure] [-sojournbudget 50ms] [-protectedband 0]
 //	        [-spillcap 0] [-seed 20140215]
 //
-// -strategy, -rate, -producers, -batch, -stickiness and -groups accept
-// comma-separated lists; "-strategy all" expands to the six headline
-// strategies (work-stealing, centralized, hybrid, global-heap, relaxed,
-// relaxed-two). -batch sets both the producers' submit batch and the
-// workers' pop batch; -stickiness sets the relaxed strategies' lane
-// stickiness S — together they sweep the MultiQueue throughput vs.
-// rank-error trade-off.
+// -strategy, -rate, -producers, -batch, -stickiness, -groups and
+// -resolution accept comma-separated lists; "-strategy all" expands to
+// the six headline strategies (work-stealing, centralized, hybrid,
+// global-heap, relaxed, relaxed-two). -batch sets both the producers'
+// submit batch and the workers' pop batch; -stickiness sets the relaxed
+// strategies' lane stickiness S — together they sweep the MultiQueue
+// throughput vs. rank-error trade-off. -resolution sweeps the relaxed
+// strategies' multiresolution band width (0/1 = exact per-lane heaps):
+// coarser bands buy O(1) lane operations for up to a band's worth of
+// extra rank error, tracing the rank-error-vs-throughput frontier.
 //
 // -groups partitions the relaxed strategies' lanes into per-producer-
 // group lane groups (0/1 = flat): sampling and stickiness stay
@@ -168,6 +171,7 @@ func main() {
 		batches    = flag.String("batch", "1", "operation batch sizes: producer submit + worker pop batch (comma list)")
 		stickiness = flag.String("stickiness", "0", "relaxed lane stickiness S values, 0 = unsticky (comma list)")
 		groups     = flag.String("groups", "0", "relaxed lane-group counts, 0 = flat (comma list)")
+		resolution = flag.String("resolution", "0", "relaxed multiresolution band widths, 0/1 = exact (comma list)")
 		adaptPlace = flag.Bool("adaptiveplacement", false, "let the placement controller resize the lane groups (-groups becomes the ceiling)")
 		adaptive   = flag.Bool("adaptive", false, "let the runtime controller tune S and the pop batch (batch/stickiness become seeds)")
 		rankBudget = flag.Float64("rankbudget", 0, "p99 rank-error budget for the runtime controllers (0 = none)")
@@ -213,6 +217,10 @@ func main() {
 	if err != nil {
 		log.Fatalf("bad -groups: %v", err)
 	}
+	resList, err := parseInts(*resolution)
+	if err != nil {
+		log.Fatalf("bad -resolution: %v", err)
+	}
 	if *adaptPlace {
 		// Refuse rather than silently measuring a flat, non-adaptive
 		// run: the placement controller needs a partition to resize and
@@ -239,9 +247,9 @@ func main() {
 
 	var results []load.Result
 	table := &stats.Table{Header: []string{
-		"strategy", "producers", "rate", "batch", "stick", "groups", "S/B-final", "throughput/s",
+		"strategy", "producers", "rate", "batch", "stick", "groups", "res", "S/B-final", "throughput/s",
 		"p50(us)", "p95(us)", "p99(us)", "rank-err-mean", "rank-err-p99", "rank-err-max",
-		"steal%", "shed%", "prot-p99(us)",
+		"allocs/task", "steal%", "shed%", "prot-p99(us)",
 	}}
 	for _, strat := range stratList {
 		for _, np := range prodList {
@@ -256,86 +264,95 @@ func main() {
 					// relaxed strategy), so a mixed "-strategy all"
 					// sweep with -groups must run the other strategies
 					// flat rather than abort.
-					sticks, grps := stickList, groupList
+					sticks, grps, resos := stickList, groupList, resList
 					if strat != sched.Relaxed && strat != sched.RelaxedSampleTwo {
-						sticks, grps = stickList[:1], []int{0}
+						sticks, grps, resos = stickList[:1], []int{0}, []int{0}
 					}
 					for _, stick := range sticks {
 						for _, grp := range grps {
-							fmt.Fprintf(os.Stderr, "loadgen: %s producers=%d rate=%.0f batch=%d stickiness=%d groups=%d adaptive=%v arrival=%s dist=%s duration=%s\n",
-								strat, np, rate, batch, stick, grp, *adaptive, arr, pd, *duration)
-							res, err := load.Run(load.Config{
-								Strategy:          strat,
-								Places:            *places,
-								K:                 *k,
-								Producers:         np,
-								Duration:          *duration,
-								Arrival:           arr,
-								Rate:              rate,
-								OnPeriod:          *onPeriod,
-								OffPeriod:         *offPeriod,
-								Window:            *window,
-								Dist:              pd,
-								WorkSpin:          *spin,
-								RankSample:        *rankSample,
-								Batch:             batch,
-								Stickiness:        stick,
-								LaneGroups:        grp,
-								AdaptivePlacement: *adaptPlace && grp > 1,
-								Adaptive:          *adaptive,
-								RankErrorBudget:   *rankBudget,
-								AdaptInterval:     *adaptEvery,
-								Backpressure:      *backpress,
-								SojournBudget:     *sojournBud,
-								ProtectedBand:     *protBand,
-								SpillCap:          *spillCap,
-								Seed:              *seed,
-							})
-							if err != nil {
-								log.Fatalf("%s: %v", strat, err)
-							}
-							results = append(results, res)
-							rateCell := stats.F(rate, 0)
-							if arr == load.ClosedLoop {
-								rateCell = "closed" // the rate flag is ignored
-							}
-							finalCell := "-"
-							if res.Adaptive {
-								finalCell = fmt.Sprintf("%d/%d", res.FinalStickiness, res.FinalBatch)
-							}
-							groupCell, stealCell := "-", "-"
-							if res.LaneGroups > 1 {
-								groupCell = fmt.Sprintf("%d", res.LaneGroups)
-								if res.AdaptivePlacement {
-									// ASCII arrow: the table pads by byte width.
-									groupCell = fmt.Sprintf("%d->%d", res.LaneGroups, res.FinalGroups)
+							for _, reso := range resos {
+								fmt.Fprintf(os.Stderr, "loadgen: %s producers=%d rate=%.0f batch=%d stickiness=%d groups=%d resolution=%d adaptive=%v arrival=%s dist=%s duration=%s\n",
+									strat, np, rate, batch, stick, grp, reso, *adaptive, arr, pd, *duration)
+								res, err := load.Run(load.Config{
+									Strategy:          strat,
+									Places:            *places,
+									K:                 *k,
+									Producers:         np,
+									Duration:          *duration,
+									Arrival:           arr,
+									Rate:              rate,
+									OnPeriod:          *onPeriod,
+									OffPeriod:         *offPeriod,
+									Window:            *window,
+									Dist:              pd,
+									WorkSpin:          *spin,
+									RankSample:        *rankSample,
+									Batch:             batch,
+									Stickiness:        stick,
+									LaneGroups:        grp,
+									Resolution:        int64(reso),
+									AdaptivePlacement: *adaptPlace && grp > 1,
+									Adaptive:          *adaptive,
+									RankErrorBudget:   *rankBudget,
+									AdaptInterval:     *adaptEvery,
+									Backpressure:      *backpress,
+									SojournBudget:     *sojournBud,
+									ProtectedBand:     *protBand,
+									SpillCap:          *spillCap,
+									Seed:              *seed,
+								})
+								if err != nil {
+									log.Fatalf("%s: %v", strat, err)
 								}
-								stealCell = stats.F(res.StealRate*100, 2)
+								results = append(results, res)
+								rateCell := stats.F(rate, 0)
+								if arr == load.ClosedLoop {
+									rateCell = "closed" // the rate flag is ignored
+								}
+								finalCell := "-"
+								if res.Adaptive {
+									finalCell = fmt.Sprintf("%d/%d", res.FinalStickiness, res.FinalBatch)
+								}
+								groupCell, stealCell := "-", "-"
+								if res.LaneGroups > 1 {
+									groupCell = fmt.Sprintf("%d", res.LaneGroups)
+									if res.AdaptivePlacement {
+										// ASCII arrow: the table pads by byte width.
+										groupCell = fmt.Sprintf("%d->%d", res.LaneGroups, res.FinalGroups)
+									}
+									stealCell = stats.F(res.StealRate*100, 2)
+								}
+								resoCell := "-"
+								if res.Resolution > 1 {
+									resoCell = stats.I(res.Resolution)
+								}
+								shedCell, protCell := "-", "-"
+								if res.Backpressure {
+									shedCell = stats.F(res.ShedRate*100, 2)
+									protCell = stats.F(res.Bands[0].SojournNs.P99/1e3, 1)
+								}
+								table.AddRow(
+									res.Strategy,
+									stats.I(int64(res.Producers)),
+									rateCell,
+									stats.I(int64(res.Batch)),
+									stats.I(int64(res.Stickiness)),
+									groupCell,
+									resoCell,
+									finalCell,
+									stats.F(res.ThroughputPerSec, 0),
+									stats.F(res.SojournNs.P50/1e3, 1),
+									stats.F(res.SojournNs.P95/1e3, 1),
+									stats.F(res.SojournNs.P99/1e3, 1),
+									stats.F(res.RankErrMean, 1),
+									stats.F(res.RankErr.P99, 0),
+									stats.I(res.RankErrMax),
+									stats.F(res.AllocsPerTask, 2),
+									stealCell,
+									shedCell,
+									protCell,
+								)
 							}
-							shedCell, protCell := "-", "-"
-							if res.Backpressure {
-								shedCell = stats.F(res.ShedRate*100, 2)
-								protCell = stats.F(res.Bands[0].SojournNs.P99/1e3, 1)
-							}
-							table.AddRow(
-								res.Strategy,
-								stats.I(int64(res.Producers)),
-								rateCell,
-								stats.I(int64(res.Batch)),
-								stats.I(int64(res.Stickiness)),
-								groupCell,
-								finalCell,
-								stats.F(res.ThroughputPerSec, 0),
-								stats.F(res.SojournNs.P50/1e3, 1),
-								stats.F(res.SojournNs.P95/1e3, 1),
-								stats.F(res.SojournNs.P99/1e3, 1),
-								stats.F(res.RankErrMean, 1),
-								stats.F(res.RankErr.P99, 0),
-								stats.I(res.RankErrMax),
-								stealCell,
-								shedCell,
-								protCell,
-							)
 						}
 					}
 				}

@@ -458,6 +458,30 @@ func (s *Spillway[T]) DrainUpTo(max int) []T {
 	return out
 }
 
+// DrainUpToInto is DrainUpTo with a caller-owned buffer: it fills out
+// with up to len(out) tasks, oldest first, and returns the count — the
+// allocation-free drain the scheduler's readmission path reuses one
+// scratch buffer for.
+func (s *Spillway[T]) DrainUpToInto(out []T) int {
+	if len(out) == 0 {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	max := len(out)
+	if max > s.n {
+		max = s.n
+	}
+	var zero T
+	for i := 0; i < max; i++ {
+		out[i] = s.buf[s.head]
+		s.buf[s.head] = zero // drop the reference for the GC
+		s.head = (s.head + 1) % len(s.buf)
+	}
+	s.n -= max
+	return max
+}
+
 // Len returns the current occupancy.
 func (s *Spillway[T]) Len() int {
 	s.mu.Lock()

@@ -99,6 +99,10 @@ func (a singlesAdapter[T]) PopK(place int, max int) []T {
 	return PopKViaSingles(a.DS, place, max)
 }
 
+func (a singlesAdapter[T]) PopKInto(place int, out []T) int {
+	return PopKIntoViaSingles(a.DS, place, out)
+}
+
 // PushKViaSingles implements BatchDS.PushK semantics over the
 // single-task Push. Shared by the AsBatch adapter and by the structures
 // whose PushK has no native batching advantage.
@@ -108,14 +112,30 @@ func PushKViaSingles[T any](d DS[T], place int, k int, vs []T) {
 	}
 }
 
+// popKViaSinglesCap bounds the capacity hint PopKViaSingles allocates
+// up front, so a huge max against a nearly empty structure does not
+// translate into a huge allocation.
+const popKViaSinglesCap = 256
+
 // PopKViaSingles implements BatchDS.PopK semantics over the single-task
 // Pop: it stops at the first failed pop, so one spurious failure ends
-// the batch early rather than blocking it.
+// the batch early rather than blocking it. The result slice is
+// allocated lazily, after the first pop succeeds — a failed batch (the
+// common case under backoff) costs no allocation at all.
 func PopKViaSingles[T any](d DS[T], place int, max int) []T {
 	if max < 1 {
 		return nil
 	}
-	var out []T
+	v, ok := d.Pop(place)
+	if !ok {
+		return nil
+	}
+	hint := max
+	if hint > popKViaSinglesCap {
+		hint = popKViaSinglesCap
+	}
+	out := make([]T, 1, hint)
+	out[0] = v
 	for len(out) < max {
 		v, ok := d.Pop(place)
 		if !ok {
@@ -124,6 +144,22 @@ func PopKViaSingles[T any](d DS[T], place int, max int) []T {
 		out = append(out, v)
 	}
 	return out
+}
+
+// PopKIntoViaSingles implements BatchPopIntoer.PopKInto over the
+// single-task Pop, stopping at the first failed pop like
+// PopKViaSingles. It never allocates: the caller owns out.
+func PopKIntoViaSingles[T any](d DS[T], place int, out []T) int {
+	got := 0
+	for got < len(out) {
+		v, ok := d.Pop(place)
+		if !ok {
+			break
+		}
+		out[got] = v
+		got++
+	}
+	return got
 }
 
 // LocalQueueKind selects the sequential priority queue used for the

@@ -55,6 +55,8 @@ func RunFlags(t *testing.T, name string, mk Factory, f Flags) {
 	}
 	t.Run(name+"/BatchRoundTrip", func(t *testing.T) { batchRoundTrip(t, mk) })
 	t.Run(name+"/BatchEmptyPop", func(t *testing.T) { batchEmptyPop(t, mk) })
+	t.Run(name+"/BatchPopInto", func(t *testing.T) { batchPopInto(t, mk) })
+	t.Run(name+"/PopIntoBufferReuse", func(t *testing.T) { popIntoBufferReuse(t, mk) })
 	t.Run(name+"/ConcurrentBatchMix", func(t *testing.T) { concurrentBatchMix(t, mk) })
 	t.Run(name+"/ConcurrentStaleFlips", func(t *testing.T) { concurrentStaleFlips(t, mk) })
 	t.Run(name+"/StatsAccounting", func(t *testing.T) { statsAccounting(t, mk) })
@@ -531,6 +533,116 @@ func batchEmptyPop(t *testing.T, mk Factory) {
 	}
 	if got := d.PopK(0, 1<<20); len(got) != 0 {
 		t.Fatalf("PopK(huge max) on empty returned %v", got)
+	}
+}
+
+// popAllInto drains the structure from one place through PopKInto,
+// reusing a single caller-owned buffer for every call — the scheduler's
+// batched worker-loop pattern — retrying empty results up to `patience`
+// consecutive times.
+func popAllInto(t *testing.T, pi core.BatchPopIntoer[int64], place int, buf []int64, patience int) []int64 {
+	t.Helper()
+	var out []int64
+	fails := 0
+	for fails < patience {
+		got := pi.PopKInto(place, buf)
+		if got < 0 || got > len(buf) {
+			t.Fatalf("PopKInto returned %d with a %d-element buffer", got, len(buf))
+		}
+		if got > 0 {
+			out = append(out, buf[:got]...)
+			fails = 0
+		} else {
+			fails++
+		}
+	}
+	return out
+}
+
+// batchPopInto pins the allocation-free batch-pop contract every
+// structure's batch view must provide (core.BatchPopIntoer): a nil or
+// empty buffer is a no-op, the fill count never exceeds the buffer, and
+// a mixed push workload drained entirely through one reused buffer is
+// delivered exactly once.
+func batchPopInto(t *testing.T, mk Factory) {
+	d := core.AsBatch(mustNew(t, mk, core.Options[int64]{Places: 2, Seed: 36}))
+	pi, ok := d.(core.BatchPopIntoer[int64])
+	if !ok {
+		t.Fatal("batch view does not implement core.BatchPopIntoer")
+	}
+	if got := pi.PopKInto(0, nil); got != 0 {
+		t.Fatalf("PopKInto(nil buffer) = %d, want 0", got)
+	}
+	r := xrand.New(37)
+	want := map[int64]int{}
+	next := int64(0)
+	for i := 0; i < 300; i++ {
+		if r.Intn(3) == 0 {
+			n := 1 + r.Intn(8)
+			vs := make([]int64, n)
+			for j := range vs {
+				vs[j] = next
+				want[next]++
+				next++
+			}
+			d.PushK(i%2, 1+r.Intn(512), vs)
+		} else {
+			d.Push(i%2, 1+r.Intn(512), next)
+			want[next]++
+			next++
+		}
+	}
+	if got := pi.PopKInto(0, nil); got != 0 {
+		t.Fatalf("PopKInto(nil buffer) on non-empty = %d, want 0", got)
+	}
+	buf := make([]int64, 1+r.Intn(16))
+	got := append(popAllInto(t, pi, 0, buf, 4096), popAllInto(t, pi, 1, buf, 4096)...)
+	if int64(len(got)) != next {
+		t.Fatalf("drained %d of %d via PopKInto", len(got), next)
+	}
+	for _, v := range got {
+		want[v]--
+	}
+	for v, c := range want {
+		if c != 0 {
+			t.Fatalf("multiset mismatch at %d: %+d", v, c)
+		}
+	}
+}
+
+// popIntoBufferReuse pins the stale-alias hazard of buffer reuse: after
+// a full drain leaves old task values sitting in the shared buffer, a
+// later wave of pops through the same buffer must deliver only the
+// newly pushed tasks — a structure (or adapter) that reports a fill
+// count beyond what it actually wrote would resurrect dead tasks from
+// the previous wave's residue.
+func popIntoBufferReuse(t *testing.T, mk Factory) {
+	d := core.AsBatch(mustNew(t, mk, core.Options[int64]{Places: 2, Seed: 38}))
+	pi, ok := d.(core.BatchPopIntoer[int64])
+	if !ok {
+		t.Fatal("batch view does not implement core.BatchPopIntoer")
+	}
+	buf := make([]int64, 8)
+	const waves, perWave = 5, 200
+	for w := 0; w < waves; w++ {
+		lo, hi := int64(w*perWave), int64((w+1)*perWave)
+		for v := lo; v < hi; v++ {
+			d.Push(int(v)%2, 1+int(v%512), v)
+		}
+		got := append(popAllInto(t, pi, 0, buf, 4096), popAllInto(t, pi, 1, buf, 4096)...)
+		if len(got) != perWave {
+			t.Fatalf("wave %d: drained %d of %d", w, len(got), perWave)
+		}
+		seen := map[int64]bool{}
+		for _, v := range got {
+			if v < lo || v >= hi {
+				t.Fatalf("wave %d: stale value %d resurfaced from the reused buffer", w, v)
+			}
+			if seen[v] {
+				t.Fatalf("wave %d: value %d delivered twice", w, v)
+			}
+			seen[v] = true
+		}
 	}
 }
 

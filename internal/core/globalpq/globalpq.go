@@ -29,6 +29,10 @@ type DS[T any] struct {
 	mu   sync.Mutex
 	heap *pq.BinHeap[T]
 	ctrs []core.Counters
+	// popKBuf is PopK's per-place drain scratch (single-owner places):
+	// failed pops allocate nothing and successful ones only the
+	// exact-size result.
+	popKBuf [][]T
 }
 
 // New constructs the shared queue for opts.Places places.
@@ -37,9 +41,10 @@ func New[T any](opts core.Options[T]) (*DS[T], error) {
 		return nil, err
 	}
 	return &DS[T]{
-		opts: opts,
-		heap: pq.NewBinHeap(opts.Less),
-		ctrs: make([]core.Counters, opts.Places),
+		opts:    opts,
+		heap:    pq.NewBinHeap(opts.Less),
+		ctrs:    make([]core.Counters, opts.Places),
+		popKBuf: make([][]T, opts.Places),
 	}, nil
 }
 
@@ -109,12 +114,23 @@ func (d *DS[T]) PopK(pl int, max int) []T {
 	if max > maxPopKAlloc {
 		max = maxPopKAlloc
 	}
-	buf := make([]T, max)
+	buf := d.popKBuf[pl]
+	if cap(buf) < max {
+		buf = make([]T, max)
+		d.popKBuf[pl] = buf
+	}
+	buf = buf[:max]
 	got := d.PopKInto(pl, buf)
 	if got == 0 {
 		return nil
 	}
-	return buf[:got]
+	out := make([]T, got)
+	copy(out, buf[:got])
+	var zero T
+	for i := range buf[:got] {
+		buf[i] = zero // drop scratch references: the caller owns out
+	}
+	return out
 }
 
 // PopKInto is the allocation-free batch pop (core.BatchPopIntoer): it
@@ -158,6 +174,7 @@ func (d *DS[T]) PopKInto(pl int, out []T) int {
 func (d *DS[T]) Stats() core.Stats { return core.SumCounters(d.ctrs) }
 
 var (
-	_ core.DS[int]      = (*DS[int])(nil)
-	_ core.BatchDS[int] = (*DS[int])(nil)
+	_ core.DS[int]             = (*DS[int])(nil)
+	_ core.BatchDS[int]        = (*DS[int])(nil)
+	_ core.BatchPopIntoer[int] = (*DS[int])(nil)
 )

@@ -339,7 +339,12 @@ func (d *DS[T]) PushK(pl int, k int, vs []T) { core.PushKViaSingles[T](d, pl, k,
 // the first failed pop.
 func (d *DS[T]) PopK(pl int, max int) []T { return core.PopKViaSingles[T](d, pl, max) }
 
+// PopKInto fills out via the single-task path without allocating; the
+// caller owns the buffer.
+func (d *DS[T]) PopKInto(pl int, out []T) int { return core.PopKIntoViaSingles[T](d, pl, out) }
+
 var (
-	_ core.DS[int]      = (*DS[int])(nil)
-	_ core.BatchDS[int] = (*DS[int])(nil)
+	_ core.DS[int]             = (*DS[int])(nil)
+	_ core.BatchDS[int]        = (*DS[int])(nil)
+	_ core.BatchPopIntoer[int] = (*DS[int])(nil)
 )

@@ -155,6 +155,12 @@ type Config struct {
 	// Stickiness is the relaxed strategies' per-place lane stickiness S
 	// (default: re-sample every operation). Ignored by the others.
 	Stickiness int
+	// Resolution, when > 1, selects the relaxed strategies'
+	// multiresolution lane mode (sched.Config.Resolution): the priority
+	// domain is bucketed into bands of this width inside every lane,
+	// trading up to one band's live occupancy of extra rank error for
+	// O(1) lane operations. 0 and 1 keep the exact per-lane heaps.
+	Resolution int64
 	// LaneGroups partitions the relaxed strategies' lanes into
 	// per-producer-group lane groups with group-local sampling and
 	// bounded cross-group stealing (sched.Config.LaneGroups). 0 and 1
@@ -253,6 +259,7 @@ type Result struct {
 	K          int    `json:"k"`
 	Batch      int    `json:"batch"`
 	Stickiness int    `json:"stickiness"`
+	Resolution int64  `json:"resolution,omitempty"`
 
 	TargetRate float64 `json:"target_rate"` // tasks/s requested (0 for closed-loop)
 	Submitted  int64   `json:"submitted"`
@@ -261,6 +268,13 @@ type Result struct {
 	ElapsedSec float64 `json:"elapsed_sec"`
 	// ThroughputPerSec is Executed/ElapsedSec.
 	ThroughputPerSec float64 `json:"throughput_per_sec"`
+	// AllocsPerTask and BytesPerTask are process-wide runtime.MemStats
+	// Mallocs/TotalAlloc deltas over the serve window (Start through
+	// Stop) divided by executed tasks. They measure the whole process —
+	// producers, workers and controllers included — so they are an upper
+	// bound on what the scheduler hot path itself allocates.
+	AllocsPerTask float64 `json:"allocs_per_task"`
+	BytesPerTask  float64 `json:"bytes_per_task"`
 
 	// SojournNs summarizes submission-to-execution latency, nanoseconds.
 	SojournNs stats.Summary `json:"sojourn_ns"`
@@ -363,6 +377,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.RankErrorBudget < 0 || c.AdaptInterval < 0 {
 		return c, fmt.Errorf("load: negative adaptive parameter")
+	}
+	if c.Resolution < 0 {
+		return c, fmt.Errorf("load: negative Resolution")
 	}
 	if c.LaneGroups < 0 {
 		return c, fmt.Errorf("load: negative LaneGroups")
@@ -745,14 +762,19 @@ func Run(cfg Config) (Result, error) {
 		AdaptivePlacement: cfg.AdaptivePlacement,
 		AdaptInterval:     cfg.AdaptInterval,
 		Seed:              cfg.Seed,
+		// The numeric priority projection is supplied unconditionally —
+		// not just for backpressure runs — so the relaxed lanes advertise
+		// their minima through the allocation-free numeric slots on every
+		// configuration the generator measures.
+		Priority:   func(t Task) int64 { return t.Prio },
+		MaxPrio:    cfg.PrioRange - 1,
+		Resolution: cfg.Resolution,
 	}
 	if cfg.Adaptive {
 		scfg.Adaptive = true
 	}
 	if cfg.Backpressure {
 		scfg.Backpressure = true
-		scfg.Priority = func(t Task) int64 { return t.Prio }
-		scfg.MaxPrio = cfg.PrioRange - 1
 		scfg.SojournBudget = cfg.SojournBudget
 		scfg.ProtectedBand = cfg.ProtectedBand
 		scfg.SpillCap = cfg.SpillCap
@@ -765,8 +787,12 @@ func Run(cfg Config) (Result, error) {
 		// One read per controller window: report the decayed p99, then
 		// age the window so the signal tracks recent pops rather than
 		// the whole run (-1 from an empty estimator means "no signal").
+		// The snapshot scratch is owned by this closure — the controller
+		// goroutine is its only caller — so the every-few-ms read
+		// allocates nothing.
+		scratch := make([]int64, tr.decay.ScratchLen())
 		scfg.RankSignal = func() float64 {
-			q := tr.decay.Quantile(0.99)
+			q := tr.decay.QuantileScratch(0.99, scratch)
 			tr.decay.Decay()
 			return q
 		}
@@ -778,6 +804,8 @@ func Run(cfg Config) (Result, error) {
 	if err := s.Start(); err != nil {
 		return Result{}, err
 	}
+	var mem0 runtime.MemStats
+	runtime.ReadMemStats(&mem0)
 
 	var wg sync.WaitGroup
 	errs := make([]error, cfg.Producers)
@@ -800,6 +828,8 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	var mem1 runtime.MemStats
+	runtime.ReadMemStats(&mem1)
 	for _, e := range errs {
 		if e != nil {
 			return Result{}, e
@@ -821,6 +851,7 @@ func Run(cfg Config) (Result, error) {
 		K:              cfg.K,
 		Batch:          cfg.Batch,
 		Stickiness:     cfg.Stickiness,
+		Resolution:     cfg.Resolution,
 		Submitted:      tr.submitted.Load(),
 		Executed:       st.Executed,
 		ElapsedSec:     st.Elapsed.Seconds(),
@@ -829,6 +860,10 @@ func Run(cfg Config) (Result, error) {
 		RankErrMax:     tr.rankMax.Load(),
 		RankErrSamples: tr.rankCount.Load(),
 		DS:             st.DS,
+	}
+	if st.Executed > 0 {
+		res.AllocsPerTask = float64(mem1.Mallocs-mem0.Mallocs) / float64(st.Executed)
+		res.BytesPerTask = float64(mem1.TotalAlloc-mem0.TotalAlloc) / float64(st.Executed)
 	}
 	if cfg.Adaptive {
 		res.Adaptive = true

@@ -15,6 +15,12 @@ func makers() map[string]func() Queue[int] {
 		"BinHeap":     func() Queue[int] { return NewBinHeap(intLess) },
 		"PairingHeap": func() Queue[int] { return NewPairingHeap(intLess) },
 		"SkipList":    func() Queue[int] { return NewSkipList(intLess, 42) },
+		// One band per value over the test domain (int16, shifted to be
+		// non-negative): at that resolution the bucket queue is an exact
+		// priority queue and must pass the whole generic suite.
+		"BucketQueue-exact": func() Queue[int] {
+			return NewBucketQueue[int](1<<16, func(v int) int { return v + 32768 })
+		},
 	}
 }
 

@@ -74,6 +74,7 @@ package relaxed
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -144,25 +145,58 @@ type Config struct {
 	PlaceGroup func(place int) int
 }
 
+// NumericConfig carries the optional numeric-priority knobs. Supplying
+// a projection switches the lanes' advertised minima from boxed task
+// copies (one heap allocation per lock episode) to plain atomic int64
+// slots — the allocation-free advertisement the zero-alloc serve path
+// depends on — and unlocks the multiresolution Resolution mode.
+type NumericConfig[T any] struct {
+	// Prio projects a task to its numeric priority; smaller is served
+	// first. It must agree with Options.Less: Prio(a) < Prio(b) must
+	// imply !Less(b, a), or sampling would chase minima the lane heaps
+	// disagree with. Nil keeps the boxed advertisement.
+	Prio func(T) int64
+	// MaxPrio is the inclusive upper bound of the Prio domain. Required
+	// when Resolution > 1 (it fixes the band count); otherwise unused.
+	MaxPrio int64
+	// Resolution, when > 1, buckets the priority domain into coarse
+	// bands of this width inside every lane (a multiresolution priority
+	// queue): lane pushes and pops become O(1) band operations instead
+	// of O(log n) heap updates, at the price of arbitrary order within
+	// one band — each pop's rank error grows by at most the band's live
+	// occupancy. 0 and 1 select the exact per-lane heaps. Requires
+	// Prio and MaxPrio ≥ 1.
+	Resolution int64
+}
+
+// maxResolutionBands bounds the per-lane band count Resolution may
+// induce, so a tiny Resolution against a huge MaxPrio cannot demand a
+// gigantic occupancy array in every lane.
+const maxResolutionBands = 1 << 16
+
+// emptyPrio is the numeric advertisement of an empty lane. Pushing a
+// task whose Prio is MaxInt64 is indistinguishable from empty, which
+// only delays that task until a sweep — acceptable for a sentinel.
+const emptyPrio = math.MaxInt64
+
 type lane[T any] struct {
-	mu   sync.Mutex
-	heap *pq.BinHeap[T]
-	min  atomic.Pointer[T] // advertised minimum; nil when empty; updated under mu
+	mu sync.Mutex
+	q  pq.Queue[T]
+	// min is the boxed advertised minimum: nil when empty, updated under
+	// mu. Only maintained when no numeric projection is configured —
+	// boxing allocates a copy of T per lock episode, which the numeric
+	// minP slot exists to avoid.
+	min atomic.Pointer[T]
+	// minP is the numeric advertised minimum (emptyPrio when empty),
+	// updated under mu. Only maintained when a numeric projection is
+	// configured.
+	minP atomic.Int64
 	// contended counts failed try-lock acquisitions on this lane — the
 	// per-lane contention sample the adaptive stickiness controller
 	// reads. Written only on the try-lock miss path, so the hot
 	// uncontended paths never touch it.
 	contended atomic.Int64
 	_         [16]byte // keep lane locks on distinct cache lines
-}
-
-// refreshMin re-advertises the lane minimum; callers hold mu.
-func (ln *lane[T]) refreshMin() {
-	if v, ok := ln.heap.Peek(); ok {
-		ln.min.Store(&v)
-	} else {
-		ln.min.Store(nil)
-	}
 }
 
 // sticky is one place's lane-affinity state. It is written only by the
@@ -202,11 +236,17 @@ type DS[T any] struct {
 	// arithmetic — no lane or item ever moves.
 	agroups   atomic.Int64
 	maxGroups int
-	home      []int32 // per place: home group in [0, maxGroups)
+	prio      func(T) int64 // nil: boxed advertisement
+	home      []int32       // per place: home group in [0, maxGroups)
 	lanes     []*lane[T]
 	rngs      []*xrand.Rand // one per place
 	sticky    []sticky      // one per place
 	ctrs      []core.Counters
+	// popKBuf is PopK's per-place scratch (places are single-owner, so
+	// no lock is needed): PopK drains into the retained buffer and only
+	// allocates the exact-size result when tasks were actually obtained,
+	// so empty pops under backoff cost nothing.
+	popKBuf [][]T
 }
 
 // New constructs the structure with DefaultLaneFactor lanes per place,
@@ -226,10 +266,34 @@ func NewWithLanes[T any](opts core.Options[T], lanes int, mode SampleMode) (*DS[
 	return NewWithConfig(opts, Config{Lanes: lanes, Mode: mode})
 }
 
-// NewWithConfig constructs the structure with explicit knobs.
+// NewWithConfig constructs the structure with explicit knobs, boxed
+// minimum advertisement and the exact per-lane heaps.
 func NewWithConfig[T any](opts core.Options[T], cfg Config) (*DS[T], error) {
+	return NewWithNumeric(opts, cfg, NumericConfig[T]{})
+}
+
+// NewWithNumeric constructs the structure with explicit knobs plus the
+// numeric-priority extensions (allocation-free advertisement and the
+// multiresolution lanes; see NumericConfig).
+func NewWithNumeric[T any](opts core.Options[T], cfg Config, num NumericConfig[T]) (*DS[T], error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
+	}
+	if num.Resolution < 0 {
+		return nil, fmt.Errorf("relaxed: Resolution = %d, must be non-negative", num.Resolution)
+	}
+	var bands int64
+	if num.Resolution > 1 {
+		if num.Prio == nil {
+			return nil, fmt.Errorf("relaxed: Resolution = %d requires a Prio projection", num.Resolution)
+		}
+		if num.MaxPrio < 1 {
+			return nil, fmt.Errorf("relaxed: Resolution = %d requires MaxPrio ≥ 1, got %d", num.Resolution, num.MaxPrio)
+		}
+		bands = num.MaxPrio/num.Resolution + 1
+		if bands > maxResolutionBands {
+			return nil, fmt.Errorf("relaxed: Resolution = %d over MaxPrio = %d needs %d bands per lane, above the %d cap", num.Resolution, num.MaxPrio, bands, maxResolutionBands)
+		}
 	}
 	if cfg.Stickiness < 0 {
 		return nil, fmt.Errorf("relaxed: Stickiness = %d, must be non-negative", cfg.Stickiness)
@@ -253,11 +317,13 @@ func NewWithConfig[T any](opts core.Options[T], cfg Config) (*DS[T], error) {
 		opts:      opts,
 		mode:      cfg.Mode,
 		maxGroups: cfg.Groups,
+		prio:      num.Prio,
 		home:      make([]int32, opts.Places),
 		lanes:     make([]*lane[T], cfg.Lanes),
 		rngs:      make([]*xrand.Rand, opts.Places),
 		sticky:    make([]sticky, opts.Places),
 		ctrs:      make([]core.Counters, opts.Places),
+		popKBuf:   make([][]T, opts.Places),
 	}
 	d.stick.Store(int64(cfg.Stickiness))
 	d.agroups.Store(int64(cfg.Groups))
@@ -272,7 +338,15 @@ func NewWithConfig[T any](opts core.Options[T], cfg Config) (*DS[T], error) {
 		d.home[pl] = int32(g)
 	}
 	for i := range d.lanes {
-		d.lanes[i] = &lane[T]{heap: pq.NewBinHeap(opts.Less)}
+		ln := &lane[T]{}
+		if num.Resolution > 1 {
+			res, prio := num.Resolution, num.Prio
+			ln.q = pq.NewBucketQueue[T](int(bands), func(v T) int { return int(prio(v) / res) })
+		} else {
+			ln.q = pq.NewBinHeap(opts.Less)
+		}
+		ln.minP.Store(emptyPrio)
+		d.lanes[i] = ln
 	}
 	seeds := xrand.New(opts.Seed)
 	for i := range d.rngs {
@@ -371,14 +445,86 @@ func (d *DS[T]) ContentionTotal() int64 {
 	return sum
 }
 
+// advertise re-publishes ln's minimum for the lock-free samplers;
+// callers hold ln.mu. With a numeric projection the advertisement is a
+// plain int64 store; the boxed variant copies the minimum to the heap
+// (one allocation per lock episode), which is why the numeric path
+// exists.
+func (d *DS[T]) advertise(ln *lane[T]) {
+	if d.prio != nil {
+		if v, ok := ln.q.Peek(); ok {
+			ln.minP.Store(d.prio(v))
+		} else {
+			ln.minP.Store(emptyPrio)
+		}
+		return
+	}
+	if v, ok := ln.q.Peek(); ok {
+		ln.min.Store(&v)
+	} else {
+		ln.min.Store(nil)
+	}
+}
+
+// laneEmpty reads ln's advertisement (racily, like all samplers).
+func (d *DS[T]) laneEmpty(ln *lane[T]) bool {
+	if d.prio != nil {
+		return ln.minP.Load() == emptyPrio
+	}
+	return ln.min.Load() == nil
+}
+
+// bestOfSpan returns the lane in [lo, hi) advertising the best minimum,
+// or -1 when every lane advertises empty.
+func (d *DS[T]) bestOfSpan(lo, hi int) int {
+	best := -1
+	if d.prio != nil {
+		bestK := int64(emptyPrio)
+		for i := lo; i < hi; i++ {
+			if k := d.lanes[i].minP.Load(); k < bestK {
+				best, bestK = i, k
+			}
+		}
+		return best
+	}
+	var bestV T
+	for i := lo; i < hi; i++ {
+		if p := d.lanes[i].min.Load(); p != nil && (best < 0 || d.opts.Less(*p, bestV)) {
+			best, bestV = i, *p
+		}
+	}
+	return best
+}
+
+// bestOfTwo is bestOfSpan over exactly the lanes a and b.
+func (d *DS[T]) bestOfTwo(a, b int) int {
+	best := -1
+	if d.prio != nil {
+		bestK := int64(emptyPrio)
+		for _, i := range [2]int{a, b} {
+			if k := d.lanes[i].minP.Load(); k < bestK {
+				best, bestK = i, k
+			}
+		}
+		return best
+	}
+	var bestV T
+	for _, i := range [2]int{a, b} {
+		if p := d.lanes[i].min.Load(); p != nil && (best < 0 || d.opts.Less(*p, bestV)) {
+			best, bestV = i, *p
+		}
+	}
+	return best
+}
+
 // Push inserts v into a lane chosen per the stickiness policy. The
 // relaxation parameter k is ignored: the structural relaxation is fixed
 // at construction.
 func (d *DS[T]) Push(pl int, k int, v T) {
 	_ = k
 	ln := d.lockPushLane(pl)
-	ln.heap.Push(v)
-	ln.refreshMin()
+	ln.q.Push(v)
+	d.advertise(ln)
 	ln.mu.Unlock()
 	d.ctrs[pl].Pushes.Add(1)
 }
@@ -392,9 +538,9 @@ func (d *DS[T]) PushK(pl int, k int, vs []T) {
 	}
 	ln := d.lockPushLane(pl)
 	for _, v := range vs {
-		ln.heap.Push(v)
+		ln.q.Push(v)
 	}
-	ln.refreshMin()
+	d.advertise(ln)
 	ln.mu.Unlock()
 	c := &d.ctrs[pl]
 	c.Pushes.Add(int64(len(vs)))
@@ -471,6 +617,11 @@ const maxPopKAlloc = 256
 // PopK drains up to max tasks from the chosen lane under one lock
 // acquisition. An empty result is a (possibly spurious) failure. At
 // most maxPopKAlloc tasks are returned per call.
+//
+// The drain goes through the place's retained scratch buffer, so the
+// only allocation is the exact-size result — and a failed pop (the
+// common case under backoff) allocates nothing at all. Callers on the
+// true hot path use PopKInto and own the buffer outright.
 func (d *DS[T]) PopK(pl int, max int) []T {
 	if max < 1 {
 		return nil
@@ -478,12 +629,23 @@ func (d *DS[T]) PopK(pl int, max int) []T {
 	if max > maxPopKAlloc {
 		max = maxPopKAlloc
 	}
-	buf := make([]T, max)
+	buf := d.popKBuf[pl]
+	if cap(buf) < max {
+		buf = make([]T, max)
+		d.popKBuf[pl] = buf
+	}
+	buf = buf[:max]
 	got := d.PopKInto(pl, buf)
 	if got == 0 {
 		return nil
 	}
-	return buf[:got]
+	out := make([]T, got)
+	copy(out, buf[:got])
+	var zero T
+	for i := range buf[:got] {
+		buf[i] = zero // drop scratch references: the caller owns out
+	}
+	return out
 }
 
 // PopKInto is the allocation-free batch pop: it fills out with up to
@@ -522,7 +684,7 @@ func (d *DS[T]) popInto(pl int, out []T) int {
 	// budget simply runs out and the next selection is group-local.
 	if st.popLeft > 0 {
 		ln := d.lanes[st.popLane]
-		if ln.min.Load() != nil {
+		if !d.laneEmpty(ln) {
 			if ln.mu.TryLock() {
 				st.popLeft--
 				if got := d.drainLocked(ln, c, out); got > 0 {
@@ -540,10 +702,8 @@ func (d *DS[T]) popInto(pl int, out []T) int {
 		if attempt > 0 {
 			c.PopRetries.Add(1)
 		}
-		best := -1
-		var bestV T
-		switch d.mode {
-		case SampleTwo:
+		var best int
+		if d.mode == SampleTwo {
 			a := lo + r.Intn(n)
 			b := a
 			if n > 1 {
@@ -552,17 +712,9 @@ func (d *DS[T]) popInto(pl int, out []T) int {
 					b++
 				}
 			}
-			for _, i := range [2]int{a, b} {
-				if p := d.lanes[i].min.Load(); p != nil && (best < 0 || d.opts.Less(*p, bestV)) {
-					best, bestV = i, *p
-				}
-			}
-		default: // SampleAll
-			for i := lo; i < hi; i++ {
-				if p := d.lanes[i].min.Load(); p != nil && (best < 0 || d.opts.Less(*p, bestV)) {
-					best, bestV = i, *p
-				}
-			}
+			best = d.bestOfTwo(a, b)
+		} else { // SampleAll
+			best = d.bestOfSpan(lo, hi)
 		}
 		if best < 0 {
 			break // sampled lanes advertise empty: go sweep
@@ -589,7 +741,7 @@ func (d *DS[T]) popInto(pl int, out []T) int {
 			i -= n
 		}
 		ln := d.lanes[i]
-		if ln.min.Load() == nil {
+		if d.laneEmpty(ln) {
 			continue
 		}
 		if !ln.mu.TryLock() {
@@ -631,7 +783,7 @@ func (d *DS[T]) popInto(pl int, out []T) int {
 				i += n // skip the home span: [0,lo) ∪ [hi,total)
 			}
 			ln := d.lanes[i]
-			if ln.min.Load() == nil {
+			if d.laneEmpty(ln) {
 				continue
 			}
 			if !ln.mu.TryLock() {
@@ -653,7 +805,7 @@ func (d *DS[T]) popInto(pl int, out []T) int {
 func (d *DS[T]) drainLocked(ln *lane[T], c *core.Counters, out []T) int {
 	got := 0
 	for got < len(out) {
-		v, ok := ln.heap.Pop()
+		v, ok := ln.q.Pop()
 		if !ok {
 			break
 		}
@@ -667,7 +819,7 @@ func (d *DS[T]) drainLocked(ln *lane[T], c *core.Counters, out []T) int {
 		out[got] = v
 		got++
 	}
-	ln.refreshMin()
+	d.advertise(ln)
 	ln.mu.Unlock()
 	if got > 0 {
 		c.Pops.Add(int64(got))
@@ -679,6 +831,7 @@ func (d *DS[T]) drainLocked(ln *lane[T], c *core.Counters, out []T) int {
 func (d *DS[T]) Stats() core.Stats { return core.SumCounters(d.ctrs) }
 
 var (
-	_ core.DS[int]      = (*DS[int])(nil)
-	_ core.BatchDS[int] = (*DS[int])(nil)
+	_ core.DS[int]             = (*DS[int])(nil)
+	_ core.BatchDS[int]        = (*DS[int])(nil)
+	_ core.BatchPopIntoer[int] = (*DS[int])(nil)
 )

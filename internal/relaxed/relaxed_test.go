@@ -636,3 +636,122 @@ func TestLaneContentionSampling(t *testing.T) {
 		t.Fatalf("ContentionTotal %d != per-lane sum %d", total, sum)
 	}
 }
+
+// TestConformanceMultires runs the full exactly-once suite over the
+// multiresolution configuration: numeric advertisement plus coarse
+// per-lane bucket queues (band width 64 over a 1<<10 domain). Ordering
+// inside a band is intentionally relaxed, so strict local ordering is
+// waived like the other relaxed configurations.
+func TestConformanceMultires(t *testing.T) {
+	dstest.RunFlags(t, "RelaxedMultires", func(opts core.Options[int64]) (core.DS[int64], error) {
+		return NewWithNumeric(opts, Config{Mode: SampleTwo, Stickiness: 4},
+			NumericConfig[int64]{
+				Prio:       func(v int64) int64 { return v },
+				MaxPrio:    1<<10 - 1,
+				Resolution: 64,
+			})
+	}, dstest.Flags{NoLocalOrdering: true})
+}
+
+// TestNumericConfigValidation pins the NumericConfig error cases.
+func TestNumericConfigValidation(t *testing.T) {
+	opts := core.Options[int64]{Places: 1, Less: less, Seed: 1}
+	id := func(v int64) int64 { return v }
+	if _, err := NewWithNumeric(opts, Config{}, NumericConfig[int64]{Resolution: -1, Prio: id, MaxPrio: 10}); err == nil {
+		t.Fatal("negative Resolution accepted")
+	}
+	if _, err := NewWithNumeric(opts, Config{}, NumericConfig[int64]{Resolution: 2}); err == nil {
+		t.Fatal("Resolution > 1 without Prio accepted")
+	}
+	if _, err := NewWithNumeric(opts, Config{}, NumericConfig[int64]{Resolution: 2, Prio: id}); err == nil {
+		t.Fatal("Resolution > 1 without MaxPrio accepted")
+	}
+	// Band explosion: MaxPrio/Resolution + 1 over the per-lane cap.
+	if _, err := NewWithNumeric(opts, Config{}, NumericConfig[int64]{Resolution: 1, Prio: id, MaxPrio: 1 << 40}); err != nil {
+		t.Fatalf("Resolution 1 (exact heaps) must not hit the band cap: %v", err)
+	}
+	if _, err := NewWithNumeric(opts, Config{}, NumericConfig[int64]{Resolution: 2, Prio: id, MaxPrio: 1 << 40}); err == nil {
+		t.Fatal("band count above the cap accepted")
+	}
+}
+
+// warmNumeric builds a single-place numeric structure and runs enough
+// push/pop traffic through every configuration knob that all lane
+// storage and the PopK scratch reach steady-state capacity.
+func warmNumeric(t *testing.T, res int64) *DS[int64] {
+	t.Helper()
+	d, err := NewWithNumeric(core.Options[int64]{Places: 1, Less: less, Seed: 9},
+		Config{Mode: SampleAll, Stickiness: 4},
+		NumericConfig[int64]{
+			Prio:       func(v int64) int64 { return v },
+			MaxPrio:    1<<10 - 1,
+			Resolution: res,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 2048; i++ {
+			d.Push(0, 0, int64(i%1024))
+		}
+		got := 0
+		for spin := 0; got < 2048 && spin < 100000; spin++ {
+			got += len(d.PopK(0, 64))
+		}
+		if got != 2048 {
+			t.Fatalf("warmup drained %d of 2048", got)
+		}
+	}
+	return d
+}
+
+// TestNumericHotPathAllocFree pins the zero-allocation contract of the
+// numeric serve path: steady-state Push + PopKInto allocates nothing —
+// for the exact heaps and for the multiresolution bucket lanes — and a
+// PopK that comes back empty allocates nothing either. (The boxed
+// Less-only path advertises minima through pointer stores and is
+// allowed to allocate; it is not under test.)
+func TestNumericHotPathAllocFree(t *testing.T) {
+	for _, res := range []int64{0, 64} {
+		d := warmNumeric(t, res)
+		buf := make([]int64, 8)
+		// Single-threaded, so pops cannot fail spuriously: the pushed
+		// element is advertised and every try-lock is free.
+		allocs := testing.AllocsPerRun(1000, func() {
+			d.Push(0, 0, 512)
+			if got := d.PopKInto(0, buf[:1]); got != 1 {
+				t.Fatalf("res %d: PopKInto got %d", res, got)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("res %d: Push+PopKInto allocs = %v, want 0", res, allocs)
+		}
+		allocs = testing.AllocsPerRun(1000, func() {
+			if vs := d.PopK(0, 64); vs != nil {
+				t.Fatalf("res %d: PopK on empty returned %d tasks", res, len(vs))
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("res %d: empty PopK allocs = %v, want 0", res, allocs)
+		}
+		// A successful PopK allocates exactly its exact-size result.
+		// Stickiness 4 spreads 8 pushes over 2–3 lanes and PopK drains
+		// one lane per call, so a full drain is at most 3 non-empty
+		// calls — hence at most 3 result-slice allocations.
+		allocs = testing.AllocsPerRun(1000, func() {
+			for i := 0; i < 8; i++ {
+				d.Push(0, 0, int64(i))
+			}
+			got := 0
+			for spin := 0; got < 8 && spin < 1000; spin++ {
+				got += len(d.PopK(0, 8))
+			}
+			if got != 8 {
+				t.Fatalf("res %d: drained %d of 8", res, got)
+			}
+		})
+		if allocs < 1 || allocs > 3 {
+			t.Errorf("res %d: non-empty PopK allocs = %v, want 1..3 (result slices only)", res, allocs)
+		}
+	}
+}

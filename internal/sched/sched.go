@@ -225,8 +225,18 @@ type Config[T any] struct {
 	// polices a different order than the structure serves.
 	Priority func(T) int64
 	// MaxPrio is the inclusive upper bound of the Priority domain
-	// (required ≥ 1 with Backpressure).
+	// (required ≥ 1 with Backpressure, and with Resolution > 1).
 	MaxPrio int64
+	// Resolution, when > 1, buckets the relaxed strategies' numeric
+	// priority domain into coarse bands of this width inside every lane
+	// (a multiresolution priority queue, relaxed.NumericConfig): lane
+	// pushes and pops become O(1) band operations instead of O(log n)
+	// heap updates, at the price of arbitrary order within one band —
+	// each pop's rank error grows by at most the band's live occupancy,
+	// so size the bands against RankErrorBudget. 0 and 1 keep the exact
+	// per-lane heaps. Requires Priority and MaxPrio ≥ 1; strategies
+	// without lanes ignore it.
+	Resolution int64
 	// SojournBudget is the target sojourn time backpressure polices
 	// (0 selects backpressure.DefaultSojournBudget).
 	SojournBudget time.Duration
@@ -267,7 +277,7 @@ type Scheduler[T any] struct {
 	cfg      Config[T]
 	ds       core.DS[envelope[T]]
 	bds      core.BatchDS[envelope[T]]        // batch view of ds (adapter when not native)
-	popInto  core.BatchPopIntoer[envelope[T]] // allocation-free pop view; nil when unsupported
+	popInto  core.BatchPopIntoer[envelope[T]] // allocation-free pop view; always available
 	pending  atomic.Int64
 	active   atomic.Bool
 	elim     atomic.Int64
@@ -288,6 +298,11 @@ type Scheduler[T any] struct {
 	serveFin  *finishRegion
 	serveT0   time.Time
 	serveBase RunStats
+	// envArena pools the envelope staging buffers of the SubmitAllK
+	// paths; defArena pools the spillway drain scratch of readmitSpill
+	// (nil without Backpressure). See blockArena.
+	envArena *blockArena[envelope[T]]
+	defArena *blockArena[deferredTask[T]]
 
 	// Adaptive-controller state (see serve.go). maxBatch is the worker
 	// pop buffer capacity (the batch ceiling); effBatch is the batch in
@@ -407,6 +422,20 @@ func New[T any](cfg Config[T]) (*Scheduler[T], error) {
 	if cfg.RankErrorBudget < 0 {
 		return nil, fmt.Errorf("sched: RankErrorBudget = %v, must be non-negative", cfg.RankErrorBudget)
 	}
+	if cfg.Resolution < 0 {
+		return nil, fmt.Errorf("sched: Resolution = %d, must be non-negative", cfg.Resolution)
+	}
+	if cfg.Resolution > 1 {
+		if cfg.Strategy != Relaxed && cfg.Strategy != RelaxedSampleTwo {
+			return nil, fmt.Errorf("sched: Resolution = %d requires a relaxed strategy (%s has no lanes to coarsen)", cfg.Resolution, cfg.Strategy)
+		}
+		if cfg.Priority == nil {
+			return nil, fmt.Errorf("sched: Resolution = %d requires a Priority function (the bands partition its domain)", cfg.Resolution)
+		}
+		if cfg.MaxPrio < 1 {
+			return nil, fmt.Errorf("sched: Resolution = %d requires MaxPrio ≥ 1, got %d", cfg.Resolution, cfg.MaxPrio)
+		}
+	}
 	s := &Scheduler[T]{cfg: cfg}
 	s.maxBatch = cfg.Batch
 	if cfg.Adaptive {
@@ -456,6 +485,10 @@ func New[T any](cfg Config[T]) (*Scheduler[T], error) {
 		s.bpLast = bcfg.Open()
 	}
 	s.effBatch.Store(int32(cfg.Batch))
+	s.envArena = newBlockArena[envelope[T]]()
+	if cfg.Backpressure {
+		s.defArena = newBlockArena[deferredTask[T]]()
+	}
 	for i := 0; i < cfg.Injectors; i++ {
 		// Injector lanes occupy the place ids past the worker places.
 		s.injectors = append(s.injectors, &injector{place: cfg.Places + i})
@@ -494,6 +527,19 @@ func New[T any](cfg Config[T]) (*Scheduler[T], error) {
 			return HomeGroup(pl-p, inj, g)
 		}
 	}
+	// Whenever the caller supplies a numeric Priority, hand the relaxed
+	// structure its projection: the lanes then advertise their minima as
+	// plain atomic integers instead of boxed task copies — one heap
+	// allocation per lane lock episode gone, the load-bearing piece of
+	// the allocation-free serve path. Priority is documented to agree
+	// with Less, which is exactly the agreement the projection needs.
+	var num relaxed.NumericConfig[envelope[T]]
+	if cfg.Priority != nil {
+		pr := cfg.Priority
+		num.Prio = func(e envelope[T]) int64 { return pr(e.v) }
+		num.MaxPrio = cfg.MaxPrio
+		num.Resolution = cfg.Resolution
+	}
 
 	var (
 		ds  core.DS[envelope[T]]
@@ -512,10 +558,10 @@ func New[T any](cfg Config[T]) (*Scheduler[T], error) {
 		ds, err = hybrid.NewNoSpy(opts)
 	case Relaxed:
 		rcfg.Mode = relaxed.SampleAll
-		ds, err = relaxed.NewWithConfig(opts, rcfg)
+		ds, err = relaxed.NewWithNumeric(opts, rcfg, num)
 	case RelaxedSampleTwo:
 		rcfg.Mode = relaxed.SampleTwo
-		ds, err = relaxed.NewWithConfig(opts, rcfg)
+		ds, err = relaxed.NewWithNumeric(opts, rcfg, num)
 	case GlobalHeap:
 		ds, err = globalpq.New(opts)
 	default:
@@ -526,7 +572,13 @@ func New[T any](cfg Config[T]) (*Scheduler[T], error) {
 	}
 	s.ds = ds
 	s.bds = core.AsBatch(ds)
-	s.popInto, _ = ds.(core.BatchPopIntoer[envelope[T]])
+	pi, ok := s.bds.(core.BatchPopIntoer[envelope[T]])
+	if !ok {
+		// Unreachable with the in-tree structures: every native BatchDS
+		// implements PopKInto and the AsBatch adapter adds it over Pop.
+		return nil, fmt.Errorf("sched: %T provides no allocation-free batch pop (core.BatchPopIntoer)", s.bds)
+	}
+	s.popInto = pi
 	s.stickDS, _ = ds.(interface{ SetStickiness(int) })
 	s.contDS, _ = ds.(interface{ ContentionTotal() int64 })
 	s.grpDS, _ = ds.(groupedDS)
@@ -632,9 +684,9 @@ func (s *Scheduler[T]) workLoop(ctx *Ctx[T], done func() bool) {
 	}
 }
 
-// workLoopBatch is the batch-ceiling > 1 variant of workLoop, preferring
-// the allocation-free core.BatchPopIntoer path when the structure
-// provides it. The effective batch is re-read from effBatch every
+// workLoopBatch is the batch-ceiling > 1 variant of workLoop, popping
+// through the allocation-free core.BatchPopIntoer path (every structure
+// provides one). The effective batch is re-read from effBatch every
 // episode, so the adaptive controller's moves propagate to the very next
 // pop without any worker coordination. The pop buffer (sized to the
 // ceiling, so a later controller move never needs a reallocation) is
@@ -663,12 +715,7 @@ func (s *Scheduler[T]) workLoopBatch(ctx *Ctx[T], done func() bool) {
 		if b > len(buf) {
 			b = len(buf)
 		}
-		var n int
-		if s.popInto != nil {
-			n = s.popInto.PopKInto(ctx.place, buf[:b])
-		} else {
-			n = copy(buf, s.bds.PopK(ctx.place, b))
-		}
+		n := s.popInto.PopKInto(ctx.place, buf[:b])
 		if n == 0 {
 			fails++
 			backoff(fails)

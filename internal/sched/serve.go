@@ -361,28 +361,45 @@ func (s *Scheduler[T]) plTick(at time.Duration) {
 // lock acquisition each.
 const minReadmitRun = 32
 
+// readmitChunk is the per-run length cap striping a drained batch of n
+// tasks over the injector lanes: ⌈n/lanes⌉, floored at minReadmitRun.
+func readmitChunk(n, lanes int) int {
+	if lanes < 1 {
+		lanes = 1
+	}
+	chunk := (n + lanes - 1) / lanes
+	if chunk < minReadmitRun {
+		chunk = minReadmitRun
+	}
+	return chunk
+}
+
+// runEnd returns the exclusive end of the push run starting at start:
+// the longest prefix of consecutive equal-k tasks, capped at chunk.
+func runEnd[T any](ds []deferredTask[T], start, chunk int) int {
+	end := start + 1
+	for end < len(ds) && end-start < chunk && ds[end].k == ds[start].k {
+		end++
+	}
+	return end
+}
+
 // readmitRuns splits a drained spillway batch into the per-lane push
 // runs readmitSpill issues: consecutive tasks of equal k stay together
 // (each run is one PushK with that run's original k), and runs are
 // additionally cut so a batch spreads over up to lanes injector lanes
 // instead of serializing behind a single lane's lock. Order inside the
 // concatenated runs is exactly the input (oldest-first) order. Pure, so
-// the k-preservation and striping properties are unit-testable.
+// the k-preservation and striping properties are unit-testable;
+// readmitSpill itself walks runEnd in place instead of materializing
+// the slice-of-runs.
 func readmitRuns[T any](ds []deferredTask[T], lanes int) [][]deferredTask[T] {
-	if lanes < 1 {
-		lanes = 1
-	}
-	chunk := (len(ds) + lanes - 1) / lanes
-	if chunk < minReadmitRun {
-		chunk = minReadmitRun
-	}
+	chunk := readmitChunk(len(ds), lanes)
 	var runs [][]deferredTask[T]
-	start := 0
-	for i := 1; i <= len(ds); i++ {
-		if i == len(ds) || ds[i].k != ds[start].k || i-start == chunk {
-			runs = append(runs, ds[start:i])
-			start = i
-		}
+	for start := 0; start < len(ds); {
+		end := runEnd(ds, start, chunk)
+		runs = append(runs, ds[start:end])
+		start = end
 	}
 	return runs
 }
@@ -400,21 +417,41 @@ func readmitRuns[T any](ds []deferredTask[T], lanes int) [][]deferredTask[T] {
 // Safe for concurrent callers (the controller tick, Stop's flush, the
 // Submit re-flush race and Drain's nudge may overlap).
 func (s *Scheduler[T]) readmitSpill(max int) bool {
-	ds := s.spill.DrainUpTo(max)
-	if len(ds) == 0 {
+	// Clamp the drain scratch to the spillway's current occupancy: the
+	// quota can far exceed what is parked, and the arena retains the
+	// largest buffer ever grown.
+	if l := s.spill.Len(); max > l {
+		max = l
+	}
+	if max < 1 {
 		return false
 	}
-	s.readmitted.Add(int64(len(ds)))
-	for _, run := range readmitRuns(ds, len(s.injectors)) {
-		envs := make([]envelope[T], 0, len(run))
-		for _, d := range run {
-			envs = append(envs, d.env)
+	dblk := s.defArena.get()
+	dbuf := dblk.grow(max)
+	got := s.spill.DrainUpToInto(dbuf)
+	if got == 0 {
+		s.defArena.put(dblk)
+		return false
+	}
+	ds := dbuf[:got]
+	s.readmitted.Add(int64(got))
+	chunk := readmitChunk(got, len(s.injectors))
+	eblk := s.envArena.get()
+	for start := 0; start < got; {
+		end := runEnd(ds, start, chunk)
+		run := ds[start:end]
+		envs := eblk.grow(len(run))
+		for i, d := range run {
+			envs[i] = d.env
 		}
 		inj := s.injectors[s.nextInj.Add(1)%uint64(len(s.injectors))]
 		inj.mu.Lock()
 		s.bds.PushK(inj.place, run[0].k, envs)
 		inj.mu.Unlock()
+		start = end
 	}
+	s.envArena.put(eblk)
+	s.defArena.put(dblk)
 	return true
 }
 
@@ -634,7 +671,8 @@ func (s *Scheduler[T]) SubmitAllKOutcomes(k int, vs []T, out []Outcome) (int, er
 		}
 		s.serveFin.pending.Add(n)
 		s.spawned.Add(n)
-		envs := make([]envelope[T], len(vs))
+		blk := s.envArena.get()
+		envs := blk.grow(len(vs))
 		for i, v := range vs {
 			envs[i] = envelope[T]{v: v, fin: s.serveFin}
 		}
@@ -642,12 +680,14 @@ func (s *Scheduler[T]) SubmitAllKOutcomes(k int, vs []T, out []Outcome) (int, er
 		inj.mu.Lock()
 		s.bds.PushK(inj.place, k, envs)
 		inj.mu.Unlock()
+		s.envArena.put(blk) // PushK copied the envelopes; the buffer is dead
 		return len(vs), nil
 	}
 	// Gated: one threshold read decides the whole batch, so a batch is
 	// internally consistent even while the controller moves the gate.
 	threshold := s.bpGate.Load()
-	envs := make([]envelope[T], 0, len(vs))
+	blk := s.envArena.get()
+	envs := blk.grow(len(vs))[:0]
 	deferred, shedN := 0, 0
 	for i, v := range vs {
 		if s.cfg.Priority(v) <= threshold {
@@ -685,6 +725,7 @@ func (s *Scheduler[T]) SubmitAllKOutcomes(k int, vs []T, out []Outcome) (int, er
 		s.bds.PushK(inj.place, k, envs)
 		inj.mu.Unlock()
 	}
+	s.envArena.put(blk) // PushK copied the admitted envelopes; the buffer is dead
 	if deferred > 0 && !s.accepting.Load() {
 		// Stop may have flushed the spillway while we were deferring;
 		// flush again so nothing is stranded (see flushSpill).

@@ -50,7 +50,22 @@ func (h *DecayingHist) N() int64 {
 // Returns -1 when the estimator holds no weight at all — "no signal",
 // which consumers must distinguish from a measured 0 (a perfectly
 // ordered window).
+//
+// Quantile allocates its bucket snapshot; controllers reading the
+// estimate every few milliseconds use QuantileScratch with a retained
+// buffer instead.
 func (h *DecayingHist) Quantile(q float64) float64 {
+	return h.QuantileScratch(q, make([]int64, len(h.counts)))
+}
+
+// ScratchLen returns the length a QuantileScratch buffer must have.
+func (h *DecayingHist) ScratchLen() int { return len(h.counts) }
+
+// QuantileScratch is Quantile with a caller-owned snapshot buffer of at
+// least ScratchLen() elements, so a periodic reader allocates nothing.
+// The scratch contents are overwritten; distinct concurrent readers
+// need distinct buffers.
+func (h *DecayingHist) QuantileScratch(q float64, scratch []int64) float64 {
 	if q < 0 {
 		q = 0
 	}
@@ -59,7 +74,7 @@ func (h *DecayingHist) Quantile(q float64) float64 {
 	}
 	// Snapshot the buckets once so total and rank scan agree with each
 	// other even while writers race.
-	snap := make([]int64, len(h.counts))
+	snap := scratch[:len(h.counts)]
 	var n int64
 	for i := range h.counts {
 		snap[i] = h.counts[i].Load()

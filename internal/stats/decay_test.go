@@ -113,3 +113,44 @@ func TestDecayingHistConcurrent(t *testing.T) {
 	close(stop)
 	<-readerDone
 }
+
+// TestQuantileScratchMatchesQuantile pins that the caller-scratch
+// variant is the same estimator: identical results across quantiles and
+// fill levels, including the empty -1 signal.
+func TestQuantileScratchMatchesQuantile(t *testing.T) {
+	h := NewDecayingHist()
+	scratch := make([]int64, h.ScratchLen())
+	if got := h.QuantileScratch(0.99, scratch); got != -1 {
+		t.Fatalf("empty QuantileScratch = %v, want -1", got)
+	}
+	for i := 1; i <= 10000; i++ {
+		h.Observe(float64(i))
+		if i%1000 == 0 {
+			for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+				if got, want := h.QuantileScratch(q, scratch), h.Quantile(q); got != want {
+					t.Fatalf("n=%d q=%v: scratch %v vs alloc %v", i, q, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestQuantileScratchAllocFree pins the controller-window read at zero
+// allocations: one reused scratch buffer, any number of reads.
+func TestQuantileScratchAllocFree(t *testing.T) {
+	h := NewDecayingHist()
+	for i := 1; i <= 5000; i++ {
+		h.Observe(float64(i))
+	}
+	scratch := make([]int64, h.ScratchLen())
+	allocs := testing.AllocsPerRun(1000, func() {
+		if got := h.QuantileScratch(0.99, scratch); got < 0 {
+			t.Fatal("lost the signal")
+		}
+		h.Decay()
+		h.Observe(42)
+	})
+	if allocs != 0 {
+		t.Errorf("QuantileScratch allocs = %v, want 0", allocs)
+	}
+}

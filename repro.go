@@ -184,8 +184,16 @@ type SchedulerConfig[T any] struct {
 	// urgent); required with Backpressure and must agree with Less.
 	Priority func(T) int64
 	// MaxPrio is the inclusive upper bound of the Priority domain
-	// (required ≥ 1 with Backpressure).
+	// (required ≥ 1 with Backpressure, and with Resolution > 1).
 	MaxPrio int64
+	// Resolution, when > 1, buckets the relaxed strategies' priority
+	// domain into coarse bands of this width inside every lane
+	// (multiresolution priority queue): lane operations become O(1)
+	// band updates instead of O(log n) heap updates, with arbitrary
+	// order inside one band — the rank error grows by at most a band's
+	// live occupancy. 0 and 1 keep the exact per-lane heaps. Requires
+	// Priority and MaxPrio ≥ 1; other strategies ignore it.
+	Resolution int64
 	// SojournBudget is the target sojourn time backpressure polices
 	// (0 = the 50ms default).
 	SojournBudget time.Duration
@@ -241,6 +249,7 @@ func NewScheduler[T any](cfg SchedulerConfig[T]) (*Scheduler[T], error) {
 		Backpressure:      cfg.Backpressure,
 		Priority:          cfg.Priority,
 		MaxPrio:           cfg.MaxPrio,
+		Resolution:        cfg.Resolution,
 		SojournBudget:     cfg.SojournBudget,
 		ProtectedBand:     cfg.ProtectedBand,
 		SpillCap:          cfg.SpillCap,
