@@ -21,6 +21,7 @@ package repro_test
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -29,6 +30,7 @@ import (
 	"repro"
 	"repro/internal/harness"
 	"repro/internal/load"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/sssp"
 )
@@ -646,6 +648,71 @@ func BenchmarkServeGrouped(b *testing.B) {
 			b.ReportMetric(thr/float64(b.N), "tasks/s")
 			b.ReportMetric(rank/float64(b.N), "rank_p99")
 			b.ReportMetric(steal/float64(b.N)*100, "steal_pct")
+			b.ReportMetric(allocs/float64(b.N), "allocs/op")
+			b.ReportMetric(bytes/float64(b.N), "B/op")
+		})
+	}
+}
+
+// BenchmarkServeObserved prices the observability layer on the tuned
+// sticky hot path (SERVE): the BenchmarkServeSticky closed-loop
+// saturation workload, once bare, once publishing the full metrics
+// series into an obs.Registry, once additionally capturing every
+// arrival envelope and controller decision to a discarded JSONL
+// stream. All publication happens in the controller goroutine at
+// window boundaries and capture is a lock-free ring write on submit,
+// so the acceptance bar is identical allocs/op and B/op across the
+// three rows — the allocation columns are the measured per-task
+// figures (see BenchmarkServeSticky), and the CI bench job gates them
+// against the main-branch baseline (BENCH_observed.json).
+func BenchmarkServeObserved(b *testing.B) {
+	base := load.Config{
+		Strategy:   sched.Strategy(repro.RelaxedSampleTwo),
+		Producers:  8,
+		Duration:   250 * time.Millisecond,
+		Arrival:    load.ClosedLoop,
+		Window:     64,
+		Batch:      8,
+		Stickiness: 4,
+		RankSample: 4,
+	}
+	rows := []struct {
+		name    string
+		metrics bool
+		capture bool
+	}{
+		{"relaxed-two/bare", false, false},
+		{"relaxed-two/metrics", true, false},
+		{"relaxed-two/metrics-capture", true, true},
+	}
+	for _, row := range rows {
+		b.Run(row.name, func(b *testing.B) {
+			var thr, rank, allocs, bytes float64
+			for i := 0; i < b.N; i++ {
+				cfg := base
+				cfg.Seed = uint64(i) + 1
+				if row.metrics {
+					cfg.Metrics = obs.NewRegistry()
+				}
+				if row.capture {
+					cfg.Recorder = obs.NewRecorder(io.Discard)
+				}
+				res, err := load.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if cfg.Recorder != nil {
+					if err := cfg.Recorder.Err(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				thr += res.ThroughputPerSec
+				rank += res.RankErr.P99
+				allocs += res.AllocsPerTask
+				bytes += res.BytesPerTask
+			}
+			b.ReportMetric(thr/float64(b.N), "tasks/s")
+			b.ReportMetric(rank/float64(b.N), "rank_p99")
 			b.ReportMetric(allocs/float64(b.N), "allocs/op")
 			b.ReportMetric(bytes/float64(b.N), "B/op")
 		})

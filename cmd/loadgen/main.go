@@ -18,7 +18,7 @@
 //	        [-groups 0] [-resolution 0] [-adaptiveplacement]
 //	        [-adaptive] [-rankbudget 0] [-adaptinterval 10ms]
 //	        [-backpressure] [-sojournbudget 50ms] [-protectedband 0]
-//	        [-spillcap 0] [-seed 20140215]
+//	        [-spillcap 0] [-capture FILE] [-seed 20140215]
 //
 // -strategy, -rate, -producers, -batch, -stickiness, -groups and
 // -resolution accept comma-separated lists; "-strategy all" expands to
@@ -54,6 +54,13 @@
 // admission and goodput (bands), the final threshold, and the
 // controller's trace (bp_trace); -rankbudget additionally wires the
 // rank-error estimate as a second overload signal.
+//
+// -capture writes the run's arrival envelopes and every controller
+// decision to FILE as versioned JSONL (the schema is documented in
+// docs/METRICS.md). The file replays offline with cmd/replay, which
+// re-runs the recorded controllers and verifies the decision traces
+// bit-identically. Captures are single-session: -capture refuses
+// multi-configuration sweeps.
 package main
 
 import (
@@ -67,6 +74,7 @@ import (
 	"time"
 
 	"repro/internal/load"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/stats"
 )
@@ -180,6 +188,7 @@ func main() {
 		sojournBud = flag.Duration("sojournbudget", 0, "backpressure: target sojourn time (0 = 50ms default)")
 		protBand   = flag.Int64("protectedband", 0, "backpressure: never-shed priority band [0, N) (0 = range/8)")
 		spillCap   = flag.Int("spillcap", 0, "backpressure: deferral spillway capacity (0 = default)")
+		capture    = flag.String("capture", "", "write a JSONL capture (arrivals + controller decisions) to this file; single-configuration sweeps only, replay with cmd/replay")
 		seed       = flag.Uint64("seed", 20140215, "base random seed")
 	)
 	flag.Parse()
@@ -245,6 +254,23 @@ func main() {
 		}
 	}
 
+	var recorder *obs.Recorder
+	var captureFile *os.File
+	if *capture != "" {
+		// A capture is one session's story; refuse to interleave a sweep.
+		runs := len(stratList) * len(rateList) * len(prodList) * len(batchList) *
+			len(stickList) * len(groupList) * len(resList)
+		if runs != 1 {
+			log.Fatalf("-capture records a single configuration; this sweep has %d", runs)
+		}
+		f, err := os.Create(*capture)
+		if err != nil {
+			log.Fatalf("-capture: %v", err)
+		}
+		captureFile = f
+		recorder = obs.NewRecorder(f)
+	}
+
 	var results []load.Result
 	table := &stats.Table{Header: []string{
 		"strategy", "producers", "rate", "batch", "stick", "groups", "res", "S/B-final", "throughput/s",
@@ -299,6 +325,7 @@ func main() {
 									SojournBudget:     *sojournBud,
 									ProtectedBand:     *protBand,
 									SpillCap:          *spillCap,
+									Recorder:          recorder,
 									Seed:              *seed,
 								})
 								if err != nil {
@@ -357,6 +384,18 @@ func main() {
 					}
 				}
 			}
+		}
+	}
+
+	if recorder != nil {
+		if err := recorder.Err(); err != nil {
+			log.Fatalf("-capture: %v", err)
+		}
+		if err := captureFile.Close(); err != nil {
+			log.Fatalf("-capture: %v", err)
+		}
+		if n := recorder.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "loadgen: capture ring overflow, %d arrivals dropped\n", n)
 		}
 	}
 

@@ -1,0 +1,45 @@
+package repro
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links; the capture is the target.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocsRelativeLinksResolve is the docs lint: every relative link in
+// README.md and docs/*.md must point at a file that exists, so a rename
+// or deletion cannot silently orphan the documentation cross-references
+// (external URLs and pure #fragment anchors are out of scope).
+func TestDocsRelativeLinksResolve(t *testing.T) {
+	files := []string{"README.md"}
+	docs, err := filepath.Glob(filepath.Join("docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = append(files, docs...)
+	if len(files) < 4 {
+		t.Fatalf("expected README.md plus at least 3 docs pages, found %v", files)
+	}
+	for _, f := range files {
+		raw, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(raw), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "#") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#")
+			resolved := filepath.Join(filepath.Dir(f), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: link target %q does not resolve (%v)", f, m[1], err)
+			}
+		}
+	}
+}

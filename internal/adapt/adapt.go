@@ -64,8 +64,10 @@ const (
 // Limits bounds the controller's outputs. The zero value of any field
 // selects its default (min 1, max DefaultMaxStickiness/DefaultMaxBatch).
 type Limits struct {
+	// MinStickiness and MaxStickiness bound the tuned lane stickiness S.
 	MinStickiness, MaxStickiness int
-	MinBatch, MaxBatch           int
+	// MinBatch and MaxBatch bound the tuned pop batch B.
+	MinBatch, MaxBatch int
 }
 
 // withDefaults normalizes zero fields.
@@ -163,8 +165,12 @@ func (c *Config) Validate() error {
 
 // State is one setting of the two tuned knobs.
 type State struct {
+	// Stickiness is the per-place lane stickiness S in force: how many
+	// consecutive operations a place reuses its sampled lane for.
 	Stickiness int `json:"stickiness"`
-	Batch      int `json:"batch"`
+	// Batch is the worker pop batch B in force: the maximum number of
+	// tasks popped per data structure lock episode.
+	Batch int `json:"batch"`
 }
 
 // Sample is one window's observed signals: counter deltas over the
@@ -287,13 +293,19 @@ func Decide(cfg Config, cur State, s Sample) State {
 // signals, as fed to Controller.Step. The controller differences
 // successive snapshots into window Samples itself.
 type Cumulative struct {
+	// Pops through BatchPops mirror the monotone core.Stats counters:
+	// successful pop episodes, failed ones, spurious-failure retries,
+	// failed lane try-locks, sticky lane re-selections, and multi-task
+	// pop episodes.
 	Pops           int64
 	PopFailures    int64
 	PopRetries     int64
 	LaneContention int64
 	Resticks       int64
 	BatchPops      int64
-	Pending        int64
+	// Pending is the instantaneous outstanding-task count, not a
+	// cumulative counter.
+	Pending int64
 	// RankErrP99 is the instantaneous windowed estimate, not a cumulative
 	// counter (< 0 when no signal is wired).
 	RankErrP99 float64

@@ -1,0 +1,58 @@
+package simtest
+
+import (
+	"errors"
+
+	"repro/internal/adapt"
+	"repro/internal/obs"
+)
+
+// ReplayWindows drives a real adapt.Controller — Step, snapshot
+// diffing and all, not just the pure Decide chain — over a captured
+// trace: the cumulative counters the live scheduler's tick fed to
+// Step are rebuilt by integrating the captured per-window deltas, so
+// the controller sees exactly the windows the incident saw. The
+// returned trace must be bit-identical to the capture whenever the
+// recorded config/seed and the decision logic still agree (obs.
+// DiffAdapt localizes the first divergence).
+func ReplayWindows(cfg adapt.Config, seed adapt.State, ws []adapt.Window) ([]adapt.Window, error) {
+	ctrl, err := adapt.NewController(cfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	var cum adapt.Cumulative
+	out := make([]adapt.Window, 0, len(ws))
+	for _, w := range ws {
+		cum.Pops += w.Sample.Pops
+		cum.PopFailures += w.Sample.PopFailures
+		cum.PopRetries += w.Sample.PopRetries
+		cum.LaneContention += w.Sample.LaneContention
+		cum.Resticks += w.Sample.Resticks
+		cum.BatchPops += w.Sample.BatchPops
+		cum.Pending = w.Sample.Pending
+		cum.RankErrP99 = w.Sample.RankErrP99
+		out = append(out, ctrl.Step(w.At, cum))
+	}
+	return out, nil
+}
+
+// FromCapture extracts this plant's replay inputs from a parsed
+// capture: the recorded controller config, the seed state in force at
+// the capture's first window, and the decision trace.
+func FromCapture(c *obs.Capture) (adapt.Config, adapt.State, []adapt.Window, error) {
+	if c.AdaptConfig == nil {
+		return adapt.Config{}, adapt.State{}, nil,
+			errors.New("simtest: capture has no adapt config record")
+	}
+	return *c.AdaptConfig, c.AdaptSeed, c.Adapt, nil
+}
+
+// ReplayCapture is FromCapture + ReplayWindows: the one-call
+// capture-to-trace replay cmd/replay uses.
+func ReplayCapture(c *obs.Capture) ([]adapt.Window, error) {
+	cfg, seed, ws, err := FromCapture(c)
+	if err != nil {
+		return nil, err
+	}
+	return ReplayWindows(cfg, seed, ws)
+}

@@ -164,6 +164,8 @@ func (c Config) Open() State { return State{Threshold: c.MaxPrio} }
 // threshold rises under overload" in the serving sense means the cutoff
 // value falls toward the protected band.
 type State struct {
+	// Threshold is the inclusive admission cutoff: tasks with priority
+	// at or below it are admitted, the rest deferred or shed.
 	Threshold int64 `json:"threshold"`
 }
 
@@ -332,6 +334,9 @@ func ReadmitQuota(cfg Config, s Sample) int64 {
 // instantaneous signals, as fed to Controller.Step. The controller
 // differences successive snapshots into window Samples itself.
 type Cumulative struct {
+	// Admitted through Executed are the monotone admission-outcome
+	// counters: tasks admitted past the gate, parked in the spillway,
+	// rejected outright, re-submitted from the spillway, and run.
 	Admitted   int64
 	Deferred   int64
 	Shed       int64
@@ -382,6 +387,22 @@ func NewController(cfg Config) (*Controller, error) {
 	c.loop = ctl.NewLoop(diffCumulative, func(cur State, s Sample) State {
 		return Decide(c.cfg, cur, s)
 	}, cfg.Open())
+	return c, nil
+}
+
+// NewControllerSeeded is NewController starting from an explicit
+// (clamped) state instead of fully open. The live scheduler always
+// starts open; this constructor exists for replaying captures that
+// begin mid-session, where the recorded seed is the threshold that was
+// in force at the capture's first window.
+func NewControllerSeeded(cfg Config, seed State) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Controller{cfg: cfg}
+	c.loop = ctl.NewLoop(diffCumulative, func(cur State, s Sample) State {
+		return Decide(c.cfg, cur, s)
+	}, cfg.Clamp(seed))
 	return c, nil
 }
 

@@ -1,0 +1,82 @@
+package simtest
+
+import (
+	"errors"
+
+	"repro/internal/backpressure"
+	"repro/internal/obs"
+)
+
+// ReplayWindows drives a real backpressure.Controller — Step, snapshot
+// diffing, clamping and all, not just the pure Decide chain — over a
+// captured trace: the cumulative counters the live scheduler's tick
+// fed to Step are rebuilt by integrating the captured per-window
+// deltas, so the controller sees exactly the windows the incident saw.
+// The returned trace must be bit-identical to the capture whenever the
+// recorded config/seed and the decision logic still agree; any
+// divergence localizes to the first differing window (obs.
+// DiffBackpressure).
+func ReplayWindows(cfg backpressure.Config, seed backpressure.State, ws []backpressure.Window) ([]backpressure.Window, error) {
+	ctrl, err := backpressure.NewControllerSeeded(cfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	var cum backpressure.Cumulative
+	out := make([]backpressure.Window, 0, len(ws))
+	for _, w := range ws {
+		cum.Admitted += w.Sample.Admitted
+		cum.Deferred += w.Sample.Deferred
+		cum.Shed += w.Sample.Shed
+		cum.Readmitted += w.Sample.Readmitted
+		cum.Executed += w.Sample.Executed
+		cum.Pending = w.Sample.Pending
+		cum.Spill = w.Sample.Spill
+		cum.RankErrP99 = w.Sample.RankErrP99
+		out = append(out, ctrl.Step(w.At, cum))
+	}
+	return out, nil
+}
+
+// RunRecorded is Run with the session recorded: the validated config,
+// the fully-open seed the plant starts from, and every window's
+// decision record are written to rec as a capture (header source
+// "simtest"), and the capture is sealed with Finish. The result is a
+// synthetic incident file that round-trips through ReplayCapture
+// bit-identically — the fixture the replay tests and cmd/replay
+// demos are built on.
+func RunRecorded(cfg backpressure.Config, phases []Phase, rec *obs.Recorder) (Result, error) {
+	res, err := Run(cfg, phases)
+	if err != nil {
+		return res, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return res, err
+	}
+	rec.Begin(obs.Header{Source: "simtest", Meta: map[string]string{"plant": "backpressure"}})
+	rec.ConfigBackpressure(cfg, cfg.Open())
+	for _, w := range res.Windows {
+		rec.BackpressureWindow(w.Window)
+	}
+	return res, rec.Finish()
+}
+
+// FromCapture extracts this plant's replay inputs from a parsed
+// capture: the recorded controller config, the seed state in force at
+// the capture's first window, and the decision trace.
+func FromCapture(c *obs.Capture) (backpressure.Config, backpressure.State, []backpressure.Window, error) {
+	if c.BPConfig == nil {
+		return backpressure.Config{}, backpressure.State{}, nil,
+			errors.New("simtest: capture has no backpressure config record")
+	}
+	return *c.BPConfig, c.BPSeed, c.BP, nil
+}
+
+// ReplayCapture is FromCapture + ReplayWindows: the one-call
+// capture-to-trace replay cmd/replay uses.
+func ReplayCapture(c *obs.Capture) ([]backpressure.Window, error) {
+	cfg, seed, ws, err := FromCapture(c)
+	if err != nil {
+		return nil, err
+	}
+	return ReplayWindows(cfg, seed, ws)
+}

@@ -1,0 +1,109 @@
+package simtest
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// burstyPhases is a bursty-overload incident script: saturating bursts
+// with idle gaps between them, then a recovery tail. Each burst is a
+// 4× overload, so the gate must tighten inside every burst and reopen
+// across the gaps.
+func burstyPhases() []Phase {
+	burst := Load{
+		Arrivals: []Group{
+			{Prio: 1 << 10, Count: 400},
+			{Prio: 1 << 18, Count: 1600},
+			{Prio: 900_000, Count: 2000},
+		},
+		ServiceRate: 1000,
+		RankErrP99:  -1,
+	}
+	idle := Load{ServiceRate: 1000, RankErrP99: -1}
+	return []Phase{
+		{Name: "warmup", Windows: 10, Load: Load{Arrivals: []Group{{Prio: 1 << 16, Count: 100}}, ServiceRate: 1000, RankErrP99: -1}},
+		{Name: "burst1", Windows: 15, Load: burst},
+		{Name: "gap1", Windows: 10, Load: idle},
+		{Name: "burst2", Windows: 15, Load: burst},
+		{Name: "gap2", Windows: 10, Load: idle},
+		{Name: "recovery", Windows: 30, Load: Load{Arrivals: []Group{{Prio: 1 << 16, Count: 100}}, ServiceRate: 1000, RankErrP99: -1}},
+	}
+}
+
+// TestReplayCaptureBitIdentical is the plant-level half of the
+// incident-replay contract: a recorded bursty-overload session, read
+// back from its JSONL capture and re-run through a real controller via
+// ReplayWindows, reproduces the captured BackpressureTrace
+// bit-identically — Step's own snapshot diffing included, not just the
+// pure Decide chain.
+func TestReplayCaptureBitIdentical(t *testing.T) {
+	var buf bytes.Buffer
+	rec := obs.NewRecorder(&buf)
+	cfg := StandardConfig()
+	res, err := RunRecorded(cfg, burstyPhases(), rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The incident must actually be an incident: the gate tightened.
+	tightened := false
+	for _, w := range res.Windows {
+		if w.Window.State.Threshold < cfg.MaxPrio {
+			tightened = true
+			break
+		}
+	}
+	if !tightened {
+		t.Fatal("bursty script never tightened the threshold")
+	}
+
+	c, err := obs.ReadCapture(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Header.Source != "simtest" {
+		t.Fatalf("capture source = %q, want simtest", c.Header.Source)
+	}
+	if c.End == nil {
+		t.Fatal("capture was not sealed")
+	}
+	if len(c.BP) != len(res.Windows) {
+		t.Fatalf("capture has %d windows, plant produced %d", len(c.BP), len(res.Windows))
+	}
+
+	replayed, err := ReplayCapture(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := obs.DiffBackpressure(replayed, c.BP); len(diffs) != 0 {
+		t.Fatalf("plant replay diverges from capture (%d windows), first:\n%s", len(diffs), diffs[0])
+	}
+
+	// And against the live plant trace directly, not just the capture's
+	// rendering of it: JSONL round-trip plus replay is end-to-end exact.
+	for i, w := range res.Windows {
+		if replayed[i] != w.Window {
+			t.Fatalf("replayed[%d] = %+v, live plant window = %+v", i, replayed[i], w.Window)
+		}
+	}
+}
+
+// TestReplayCaptureRejectsMissingConfig pins the error path: a capture
+// without a cfg_bp record cannot be replayed through this plant.
+func TestReplayCaptureRejectsMissingConfig(t *testing.T) {
+	var buf bytes.Buffer
+	rec := obs.NewRecorder(&buf)
+	rec.Begin(obs.Header{Source: "simtest"})
+	if err := rec.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := obs.ReadCapture(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayCapture(c); err == nil {
+		t.Fatal("replay of a config-less capture succeeded")
+	}
+}

@@ -1,0 +1,96 @@
+package dstest
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "regenerate the conformance fixtures from the committed specs")
+
+// fixtureBytes renders one fixture exactly as stored on disk.
+func fixtureBytes(t *testing.T, fx Fixture) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(fx); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestConformanceFixturesUpToDate pins the committed fixture files to
+// the generator specs: `go test ./internal/core/dstest -run Conformance
+// -update` rewrites testdata/conformance/, and this test fails until
+// the regenerated files are committed. The fixtures on disk are the
+// contract of record — a mismatch means specs and fixtures drifted.
+func TestConformanceFixturesUpToDate(t *testing.T) {
+	generated := GenerateFixtures()
+	if *update {
+		for _, fx := range generated {
+			path := filepath.Join("testdata", "conformance", fx.Name+".json")
+			if err := os.WriteFile(path, fixtureBytes(t, fx), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	stored, err := LoadFixtures()
+	if err != nil {
+		t.Fatalf("loading fixtures: %v (run with -update to regenerate)", err)
+	}
+	if len(stored) != len(generated) {
+		t.Fatalf("%d fixtures on disk, %d specs in the generator (run with -update)", len(stored), len(generated))
+	}
+	byName := map[string]Fixture{}
+	for _, fx := range generated {
+		byName[fx.Name] = fx
+	}
+	for _, got := range stored {
+		want, ok := byName[got.Name]
+		if !ok {
+			t.Fatalf("fixture %q on disk has no generator spec (run with -update)", got.Name)
+		}
+		if !bytes.Equal(fixtureBytes(t, got), fixtureBytes(t, want)) {
+			t.Fatalf("fixture %q diverges from its generator spec (run with -update)", got.Name)
+		}
+	}
+	if *update {
+		// Catch stale files for renamed/removed specs.
+		entries, err := os.ReadDir(filepath.Join("testdata", "conformance"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if _, ok := byName[name[:len(name)-len(".json")]]; !ok {
+				t.Errorf("stale fixture file %s: no matching spec; delete it", name)
+			}
+		}
+	}
+}
+
+// TestConformanceExpectationsAreContractDerived spot-checks the
+// generator's arithmetic: drained plus eliminated accounts for every
+// push, drained values are sorted and never stale.
+func TestConformanceExpectationsAreContractDerived(t *testing.T) {
+	for _, fx := range GenerateFixtures() {
+		for si, seg := range fx.Segments {
+			if got := int64(len(seg.ExpectDrained)) + seg.ExpectEliminated; got != int64(len(seg.Pushes)) {
+				t.Fatalf("%s segment %d: %d drained + %d eliminated != %d pushes",
+					fx.Name, si, len(seg.ExpectDrained), seg.ExpectEliminated, len(seg.Pushes))
+			}
+			for i, v := range seg.ExpectDrained {
+				if i > 0 && v < seg.ExpectDrained[i-1] {
+					t.Fatalf("%s segment %d: expect_drained not sorted at %d", fx.Name, si, i)
+				}
+				if fx.StaleMod > 0 && v%fx.StaleMod == 0 {
+					t.Fatalf("%s segment %d: stale value %d in expect_drained", fx.Name, si, v)
+				}
+			}
+		}
+	}
+}

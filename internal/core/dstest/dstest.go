@@ -69,6 +69,7 @@ func RunFlags(t *testing.T, name string, mk Factory, f Flags) {
 	if !f.NoLocalOrdering {
 		t.Run(name+"/MonotonePriorities", func(t *testing.T) { monotonePriorities(t, mk) })
 	}
+	t.Run(name+"/Conformance", func(t *testing.T) { Conformance(t, mk) })
 }
 
 func less(a, b int64) bool { return a < b }

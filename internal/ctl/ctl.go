@@ -23,9 +23,14 @@ import "time"
 // wall time of the decision, the window's sample, and the state in
 // force after the decision.
 type Window[S, St any] struct {
-	At     time.Duration `json:"at_ns"`
-	Sample S             `json:"sample"`
-	State  St            `json:"state"`
+	// At is the decision instant: virtual time in the simtest plants,
+	// time since serve start in a live session (serialized as at_ns).
+	At time.Duration `json:"at_ns"`
+	// Sample is the window's observed signals — counter deltas plus
+	// instantaneous values — exactly as handed to the decide function.
+	Sample S `json:"sample"`
+	// State is the controller state in force after the decision.
+	State St `json:"state"`
 }
 
 // Loop is the generic stateful core of a window controller: it owns the

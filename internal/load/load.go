@@ -32,6 +32,7 @@ import (
 	"repro/internal/adapt"
 	"repro/internal/backpressure"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/sched"
 	"repro/internal/stats"
@@ -204,13 +205,25 @@ type Config struct {
 	ProtectedBand int64
 	// SpillCap bounds the deferral spillway (0: the package default).
 	SpillCap int
+	// Metrics, when non-nil, is handed to the scheduler as
+	// sched.Config.Metrics: the controller goroutine publishes the serve
+	// series into it at every window boundary. The generator itself never
+	// touches the sink.
+	Metrics obs.Sink
+	// Recorder, when non-nil, is handed to the scheduler as
+	// sched.Config.Recorder: the run's arrival envelopes and controller
+	// decisions are captured to the recorder's destination for offline
+	// replay (cmd/replay). The caller owns Finish-time error checking via
+	// Recorder.Err; Run leaves the recorder sealed after Stop.
+	Recorder *obs.Recorder
 	// Seed drives all randomization.
 	Seed uint64
 }
 
-// rankBuckets is the resolution of the live-set priority tracker. A
-// sampled pop scans this many counters.
-const rankBuckets = 256
+// rankBuckets is the resolution of the live-set priority tracker
+// (stats.RankTracker, the shared engine also behind the serve-mode
+// rank-error series). A sampled pop scans this many counters.
+const rankBuckets = stats.RankBuckets
 
 // numBands is the resolution of the goodput-by-priority-band report of
 // backpressure runs: band 0 is the protected band, bands 1–3 split the
@@ -406,22 +419,19 @@ func (c Config) withDefaults() (Config, error) {
 
 // tracker is the shared per-run instrumentation state.
 type tracker struct {
-	cfg    Config
-	epoch  time.Time
-	live   []atomic.Int64 // live tasks per priority bucket
-	bshift uint           // prio >> bshift = bucket
+	cfg   Config
+	epoch time.Time
+	// rank is the live-set census and rank-error engine: producers
+	// register submissions, workers measure sampled pop rank error, and
+	// the controllers read the decayed p99 through rank.Signal.
+	rank *stats.RankTracker
 
-	execSeq   atomic.Int64
 	rankSum   atomic.Int64
 	rankMax   atomic.Int64
 	rankCount atomic.Int64
 	submitted atomic.Int64
 	spinSink  atomic.Uint64 // defeats elision of the synthetic work loop
 	tokens    chan struct{} // closed-loop completion semaphore (nil otherwise)
-
-	// decay is the live windowed rank-error estimator feeding the
-	// controllers' budget checks (nil when no controller consumes it).
-	decay *stats.DecayingHist
 
 	// groupExec tallies executed tasks per worker home group (grouped
 	// runs only; nil otherwise), attributed via sched.HomeGroup — the
@@ -452,14 +462,15 @@ func (tr *tracker) band(prio int64) int {
 	return b
 }
 
-func newTracker(cfg Config) *tracker {
+func newTracker(cfg Config) (*tracker, error) {
+	rank, err := stats.NewRankTracker(cfg.PrioRange, cfg.RankSample)
+	if err != nil {
+		return nil, err
+	}
 	tr := &tracker{
 		cfg:   cfg,
 		epoch: time.Now(),
-		live:  make([]atomic.Int64, rankBuckets),
-	}
-	for w := cfg.PrioRange / rankBuckets; w > 1; w >>= 1 {
-		tr.bshift++
+		rank:  rank,
 	}
 	if cfg.Arrival == ClosedLoop {
 		tr.tokens = make(chan struct{}, cfg.Producers*cfg.Window)
@@ -470,7 +481,7 @@ func newTracker(cfg Config) *tracker {
 	if cfg.LaneGroups > 1 {
 		tr.groupExec = make([]atomic.Int64, cfg.LaneGroups)
 	}
-	return tr
+	return tr, nil
 }
 
 // now returns nanoseconds since the run's epoch.
@@ -488,22 +499,8 @@ func (tr *tracker) onExecute(hist, rankHist *stats.Histogram, bands []*stats.His
 		tr.bandExecuted[bd].Add(1)
 	}
 
-	b := t.Prio >> tr.bshift
-	tr.live[b].Add(-1)
-	if tr.execSeq.Add(1)%int64(tr.cfg.RankSample) == 0 {
-		var better int64
-		for i := int64(0); i < b; i++ {
-			better += tr.live[i].Load()
-		}
-		if better < 0 {
-			// Concurrent decrements can transiently drive this reader's
-			// sum negative; clamp rather than pollute the mean.
-			better = 0
-		}
+	if better, ok := tr.rank.Executed(t.Prio); ok {
 		rankHist.Observe(float64(better))
-		if tr.decay != nil {
-			tr.decay.Observe(float64(better))
-		}
 		tr.rankSum.Add(better)
 		tr.rankCount.Add(1)
 		for {
@@ -574,12 +571,12 @@ func (tr *tracker) flush(s *sched.Scheduler[Task], buf []Task, out []sched.Outco
 		return buf, nil
 	}
 	for _, t := range buf {
-		tr.live[t.Prio>>tr.bshift].Add(1)
+		tr.rank.Submitted(t.Prio)
 	}
 	if !tr.cfg.Backpressure {
 		if err := s.SubmitAll(buf); err != nil {
 			for _, t := range buf {
-				tr.live[t.Prio>>tr.bshift].Add(-1)
+				tr.rank.Retract(t.Prio)
 			}
 			return buf, err
 		}
@@ -589,7 +586,7 @@ func (tr *tracker) flush(s *sched.Scheduler[Task], buf []Task, out []sched.Outco
 	accepted, err := s.SubmitAllKOutcomes(tr.cfg.K, buf, out)
 	if err != nil && err != sched.ErrShed {
 		for _, t := range buf {
-			tr.live[t.Prio>>tr.bshift].Add(-1)
+			tr.rank.Retract(t.Prio)
 		}
 		return buf, err
 	}
@@ -598,7 +595,7 @@ func (tr *tracker) flush(s *sched.Scheduler[Task], buf []Task, out []sched.Outco
 		tr.bandAttempted[bd].Add(1)
 		switch out[i] {
 		case sched.Shed:
-			tr.live[t.Prio>>tr.bshift].Add(-1)
+			tr.rank.Retract(t.Prio)
 			tr.bandShed[bd].Add(1)
 			if tr.tokens != nil {
 				// Closed loop: a shed task completes immediately from the
@@ -720,7 +717,10 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	tr := newTracker(cfg)
+	tr, err := newTracker(cfg)
+	if err != nil {
+		return Result{}, err
+	}
 	hists := make([]*stats.Histogram, cfg.Places)
 	rankHists := make([]*stats.Histogram, cfg.Places)
 	var bandHists [][]*stats.Histogram
@@ -769,6 +769,12 @@ func Run(cfg Config) (Result, error) {
 		Priority:   func(t Task) int64 { return t.Prio },
 		MaxPrio:    cfg.PrioRange - 1,
 		Resolution: cfg.Resolution,
+		Metrics:    cfg.Metrics,
+		Recorder:   cfg.Recorder,
+		// The capture envelope's payload hash folds the task's enqueue
+		// timestamp with its priority so replay diffs can detect reordered
+		// or substituted payloads, not just count mismatches.
+		Hash: func(t Task) uint64 { return uint64(t.Enq)<<20 ^ uint64(t.Prio) },
 	}
 	if cfg.Adaptive {
 		scfg.Adaptive = true
@@ -780,22 +786,13 @@ func Run(cfg Config) (Result, error) {
 		scfg.SpillCap = cfg.SpillCap
 	}
 	if cfg.Adaptive || (cfg.Backpressure && cfg.RankErrorBudget > 0) {
-		// Both runtime controllers consume the same decaying rank-error
-		// estimator through sched's shared once-per-window signal read.
-		tr.decay = stats.NewDecayingHist()
 		scfg.RankErrorBudget = cfg.RankErrorBudget
-		// One read per controller window: report the decayed p99, then
-		// age the window so the signal tracks recent pops rather than
-		// the whole run (-1 from an empty estimator means "no signal").
-		// The snapshot scratch is owned by this closure — the controller
-		// goroutine is its only caller — so the every-few-ms read
-		// allocates nothing.
-		scratch := make([]int64, tr.decay.ScratchLen())
-		scfg.RankSignal = func() float64 {
-			q := tr.decay.QuantileScratch(0.99, scratch)
-			tr.decay.Decay()
-			return q
-		}
+		// Both runtime controllers consume the same decaying rank-error
+		// estimator through sched's shared once-per-window signal read:
+		// the tracker's Signal closure reports the decayed p99, then ages
+		// the window, allocating nothing (the controller goroutine is its
+		// only caller).
+		scfg.RankSignal = tr.rank.Signal()
 	}
 	s, err := sched.New(scfg)
 	if err != nil {

@@ -245,7 +245,10 @@ func TestDrawPrioBounds(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		tr := newTracker(cfg)
+		tr, err := newTracker(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
 		rng := xrand.New(6)
 		for i := 0; i < 50000; i++ {
 			at := int64(i) * int64(cfg.Duration) / 50000
@@ -444,7 +447,10 @@ func TestBandMapping(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr := newTracker(cfg)
+	tr, err := newTracker(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	pb := cfg.ProtectedBand
 	span := cfg.PrioRange - pb
 	band2Lo := pb + (span+2)/3 // smallest priority flooring into band 2

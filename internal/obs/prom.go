@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+)
+
+// WriteProm renders the registry in Prometheus text exposition format
+// v0.0.4. Histograms are exposed as summaries: quantile lines computed
+// at scrape time from the atomic bucket snapshot, plus _sum and _count.
+// HELP/TYPE lines are emitted once per family even when the family has
+// several labeled series.
+func (r *Registry) WriteProm(w *bufio.Writer) error {
+	pts := r.Snapshot()
+	lastFamily := ""
+	for _, p := range pts {
+		if p.Name != lastFamily {
+			lastFamily = p.Name
+			help := p.Help
+			if p.Unit != "" {
+				help += " (" + p.Unit + ")"
+			}
+			if help != "" {
+				fmt.Fprintf(w, "# HELP %s %s\n", p.Name, help)
+			}
+			fmt.Fprintf(w, "# TYPE %s %s\n", p.Name, p.Kind)
+		}
+		switch p.Kind {
+		case KindHistogram:
+			for i, q := range histQuantiles {
+				fmt.Fprintf(w, "%s %s\n", withLabel(p.ID, "quantile", fmt.Sprintf("%g", q)), promFloat(p.Quantiles[i]))
+			}
+			fmt.Fprintf(w, "%s %s\n", suffixed(p.ID, "_sum"), promFloat(p.Sum))
+			fmt.Fprintf(w, "%s %d\n", suffixed(p.ID, "_count"), p.Count)
+		default:
+			fmt.Fprintf(w, "%s %s\n", p.ID, promFloat(p.Value))
+		}
+	}
+	return w.Flush()
+}
+
+// withLabel appends one more label to an already-rendered series
+// identity ("name" or "name{a=\"b\"}").
+func withLabel(id, key, val string) string {
+	if i := strings.IndexByte(id, '{'); i >= 0 {
+		return fmt.Sprintf("%s,%s=%q}", strings.TrimSuffix(id, "}"), key, val)
+	}
+	return fmt.Sprintf("%s{%s=%q}", id, key, val)
+}
+
+// suffixed appends a family-name suffix to a rendered identity, keeping
+// any label selector in place ("name{a=\"b\"}" → "name_sum{a=\"b\"}").
+func suffixed(id, suffix string) string {
+	if i := strings.IndexByte(id, '{'); i >= 0 {
+		return id[:i] + suffix + id[i:]
+	}
+	return id + suffix
+}
+
+// promFloat renders a float the way Prometheus text format expects:
+// NaN spelled "NaN", integral values without exponent noise.
+func promFloat(v float64) string {
+	if math.IsNaN(v) {
+		return "NaN"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// Handler serves the registry at GET in Prometheus text format.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		bw := bufio.NewWriter(w)
+		_ = r.WriteProm(bw)
+	})
+}
+
+// JSONHandler serves the registry as one flat JSON object: plain
+// series map identity → value; histogram series expand into
+// "<id>_p50"/"_p95"/"_p99"/"_sum"/"_count" keys. Flat keys keep jq
+// assertions (CI smoke checks, ad-hoc debugging) one-liners. NaN
+// quantiles (empty histogram) render as null.
+func JSONHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(r.JSONSnapshot())
+	})
+}
+
+// JSONSnapshot returns the flat map JSONHandler serves.
+func (r *Registry) JSONSnapshot() map[string]any {
+	pts := r.Snapshot()
+	out := make(map[string]any, len(pts))
+	for _, p := range pts {
+		switch p.Kind {
+		case KindHistogram:
+			names := [3]string{"_p50", "_p95", "_p99"}
+			for i, s := range names {
+				if math.IsNaN(p.Quantiles[i]) {
+					out[suffixed(p.ID, s)] = nil
+				} else {
+					out[suffixed(p.ID, s)] = p.Quantiles[i]
+				}
+			}
+			out[suffixed(p.ID, "_sum")] = p.Sum
+			out[suffixed(p.ID, "_count")] = p.Count
+		default:
+			if math.IsNaN(p.Value) {
+				out[p.ID] = nil
+			} else {
+				out[p.ID] = p.Value
+			}
+		}
+	}
+	return out
+}

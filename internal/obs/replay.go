@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"reflect"
+
+	"repro/internal/adapt"
+	"repro/internal/backpressure"
+	"repro/internal/ctl"
+	"repro/internal/placement"
+)
+
+// Capture is a parsed JSONL capture file: the header, whichever
+// controller configs were recorded, the arrival envelopes, and the
+// decision traces.
+type Capture struct {
+	Header Header
+
+	// Controller configs and their seed states, nil when the capture's
+	// producer did not run that controller.
+	BPConfig        *backpressure.Config
+	BPSeed          backpressure.State
+	AdaptConfig     *adapt.Config
+	AdaptSeed       adapt.State
+	PlacementConfig *placement.Config
+	PlacementSeed   placement.State
+
+	Arrivals  []Arrival
+	BP        []backpressure.Window
+	Adapt     []adapt.Window
+	Placement []placement.Window
+
+	// End is non-nil when the capture was Finished cleanly.
+	End *End
+}
+
+// ErrCaptureVersion reports a capture written by an incompatible
+// schema version.
+var ErrCaptureVersion = errors.New("obs: unsupported capture version")
+
+// ReadCapture parses a JSONL capture. Unknown record types are
+// skipped (forward compatibility within a major version); a missing
+// or wrong-version header is an error.
+func ReadCapture(r io.Reader) (*Capture, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	c := &Capture{}
+	sawHeader := false
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var tag struct {
+			T string `json:"t"`
+		}
+		if err := json.Unmarshal(raw, &tag); err != nil {
+			return nil, fmt.Errorf("obs: capture line %d: %w", line, err)
+		}
+		var err error
+		switch tag.T {
+		case "hdr":
+			var rec struct {
+				T string `json:"t"`
+				Header
+			}
+			if err = json.Unmarshal(raw, &rec); err == nil {
+				if rec.V != CaptureVersion {
+					return nil, fmt.Errorf("%w: got %d, want %d", ErrCaptureVersion, rec.V, CaptureVersion)
+				}
+				c.Header = rec.Header
+				sawHeader = true
+			}
+		case "cfg_bp":
+			var rec cfgRecord[backpressure.Config, backpressure.State]
+			if err = json.Unmarshal(raw, &rec); err == nil {
+				c.BPConfig, c.BPSeed = &rec.Cfg, rec.Seed
+			}
+		case "cfg_adapt":
+			var rec cfgRecord[adapt.Config, adapt.State]
+			if err = json.Unmarshal(raw, &rec); err == nil {
+				c.AdaptConfig, c.AdaptSeed = &rec.Cfg, rec.Seed
+			}
+		case "cfg_pl":
+			var rec cfgRecord[placement.Config, placement.State]
+			if err = json.Unmarshal(raw, &rec); err == nil {
+				c.PlacementConfig, c.PlacementSeed = &rec.Cfg, rec.Seed
+			}
+		case "arr":
+			var a Arrival
+			if err = json.Unmarshal(raw, &a); err == nil {
+				c.Arrivals = append(c.Arrivals, a)
+			}
+		case "bp":
+			var rec windowRecord[backpressure.Window]
+			if err = json.Unmarshal(raw, &rec); err == nil {
+				c.BP = append(c.BP, rec.W)
+			}
+		case "adapt":
+			var rec windowRecord[adapt.Window]
+			if err = json.Unmarshal(raw, &rec); err == nil {
+				c.Adapt = append(c.Adapt, rec.W)
+			}
+		case "pl":
+			var rec windowRecord[placement.Window]
+			if err = json.Unmarshal(raw, &rec); err == nil {
+				c.Placement = append(c.Placement, rec.W)
+			}
+		case "end":
+			var rec struct {
+				T string `json:"t"`
+				End
+			}
+			if err = json.Unmarshal(raw, &rec); err == nil {
+				e := rec.End
+				c.End = &e
+			}
+		default:
+			// Unknown record: skip. Minor additions within a schema
+			// version must not break old readers.
+		}
+		if err != nil {
+			return nil, fmt.Errorf("obs: capture line %d (%s): %w", line, tag.T, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawHeader {
+		return nil, errors.New("obs: capture has no header record")
+	}
+	return c, nil
+}
+
+// replayDecide re-runs a pure per-window decision function over the
+// captured samples, starting from the captured seed state. Because the
+// decision functions are pure and the samples in the capture are the
+// exact windows the live controller saw, the replayed trace is
+// bit-identical to the captured one whenever the live controller was
+// healthy — any divergence means the capture, the config, or the
+// decision logic changed.
+func replayDecide[S, St any](ws []ctl.Window[S, St], seed St, decide func(St, S) St) []ctl.Window[S, St] {
+	out := make([]ctl.Window[S, St], 0, len(ws))
+	st := seed
+	for _, w := range ws {
+		st = decide(st, w.Sample)
+		out = append(out, ctl.Window[S, St]{At: w.At, Sample: w.Sample, State: st})
+	}
+	return out
+}
+
+// ReplayBackpressure re-runs the backpressure decision chain over the
+// captured windows. Requires a cfg_bp record.
+func (c *Capture) ReplayBackpressure() ([]backpressure.Window, error) {
+	if c.BPConfig == nil {
+		return nil, errors.New("obs: capture has no backpressure config record")
+	}
+	cfg := *c.BPConfig
+	return replayDecide(c.BP, c.BPSeed, func(st backpressure.State, s backpressure.Sample) backpressure.State {
+		return backpressure.Decide(cfg, st, s)
+	}), nil
+}
+
+// ReplayAdapt re-runs the adaptive-tuning decision chain over the
+// captured windows. Requires a cfg_adapt record.
+func (c *Capture) ReplayAdapt() ([]adapt.Window, error) {
+	if c.AdaptConfig == nil {
+		return nil, errors.New("obs: capture has no adapt config record")
+	}
+	cfg := *c.AdaptConfig
+	return replayDecide(c.Adapt, c.AdaptSeed, func(st adapt.State, s adapt.Sample) adapt.State {
+		return adapt.Decide(cfg, st, s)
+	}), nil
+}
+
+// ReplayPlacement re-runs the placement decision chain over the
+// captured windows. Requires a cfg_pl record.
+func (c *Capture) ReplayPlacement() ([]placement.Window, error) {
+	if c.PlacementConfig == nil {
+		return nil, errors.New("obs: capture has no placement config record")
+	}
+	cfg := *c.PlacementConfig
+	return replayDecide(c.Placement, c.PlacementSeed, func(st placement.State, s placement.Sample) placement.State {
+		return placement.Decide(cfg, st, s)
+	}), nil
+}
+
+// diffWindows reports, window by window, every field-level difference
+// between two traces. Empty result means bit-identical.
+func diffWindows[S, St any](kind string, got, want []ctl.Window[S, St]) []string {
+	var out []string
+	n := len(got)
+	if len(want) != n {
+		out = append(out, fmt.Sprintf("%s: trace length %d, want %d", kind, len(got), len(want)))
+		if len(want) < n {
+			n = len(want)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			g, _ := json.Marshal(got[i])
+			w, _ := json.Marshal(want[i])
+			out = append(out, fmt.Sprintf("%s[%d]: got %s, want %s", kind, i, g, w))
+		}
+	}
+	return out
+}
+
+// DiffBackpressure reports per-window differences between two
+// backpressure traces; empty means bit-identical.
+func DiffBackpressure(got, want []backpressure.Window) []string {
+	return diffWindows("bp", got, want)
+}
+
+// DiffAdapt reports per-window differences between two adaptive-tuning
+// traces; empty means bit-identical.
+func DiffAdapt(got, want []adapt.Window) []string {
+	return diffWindows("adapt", got, want)
+}
+
+// DiffPlacement reports per-window differences between two placement
+// traces; empty means bit-identical.
+func DiffPlacement(got, want []placement.Window) []string {
+	return diffWindows("pl", got, want)
+}

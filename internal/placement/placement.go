@@ -130,6 +130,8 @@ func (c Config) Clamp(st State) State {
 
 // State is the active lane-group count in force.
 type State struct {
+	// Groups is the number of lane groups the structure is partitioned
+	// into, in [1, Config.MaxGroups].
 	Groups int `json:"groups"`
 }
 
@@ -236,6 +238,9 @@ func Decide(cfg Config, cur State, s Sample) State {
 // outstanding count, as fed to Controller.Step. The controller
 // differences successive snapshots into window Samples itself.
 type Cumulative struct {
+	// Pops through CrossGroupPops mirror the monotone core.Stats
+	// counters: successful pop episodes, failed ones, failed lane
+	// try-locks, steal sweeps, and tasks obtained out-of-group.
 	Pops           int64
 	PopFailures    int64
 	LaneContention int64

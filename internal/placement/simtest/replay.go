@@ -1,0 +1,56 @@
+package simtest
+
+import (
+	"errors"
+
+	"repro/internal/obs"
+	"repro/internal/placement"
+)
+
+// ReplayWindows drives a real placement.Controller — Step, snapshot
+// diffing and all, not just the pure Decide chain — over a captured
+// trace: the cumulative counters the live scheduler's tick fed to
+// Step are rebuilt by integrating the captured per-window deltas, so
+// the controller sees exactly the windows the incident saw. The
+// returned trace must be bit-identical to the capture whenever the
+// recorded config/seed and the decision logic still agree (obs.
+// DiffPlacement localizes the first divergence).
+func ReplayWindows(cfg placement.Config, seed placement.State, ws []placement.Window) ([]placement.Window, error) {
+	ctrl, err := placement.NewController(cfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	var cum placement.Cumulative
+	out := make([]placement.Window, 0, len(ws))
+	for _, w := range ws {
+		cum.Pops += w.Sample.Pops
+		cum.PopFailures += w.Sample.PopFailures
+		cum.LaneContention += w.Sample.LaneContention
+		cum.Steals += w.Sample.Steals
+		cum.CrossGroupPops += w.Sample.CrossGroupPops
+		cum.Pending = w.Sample.Pending
+		out = append(out, ctrl.Step(w.At, cum))
+	}
+	return out, nil
+}
+
+// FromCapture extracts this plant's replay inputs from a parsed
+// capture: the recorded controller config, the seed state in force at
+// the capture's first window, and the decision trace.
+func FromCapture(c *obs.Capture) (placement.Config, placement.State, []placement.Window, error) {
+	if c.PlacementConfig == nil {
+		return placement.Config{}, placement.State{}, nil,
+			errors.New("simtest: capture has no placement config record")
+	}
+	return *c.PlacementConfig, c.PlacementSeed, c.Placement, nil
+}
+
+// ReplayCapture is FromCapture + ReplayWindows: the one-call
+// capture-to-trace replay cmd/replay uses.
+func ReplayCapture(c *obs.Capture) ([]placement.Window, error) {
+	cfg, seed, ws, err := FromCapture(c)
+	if err != nil {
+		return nil, err
+	}
+	return ReplayWindows(cfg, seed, ws)
+}

@@ -34,6 +34,7 @@ import (
 	"repro/internal/core/hybrid"
 	"repro/internal/core/wsprio"
 	"repro/internal/ctl"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/relaxed"
 	"repro/internal/xrand"
@@ -247,6 +248,28 @@ type Config[T any] struct {
 	// SpillCap bounds the deferral spillway (0 selects
 	// backpressure.DefaultSpillCap).
 	SpillCap int
+	// Metrics optionally plugs an export sink (internal/obs) into serve
+	// mode: once per AdaptInterval window, the controller goroutine
+	// publishes the scheduler's core series — throughput, admission
+	// outcomes, structure counters, controller states — to the sink.
+	// Publication happens strictly at window boundaries, so the
+	// per-task submit/pop/execute path is untouched (0 allocs/task with
+	// metrics on; see docs/METRICS.md for the full series list). Nil
+	// disables export.
+	Metrics obs.Sink
+	// Recorder optionally captures this serve session to a versioned
+	// JSONL trace (internal/obs): every controller decision window
+	// exactly, plus best-effort arrival envelopes (time, priority, k,
+	// payload hash) up to the recorder's ring capacity. The capture
+	// replays deterministically offline (cmd/replay, obs.ReadCapture).
+	// The scheduler writes the capture header at Start and finishes the
+	// capture at Stop; a Recorder serves one session.
+	Recorder *obs.Recorder
+	// Hash optionally fingerprints task payloads for the Recorder's
+	// arrival envelopes — a tenant-opaque identity that lets an
+	// incident's traffic mix be analyzed offline without capturing the
+	// payloads themselves. Nil records no hash.
+	Hash func(T) uint64
 	// Seed drives all internal randomization.
 	Seed uint64
 }
@@ -352,6 +375,14 @@ type Scheduler[T any] struct {
 	deferredN  atomic.Int64
 	readmitted atomic.Int64
 	admittedN  atomic.Int64
+
+	// Observability state (see obs.go): the registered metric
+	// instruments and the previous window's counter snapshot (nil
+	// without Config.Metrics), plus the controller-loop interval in
+	// force when no controller supplies one (metrics/recorder-only
+	// sessions still tick the loop).
+	metrics     *serveMetrics
+	obsInterval time.Duration
 }
 
 // HomeGroup is the contiguous-block place→group mapping the scheduler
@@ -593,16 +624,36 @@ func New[T any](cfg Config[T]) (*Scheduler[T], error) {
 		s.plCfg = pcfg
 		s.plLast = placement.State{Groups: cfg.LaneGroups}
 	}
+	if cfg.Metrics != nil || cfg.Recorder != nil {
+		// Metrics/recorder-only sessions run the controller loop too (it
+		// is where window sampling lives), so the interval needs the same
+		// floor the controllers enforce.
+		if cfg.AdaptInterval != 0 && cfg.AdaptInterval < time.Millisecond {
+			return nil, fmt.Errorf("sched: AdaptInterval = %v, must be at least 1ms (the observability window)", cfg.AdaptInterval)
+		}
+	}
+	s.obsInterval = cfg.AdaptInterval
+	if s.obsInterval == 0 {
+		s.obsInterval = adapt.DefaultInterval
+	}
+	if cfg.Metrics != nil {
+		s.metrics = s.newServeMetrics(cfg.Metrics)
+	}
 	return s, nil
 }
 
 // RunStats summarizes one Run.
 type RunStats struct {
+	// Elapsed is the wall-clock duration of the run (for a serve
+	// session: Start to Stop).
 	Elapsed    time.Duration
 	Executed   int64 // tasks run by Execute
 	Eliminated int64 // tasks retired as stale without running
 	Spawned    int64 // tasks pushed (roots + spawns)
-	DS         core.Stats
+	// DS carries the backing data structure's operation counters,
+	// including the admission-gate counters (Shed/Deferred/Readmitted)
+	// the scheduler folds in for serve sessions.
+	DS core.Stats
 }
 
 // Run executes the computation seeded by the given root tasks and blocks

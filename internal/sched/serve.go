@@ -178,7 +178,18 @@ func (s *Scheduler[T]) Start() error {
 		s.plMu.Unlock()
 		s.grpDS.SetGroups(ctrl.State().Groups)
 	}
-	if s.cfg.Adaptive || s.cfg.Backpressure || s.cfg.AdaptivePlacement {
+	if s.cfg.Recorder != nil {
+		// Header + controller configs first, so the capture is
+		// self-contained before the first window record lands.
+		s.recBegin(s.cfg.Recorder)
+	}
+	if s.metrics != nil {
+		s.primeMetrics()
+	}
+	if s.cfg.Adaptive || s.cfg.Backpressure || s.cfg.AdaptivePlacement ||
+		s.metrics != nil || s.cfg.Recorder != nil {
+		// The loop runs for metrics/recorder-only sessions too: window
+		// sampling lives there even when no controller consumes it.
 		s.ctrlStop = make(chan struct{})
 		s.ctrlDone = make(chan struct{})
 		go s.ctlLoop(s.ctrlStop, s.ctrlDone)
@@ -197,13 +208,13 @@ func (s *Scheduler[T]) Start() error {
 // fanned out to the consumers.
 func (s *Scheduler[T]) ctlLoop(stop <-chan struct{}, done chan<- struct{}) {
 	defer close(done)
-	interval := s.adaptCfg.Interval
+	interval := s.obsInterval
 	switch {
 	case s.cfg.Adaptive:
-		// interval already set
+		interval = s.adaptCfg.Interval
 	case s.cfg.Backpressure:
 		interval = s.bpCfg.Interval
-	default:
+	case s.cfg.AdaptivePlacement:
 		interval = s.plCfg.Interval
 	}
 	t := time.NewTicker(interval)
@@ -211,6 +222,18 @@ func (s *Scheduler[T]) ctlLoop(stop <-chan struct{}, done chan<- struct{}) {
 	for {
 		select {
 		case <-stop:
+			if s.metrics != nil {
+				// Final publish so the exported counters cover the
+				// session's tail exactly: Stop joins this goroutine only
+				// after the workers quiesce, so the last delta closes the
+				// books on every executed task. No controller window is
+				// stepped here — the traces stay the controllers' own.
+				rank := -1.0
+				if s.cfg.RankSignal != nil {
+					rank = s.cfg.RankSignal()
+				}
+				s.obsTick(time.Since(s.serveT0), rank)
+			}
 			return
 		case <-t.C:
 			at := time.Since(s.serveT0)
@@ -218,14 +241,32 @@ func (s *Scheduler[T]) ctlLoop(stop <-chan struct{}, done chan<- struct{}) {
 			if s.cfg.RankSignal != nil {
 				rank = s.cfg.RankSignal()
 			}
+			rec := s.cfg.Recorder
+			if rec != nil {
+				// Drain the arrival ring before this window's decision
+				// records, keeping the capture roughly time-ordered.
+				rec.Flush()
+			}
 			if s.cfg.Adaptive {
-				s.adaptTick(at, rank)
+				w := s.adaptTick(at, rank)
+				if rec != nil {
+					rec.AdaptWindow(w)
+				}
 			}
 			if s.cfg.Backpressure {
-				s.bpTick(at, rank)
+				w := s.bpTick(at, rank)
+				if rec != nil {
+					rec.BackpressureWindow(w)
+				}
 			}
 			if s.cfg.AdaptivePlacement {
-				s.plTick(at)
+				w := s.plTick(at)
+				if rec != nil {
+					rec.PlacementWindow(w)
+				}
+			}
+			if s.metrics != nil {
+				s.obsTick(at, rank)
 			}
 		}
 	}
@@ -263,7 +304,8 @@ const maxTraceWindows = 4096
 // adaptTick closes one adaptive control window: sample the cumulative
 // counters, step the controller, and apply its decision to the live
 // knobs. rank is the window's rank-error p99 estimate (< 0: none).
-func (s *Scheduler[T]) adaptTick(at time.Duration, rank float64) {
+// The decision window is returned for the session recorder.
+func (s *Scheduler[T]) adaptTick(at time.Duration, rank float64) adapt.Window {
 	cum := s.snapshot()
 	cum.RankErrP99 = rank
 	s.adaptMu.Lock()
@@ -272,6 +314,7 @@ func (s *Scheduler[T]) adaptTick(at time.Duration, rank float64) {
 	s.trace.Append(w)
 	s.adaptMu.Unlock()
 	s.applyKnobs(w.State)
+	return w
 }
 
 // applyKnobs propagates a controller state to the execution machinery:
@@ -311,7 +354,7 @@ func (s *Scheduler[T]) bpSnapshot(rank float64) backpressure.Cumulative {
 // controller, publish the new threshold to the Submit hot path, and
 // re-admit whatever the window's spare capacity allows back out of the
 // spillway.
-func (s *Scheduler[T]) bpTick(at time.Duration, rank float64) {
+func (s *Scheduler[T]) bpTick(at time.Duration, rank float64) backpressure.Window {
 	cum := s.bpSnapshot(rank)
 	s.bpMu.Lock()
 	w := s.bpCtrl.Step(at, cum)
@@ -322,6 +365,7 @@ func (s *Scheduler[T]) bpTick(at time.Duration, rank float64) {
 	if q := backpressure.ReadmitQuota(s.bpCfg, w.Sample); q > 0 {
 		s.readmitSpill(int(q))
 	}
+	return w
 }
 
 // plSnapshot collects the cumulative locality totals the placement
@@ -345,7 +389,7 @@ func (s *Scheduler[T]) plSnapshot() placement.Cumulative {
 // counters, step the controller, and apply its group-count decision to
 // the structure (places pick the new partition up at their next lane
 // selection).
-func (s *Scheduler[T]) plTick(at time.Duration) {
+func (s *Scheduler[T]) plTick(at time.Duration) placement.Window {
 	cum := s.plSnapshot()
 	s.plMu.Lock()
 	w := s.plCtrl.Step(at, cum)
@@ -353,6 +397,7 @@ func (s *Scheduler[T]) plTick(at time.Duration) {
 	s.plTrace.Append(w)
 	s.plMu.Unlock()
 	s.grpDS.SetGroups(w.State.Groups)
+	return w
 }
 
 // minReadmitRun is the smallest batch worth its own injector-lane lock
@@ -572,6 +617,9 @@ func (s *Scheduler[T]) SubmitK(k int, v T) error {
 		s.pending.Add(-1)
 		return ErrNotServing
 	}
+	if s.cfg.Recorder != nil {
+		s.recArrival(k, v)
+	}
 	if s.spill != nil && s.cfg.Priority(v) > s.bpGate.Load() {
 		return s.deferOrShed(k, v)
 	}
@@ -612,6 +660,12 @@ func (s *Scheduler[T]) deferOrShed(k int, v T) error {
 // SubmitAll stores every element of vs for execution with the
 // scheduler's default k. See SubmitAllK.
 func (s *Scheduler[T]) SubmitAll(vs []T) error { return s.SubmitAllK(s.cfg.K, vs) }
+
+// SubmitAllOutcomes is SubmitAllKOutcomes with the scheduler's default
+// relaxation parameter.
+func (s *Scheduler[T]) SubmitAllOutcomes(vs []T, out []Outcome) (int, error) {
+	return s.SubmitAllKOutcomes(s.cfg.K, vs, out)
+}
 
 // SubmitAllK stores every element of vs with an explicit per-task
 // relaxation parameter k, as one batch: the whole group is pushed under
@@ -661,6 +715,9 @@ func (s *Scheduler[T]) SubmitAllKOutcomes(k int, vs []T, out []Outcome) (int, er
 	if !s.accepting.Load() {
 		s.pending.Add(-n)
 		return 0, ErrNotServing
+	}
+	if s.cfg.Recorder != nil {
+		s.recArrivalBatch(k, vs)
 	}
 	if s.spill == nil {
 		// Ungated: the whole batch is admitted as one push.
@@ -812,6 +869,14 @@ func (s *Scheduler[T]) Stop() (RunStats, error) {
 			// PlacementTrace keeps reporting the session's trajectory.
 			s.grpDS.SetGroups(s.cfg.LaneGroups)
 		}
+	}
+	if rec := s.cfg.Recorder; rec != nil {
+		// The controller goroutine has joined; no producer can race the
+		// final drain. Finish seals the capture so the session's file is
+		// self-contained — the owner closes the destination and checks
+		// rec.Err for write failures.
+		rec.Flush()
+		rec.Finish()
 	}
 	s.started = false
 	s.serving.Store(false)

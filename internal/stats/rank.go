@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// RankBuckets is the resolution of RankTracker's live-set priority
+// census. A coarser census under-counts inversions inside one bucket,
+// so the estimate is a lower bound with bucket-width granularity —
+// exactly the trade the loadgen tracker has always made.
+const RankBuckets = 256
+
+// RankTracker estimates pop rank error — for each sampled executed
+// task, how many strictly-better-priority tasks were still live — from
+// a lock-free per-bucket census of the outstanding work. It is the
+// shared engine behind loadgen's rank-error report and the serve-mode
+// rank-error series (docs/METRICS.md), and it feeds the controllers'
+// rank budget checks through Signal.
+//
+// Protocol: call Submitted when a task enters the scheduler, Retract
+// if that submission is then rejected (shed), and Executed when it
+// runs. All three are safe from any goroutine and allocation-free.
+// Executed samples: every sampleEvery-th call (globally, via one
+// shared sequence counter) scans the buckets below the task's own and
+// reports the count. The census is racy by construction — concurrent
+// decrements can transiently drive a reader's sum negative, which is
+// clamped — because the estimate is a control/reporting signal, not an
+// audit trail.
+type RankTracker struct {
+	live    []atomic.Int64
+	bshift  uint // prio >> bshift = bucket
+	sample  int64
+	execSeq atomic.Int64
+
+	// decay is the windowed estimator behind Signal: Executed feeds
+	// every sampled rank into it, Signal reads the p99 and ages it.
+	decay *DecayingHist
+}
+
+// NewRankTracker returns a tracker for priorities in [0, prioRange).
+// prioRange must be a power of two ≥ RankBuckets (so buckets divide
+// the domain evenly); sampleEvery ≥ 1 sets the sampling stride.
+func NewRankTracker(prioRange int64, sampleEvery int) (*RankTracker, error) {
+	if prioRange&(prioRange-1) != 0 || prioRange < RankBuckets {
+		return nil, fmt.Errorf("stats: rank tracker prioRange %d must be a power of two ≥ %d", prioRange, RankBuckets)
+	}
+	if sampleEvery < 1 {
+		return nil, fmt.Errorf("stats: rank tracker sampleEvery %d must be ≥ 1", sampleEvery)
+	}
+	t := &RankTracker{
+		live:   make([]atomic.Int64, RankBuckets),
+		sample: int64(sampleEvery),
+		decay:  NewDecayingHist(),
+	}
+	for w := prioRange / RankBuckets; w > 1; w >>= 1 {
+		t.bshift++
+	}
+	return t, nil
+}
+
+// Submitted adds one live task at the given priority to the census.
+func (t *RankTracker) Submitted(prio int64) { t.live[prio>>t.bshift].Add(1) }
+
+// Retract undoes one Submitted for a task that never entered the
+// scheduler (shed at the admission gate, failed submit).
+func (t *RankTracker) Retract(prio int64) { t.live[prio>>t.bshift].Add(-1) }
+
+// Executed removes the task from the census and, on every
+// sampleEvery-th call, measures its rank error: the number of
+// strictly-better-bucket tasks still live. Returns (rank, true) for
+// sampled calls and (0, false) otherwise.
+func (t *RankTracker) Executed(prio int64) (rank int64, sampled bool) {
+	b := prio >> t.bshift
+	t.live[b].Add(-1)
+	if t.execSeq.Add(1)%t.sample != 0 {
+		return 0, false
+	}
+	var better int64
+	for i := int64(0); i < b; i++ {
+		better += t.live[i].Load()
+	}
+	if better < 0 {
+		// Concurrent decrements can transiently drive this reader's sum
+		// negative; clamp rather than pollute the estimate.
+		better = 0
+	}
+	t.decay.Observe(float64(better))
+	return better, true
+}
+
+// Signal returns the windowed rank-error p99 closure the controllers
+// consume (sched.Config.RankSignal): each call reports the decayed p99
+// and then ages the window. The closure retains its own scratch, so a
+// periodic reader allocates nothing — but that also means it is for a
+// single reader (the controller goroutine).
+func (t *RankTracker) Signal() func() float64 {
+	scratch := make([]int64, t.decay.ScratchLen())
+	return func() float64 {
+		q := t.decay.QuantileScratch(0.99, scratch)
+		t.decay.Decay()
+		return q
+	}
+}
+
+// Live returns the current census total — the number of tasks
+// submitted but not yet executed or retracted (transiently negative
+// readings are clamped to 0).
+func (t *RankTracker) Live() int64 {
+	var n int64
+	for i := range t.live {
+		n += t.live[i].Load()
+	}
+	if n < 0 {
+		n = 0
+	}
+	return n
+}

@@ -1,0 +1,86 @@
+package stats
+
+import "testing"
+
+func TestRankTrackerValidation(t *testing.T) {
+	if _, err := NewRankTracker(100, 1); err == nil {
+		t.Error("want error for non-power-of-two range")
+	}
+	if _, err := NewRankTracker(128, 1); err == nil {
+		t.Error("want error for range below RankBuckets")
+	}
+	if _, err := NewRankTracker(256, 0); err == nil {
+		t.Error("want error for zero stride")
+	}
+}
+
+func TestRankTrackerRank(t *testing.T) {
+	tr, err := NewRankTracker(1<<10, 1) // 4 priorities per bucket, sample every pop
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Live set: 10 tasks in bucket 0, 5 in bucket 1. Executing from
+	// bucket 2 must see 15 strictly-better live tasks.
+	for i := 0; i < 10; i++ {
+		tr.Submitted(0)
+	}
+	for i := 0; i < 5; i++ {
+		tr.Submitted(4)
+	}
+	tr.Submitted(8)
+	if got := tr.Live(); got != 16 {
+		t.Errorf("Live = %d, want 16", got)
+	}
+	rank, ok := tr.Executed(8)
+	if !ok || rank != 15 {
+		t.Errorf("Executed(8) = (%d, %v), want (15, true)", rank, ok)
+	}
+	// In-order execution from the best bucket sees rank 0.
+	rank, ok = tr.Executed(0)
+	if !ok || rank != 0 {
+		t.Errorf("Executed(0) = (%d, %v), want (0, true)", rank, ok)
+	}
+	// Retract removes census weight like execution does.
+	tr.Retract(0)
+	if got := tr.Live(); got != 13 {
+		t.Errorf("Live after retract = %d, want 13", got)
+	}
+}
+
+func TestRankTrackerSamplingStride(t *testing.T) {
+	tr, err := NewRankTracker(256, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled := 0
+	for i := 0; i < 16; i++ {
+		tr.Submitted(0)
+	}
+	for i := 0; i < 16; i++ {
+		if _, ok := tr.Executed(0); ok {
+			sampled++
+		}
+	}
+	if sampled != 4 {
+		t.Errorf("sampled = %d, want 4 (stride 4 over 16 pops)", sampled)
+	}
+}
+
+func TestRankTrackerSignal(t *testing.T) {
+	tr, err := NewRankTracker(1<<10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := tr.Signal()
+	if q := sig(); q != -1 {
+		t.Errorf("empty signal = %v, want -1", q)
+	}
+	for i := 0; i < 100; i++ {
+		tr.Submitted(0)
+	}
+	tr.Submitted(512)
+	tr.Executed(512) // rank 100
+	if q := sig(); q <= 0 {
+		t.Errorf("signal after inverted pop = %v, want > 0", q)
+	}
+}

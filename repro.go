@@ -45,6 +45,7 @@ import (
 	"repro/internal/core/centralized"
 	"repro/internal/core/hybrid"
 	"repro/internal/core/wsprio"
+	"repro/internal/obs"
 	"repro/internal/relaxed"
 	"repro/internal/sched"
 	"repro/internal/stats"
@@ -181,7 +182,16 @@ type SchedulerConfig[T any] struct {
 	// ProtectedBand are never gated.
 	Backpressure bool
 	// Priority maps a task to its numeric priority (smaller is more
-	// urgent); required with Backpressure and must agree with Less.
+	// urgent); required with Backpressure and must agree with Less
+	// (Priority(a) < Priority(b) must imply Less(a, b)).
+	//
+	// Supplying it also matters for allocation behavior: the relaxed
+	// strategies use it as a numeric projection, advertising each
+	// lane's minimum as a plain atomic int64 instead of a boxed copy of
+	// the task. Without it, the Less-only fallback allocates one box
+	// per lane lock episode — correct, but not allocation-free. Set
+	// Priority whenever tasks have a numeric priority, even with
+	// Backpressure off; the zero-allocation serve path depends on it.
 	Priority func(T) int64
 	// MaxPrio is the inclusive upper bound of the Priority domain
 	// (required ≥ 1 with Backpressure, and with Resolution > 1).
@@ -203,6 +213,19 @@ type SchedulerConfig[T any] struct {
 	// SpillCap bounds the backpressure deferral spillway (0 = the
 	// 4096-task default).
 	SpillCap int
+	// Metrics optionally plugs a metrics registry into serve mode: the
+	// scheduler publishes its core series to it once per control
+	// window, entirely off the per-task hot path (0 allocs/task added).
+	// Serve it with MetricsHandler; docs/METRICS.md lists the series.
+	Metrics *Metrics
+	// Recorder optionally captures the serve session to a versioned
+	// JSONL trace for deterministic offline replay (cmd/replay). The
+	// capture is sealed at Stop; a Recorder serves one session.
+	Recorder *Recorder
+	// Hash optionally fingerprints task payloads for the Recorder's
+	// arrival envelopes, so an incident's traffic mix can be analyzed
+	// offline without capturing payloads. Nil records no hash.
+	Hash func(T) uint64
 	// Seed makes scheduling randomness reproducible.
 	Seed uint64
 }
@@ -228,7 +251,14 @@ type Scheduler[T any] struct {
 
 // NewScheduler builds a scheduler over the selected data structure.
 func NewScheduler[T any](cfg SchedulerConfig[T]) (*Scheduler[T], error) {
+	// A nil *Metrics must stay a nil Sink interface, not a non-nil
+	// interface wrapping a nil pointer.
+	var sink obs.Sink
+	if cfg.Metrics != nil {
+		sink = cfg.Metrics
+	}
 	inner, err := sched.New(sched.Config[T]{
+		Metrics:           sink,
 		Places:            cfg.Places,
 		Strategy:          cfg.Strategy,
 		K:                 cfg.K,
@@ -253,6 +283,8 @@ func NewScheduler[T any](cfg SchedulerConfig[T]) (*Scheduler[T], error) {
 		SojournBudget:     cfg.SojournBudget,
 		ProtectedBand:     cfg.ProtectedBand,
 		SpillCap:          cfg.SpillCap,
+		Recorder:          cfg.Recorder,
+		Hash:              cfg.Hash,
 		Seed:              cfg.Seed,
 		Execute: func(ic *sched.Ctx[T], v T) {
 			cfg.Execute(Ctx[T]{inner: ic}, v)
