@@ -18,7 +18,9 @@
 //	        [-groups 0] [-resolution 0] [-adaptiveplacement]
 //	        [-adaptive] [-rankbudget 0] [-adaptinterval 10ms]
 //	        [-backpressure] [-sojournbudget 50ms] [-protectedband 0]
-//	        [-spillcap 0] [-capture FILE] [-seed 20140215]
+//	        [-spillcap 0] [-tenants W,W,...] [-tenantskew 1]
+//	        [-tenantfloor 0] [-tenantbudgets D,D,...] [-scenario steady]
+//	        [-capture FILE] [-seed 20140215]
 //
 // -strategy, -rate, -producers, -batch, -stickiness, -groups and
 // -resolution accept comma-separated lists; "-strategy all" expands to
@@ -54,6 +56,20 @@
 // admission and goodput (bands), the final threshold, and the
 // controller's trace (bp_trace); -rankbudget additionally wires the
 // rank-error estimate as a second overload signal.
+//
+// -tenants enables multi-tenant fair scheduling (requires
+// -backpressure): its comma list is the per-tenant fair-share weight
+// vector, producers stamp every task with a tenant id drawn from a
+// -tenantskew-weighted distribution (tenant 0 arrives skew× as often
+// as each other tenant), and each JSON result carries per-tenant
+// admission/goodput/sojourn reports (tenants), the fairness
+// controller's window trace (fair_trace) and the gated-window count.
+// -tenantfloor sets the guaranteed-floor capacity fraction and
+// -tenantbudgets per-tenant sojourn budgets (SLO bands). -scenario
+// layers a scripted traffic pattern on top: "diurnal" ramps the
+// arrival rate through a day-shaped profile, "inflation" has the hot
+// tenant claim top priorities from the run's midpoint — the
+// adversarial pattern the per-tenant quotas must absorb.
 //
 // -capture writes the run's arrival envelopes and every controller
 // decision to FILE as versioned JSONL (the schema is documented in
@@ -147,6 +163,42 @@ func parseInts(s string) ([]int, error) {
 	return out, nil
 }
 
+func parseInt64s(s string) ([]int64, error) {
+	var out []int64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseDurations(s string) ([]time.Duration, error) {
+	var out []time.Duration
+	for _, f := range strings.Split(s, ",") {
+		v, err := time.ParseDuration(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseScenario(s string) (load.Scenario, error) {
+	switch s {
+	case "steady", "":
+		return load.SteadyLoad, nil
+	case "diurnal":
+		return load.DiurnalRamp, nil
+	case "inflation":
+		return load.PriorityInflation, nil
+	}
+	return 0, fmt.Errorf("unknown scenario %q", s)
+}
+
 func parseFloats(s string) ([]float64, error) {
 	var out []float64
 	for _, f := range strings.Split(s, ",") {
@@ -188,6 +240,11 @@ func main() {
 		sojournBud = flag.Duration("sojournbudget", 0, "backpressure: target sojourn time (0 = 50ms default)")
 		protBand   = flag.Int64("protectedband", 0, "backpressure: never-shed priority band [0, N) (0 = range/8)")
 		spillCap   = flag.Int("spillcap", 0, "backpressure: deferral spillway capacity (0 = default)")
+		tenants    = flag.String("tenants", "", "multi-tenant fair scheduling: per-tenant weight vector (comma list; requires -backpressure)")
+		tenSkew    = flag.Float64("tenantskew", 1, "hot-tenant arrival multiplier: tenant 0 arrives N× as often as each other tenant")
+		tenFloor   = flag.Float64("tenantfloor", 0, "guaranteed-floor capacity fraction (0 = 5% default)")
+		tenBudgets = flag.String("tenantbudgets", "", "per-tenant sojourn budgets / SLO bands (comma duration list; missing or 0 entries inherit -sojournbudget)")
+		scenario   = flag.String("scenario", "steady", "scripted traffic pattern: steady, diurnal, inflation")
 		capture    = flag.String("capture", "", "write a JSONL capture (arrivals + controller decisions) to this file; single-configuration sweeps only, replay with cmd/replay")
 		seed       = flag.Uint64("seed", 20140215, "base random seed")
 	)
@@ -229,6 +286,22 @@ func main() {
 	resList, err := parseInts(*resolution)
 	if err != nil {
 		log.Fatalf("bad -resolution: %v", err)
+	}
+	var tenWeights []int64
+	if *tenants != "" {
+		if tenWeights, err = parseInt64s(*tenants); err != nil {
+			log.Fatalf("bad -tenants: %v", err)
+		}
+	}
+	var tenBudgetList []time.Duration
+	if *tenBudgets != "" {
+		if tenBudgetList, err = parseDurations(*tenBudgets); err != nil {
+			log.Fatalf("bad -tenantbudgets: %v", err)
+		}
+	}
+	scen, err := parseScenario(*scenario)
+	if err != nil {
+		log.Fatal(err)
 	}
 	if *adaptPlace {
 		// Refuse rather than silently measuring a flat, non-adaptive
@@ -275,7 +348,7 @@ func main() {
 	table := &stats.Table{Header: []string{
 		"strategy", "producers", "rate", "batch", "stick", "groups", "res", "S/B-final", "throughput/s",
 		"p50(us)", "p95(us)", "p99(us)", "rank-err-mean", "rank-err-p99", "rank-err-max",
-		"allocs/task", "steal%", "shed%", "prot-p99(us)",
+		"allocs/task", "steal%", "shed%", "prot-p99(us)", "gated-w", "min-fair%",
 	}}
 	for _, strat := range stratList {
 		for _, np := range prodList {
@@ -299,7 +372,7 @@ func main() {
 							for _, reso := range resos {
 								fmt.Fprintf(os.Stderr, "loadgen: %s producers=%d rate=%.0f batch=%d stickiness=%d groups=%d resolution=%d adaptive=%v arrival=%s dist=%s duration=%s\n",
 									strat, np, rate, batch, stick, grp, reso, *adaptive, arr, pd, *duration)
-								res, err := load.Run(load.Config{
+								lcfg := load.Config{
 									Strategy:          strat,
 									Places:            *places,
 									K:                 *k,
@@ -325,9 +398,20 @@ func main() {
 									SojournBudget:     *sojournBud,
 									ProtectedBand:     *protBand,
 									SpillCap:          *spillCap,
+									Scenario:          scen,
 									Recorder:          recorder,
 									Seed:              *seed,
-								})
+								}
+								if len(tenWeights) > 0 {
+									// The tenant knobs are only forwarded
+									// together with a weight vector — the
+									// generator rejects them on their own.
+									lcfg.TenantWeights = tenWeights
+									lcfg.TenantSkew = *tenSkew
+									lcfg.TenantFloorFrac = *tenFloor
+									lcfg.TenantBudgets = tenBudgetList
+								}
+								res, err := load.Run(lcfg)
 								if err != nil {
 									log.Fatalf("%s: %v", strat, err)
 								}
@@ -358,6 +442,25 @@ func main() {
 									shedCell = stats.F(res.ShedRate*100, 2)
 									protCell = stats.F(res.Bands[0].SojournNs.P99/1e3, 1)
 								}
+								gatedCell, fairCell := "-", "-"
+								if len(res.Tenants) > 0 {
+									gatedCell = stats.I(int64(res.FairGatedWindows))
+									// The headline fairness number: the worst
+									// tenant's goodput as a percentage of its
+									// weight-fair share.
+									minFair := -1.0
+									for _, tn := range res.Tenants {
+										if tn.FairSharePerSec <= 0 {
+											continue
+										}
+										if f := tn.GoodputPerSec / tn.FairSharePerSec; minFair < 0 || f < minFair {
+											minFair = f
+										}
+									}
+									if minFair >= 0 {
+										fairCell = stats.F(minFair*100, 1)
+									}
+								}
 								table.AddRow(
 									res.Strategy,
 									stats.I(int64(res.Producers)),
@@ -378,6 +481,8 @@ func main() {
 									stealCell,
 									shedCell,
 									protCell,
+									gatedCell,
+									fairCell,
 								)
 							}
 						}

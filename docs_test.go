@@ -12,23 +12,28 @@ import (
 var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
 
 // TestDocsRelativeLinksResolve is the docs lint: every relative link in
-// README.md and docs/*.md must point at a file that exists, so a rename
-// or deletion cannot silently orphan the documentation cross-references
-// (external URLs and pure #fragment anchors are out of scope).
+// README.md, ROADMAP.md and docs/*.md must point at a file that exists,
+// so a rename or deletion cannot silently orphan the documentation
+// cross-references (external URLs and pure #fragment anchors are out of
+// scope). ROADMAP.md is also checked for absolute paths: it must cite
+// external material descriptively, never by machine-local path.
 func TestDocsRelativeLinksResolve(t *testing.T) {
-	files := []string{"README.md"}
+	files := []string{"README.md", "ROADMAP.md"}
 	docs, err := filepath.Glob(filepath.Join("docs", "*.md"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	files = append(files, docs...)
-	if len(files) < 4 {
-		t.Fatalf("expected README.md plus at least 3 docs pages, found %v", files)
+	if len(files) < 5 {
+		t.Fatalf("expected README.md and ROADMAP.md plus at least 3 docs pages, found %v", files)
 	}
 	for _, f := range files {
 		raw, err := os.ReadFile(f)
 		if err != nil {
 			t.Fatal(err)
+		}
+		if strings.Contains(string(raw), "/root/") {
+			t.Errorf("%s: references a machine-local /root/... path; cite descriptively instead", f)
 		}
 		for _, m := range mdLink.FindAllStringSubmatch(string(raw), -1) {
 			target := m[1]

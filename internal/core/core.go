@@ -286,6 +286,12 @@ type Stats struct {
 	Shed       int64 // backpressure: tasks rejected at admission (never stored)
 	Deferred   int64 // backpressure: tasks parked in the spillway
 	Readmitted int64 // backpressure: spillway tasks re-submitted to the DS
+
+	// The tenant-fairness counters follow the same rule: they are
+	// written only by the scheduler layer (the per-tenant quota gate of
+	// the fairness controller), so at the DS level both are always zero.
+	TenantShed     int64 // fairness: tasks rejected by a tenant quota (spillway full)
+	TenantDeferred int64 // fairness: tasks parked in the spillway by a tenant quota
 }
 
 // Sub returns s minus other, counter by counter. Used to compute per-run
@@ -313,6 +319,8 @@ func (s Stats) Sub(other Stats) Stats {
 		Shed:           s.Shed - other.Shed,
 		Deferred:       s.Deferred - other.Deferred,
 		Readmitted:     s.Readmitted - other.Readmitted,
+		TenantShed:     s.TenantShed - other.TenantShed,
+		TenantDeferred: s.TenantDeferred - other.TenantDeferred,
 	}
 }
 
@@ -339,15 +347,17 @@ func (s *Stats) Add(other Stats) {
 	s.Shed += other.Shed
 	s.Deferred += other.Deferred
 	s.Readmitted += other.Readmitted
+	s.TenantShed += other.TenantShed
+	s.TenantDeferred += other.TenantDeferred
 }
 
 // String renders the non-zero counters compactly.
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"pushes=%d pops=%d popFail=%d batchPush=%d batchPop=%d popRetry=%d restick=%d elim=%d tailAdv=%d probes=%d/%d publishes=%d spies=%d/%d steals=%d/%d stolen=%d xgroup=%d shed=%d deferred=%d readmit=%d",
+		"pushes=%d pops=%d popFail=%d batchPush=%d batchPop=%d popRetry=%d restick=%d elim=%d tailAdv=%d probes=%d/%d publishes=%d spies=%d/%d steals=%d/%d stolen=%d xgroup=%d shed=%d deferred=%d readmit=%d tenShed=%d tenDefer=%d",
 		s.Pushes, s.Pops, s.PopFailures, s.BatchPushes, s.BatchPops,
 		s.PopRetries, s.Resticks, s.Eliminated, s.TailAdvances,
 		s.ProbeHits, s.Probes, s.Publishes, s.SpyHits, s.Spies,
 		s.StealHits, s.Steals, s.StolenTasks, s.CrossGroupPops,
-		s.Shed, s.Deferred, s.Readmitted)
+		s.Shed, s.Deferred, s.Readmitted, s.TenantShed, s.TenantDeferred)
 }

@@ -62,6 +62,7 @@ func RunFlags(t *testing.T, name string, mk Factory, f Flags) {
 	t.Run(name+"/StatsAccounting", func(t *testing.T) { statsAccounting(t, mk) })
 	t.Run(name+"/CounterConsistency", func(t *testing.T) { counterConsistency(t, mk) })
 	t.Run(name+"/ShedNeverPopped", func(t *testing.T) { shedNeverPopped(t, mk) })
+	t.Run(name+"/TenantQuotaNeverStarves", func(t *testing.T) { tenantQuotaNeverStarves(t, mk) })
 	t.Run(name+"/GroupedPlacement", func(t *testing.T) { groupedPlacement(t, mk) })
 	t.Run(name+"/SmallLiveSetChurn", func(t *testing.T) { smallLiveSetChurn(t, mk) })
 	t.Run(name+"/BurstDrainCycles", func(t *testing.T) { burstDrainCycles(t, mk) })
@@ -935,6 +936,8 @@ var monotoneCounters = []struct {
 	{"Shed", func(s core.Stats) int64 { return s.Shed }},
 	{"Deferred", func(s core.Stats) int64 { return s.Deferred }},
 	{"Readmitted", func(s core.Stats) int64 { return s.Readmitted }},
+	{"TenantShed", func(s core.Stats) int64 { return s.TenantShed }},
+	{"TenantDeferred", func(s core.Stats) int64 { return s.TenantDeferred }},
 }
 
 // counterConsistency: under a scripted concurrent mix of single and
@@ -1058,6 +1061,12 @@ func counterConsistency(t *testing.T, mk Factory) {
 		// silently break the item-flow equation below.
 		t.Fatalf("raw DS reported admission counters shed=%d deferred=%d readmitted=%d, want all zero",
 			s.Shed, s.Deferred, s.Readmitted)
+	}
+	if s.TenantShed != 0 || s.TenantDeferred != 0 {
+		// Same boundary for the tenant-fairness split: quotas and floors
+		// are enforced above the DS, never inside it.
+		t.Fatalf("raw DS reported tenant admission counters shed=%d deferred=%d, want all zero",
+			s.TenantShed, s.TenantDeferred)
 	}
 	if s.Pops != s.Pushes {
 		t.Fatalf("item flow broken at quiescence: pushed %d, popped %d", s.Pushes, s.Pops)
@@ -1345,8 +1354,184 @@ func shedNeverPopped(t *testing.T, mk Factory) {
 		t.Fatalf("raw DS counted admission outcomes itself: shed=%d deferred=%d readmitted=%d",
 			s.Shed, s.Deferred, s.Readmitted)
 	}
+	if s.TenantShed != 0 || s.TenantDeferred != 0 {
+		t.Fatalf("raw DS counted tenant admission outcomes itself: shed=%d deferred=%d",
+			s.TenantShed, s.TenantDeferred)
+	}
 	if shed.Load() != total-admitted.Load() {
 		t.Fatalf("gate accounting broken: %d shed + %d admitted != %d offered",
 			shed.Load(), admitted.Load(), total)
+	}
+}
+
+// tenantQuotaNeverStarves models the tenant-fairness gate (internal/
+// fair driving internal/sched) at the data structure contract level: a
+// scripted weighted-fair gate sits above the DS, with a 10x hot tenant
+// whose tasks all claim the most urgent priorities (adversarial
+// priority inflation). Per window each tenant gets a weight-
+// proportional quota and a starvation floor; floor admissions bypass
+// the priority threshold, over-quota tasks are dropped above the DS.
+// The contract being pinned: every floor-admitted task of every cold
+// tenant surfaces from a pop exactly once (the structure cannot lose
+// the starvation floor's work), the hot tenant's deliveries are capped
+// by its scripted quota, and the structure's own TenantShed/
+// TenantDeferred counters stay zero — tenant admission control lives
+// above the DS, exactly like the scalar admission counters.
+func tenantQuotaNeverStarves(t *testing.T, mk Factory) {
+	const workers = 3
+	const tenants = 4
+	weights := [tenants]int64{7, 1, 1, 1}
+	// Hot tenant submits 10x each cold tenant's per-window arrivals.
+	arrivals := [tenants]int{100, 10, 10, 10}
+	windows := 60
+	if testing.Short() {
+		windows = 20
+	}
+	// Per-window capacity 40 against 130 arrivals (~3.2x overload).
+	// Weight-proportional quotas with a floor of one tenth of capacity
+	// split by weight (minimum 1), mirroring fair.Waterfill's shape.
+	const capacity = 40
+	var wsum int64
+	for _, w := range weights {
+		wsum += w
+	}
+	var quotas, floors [tenants]int64
+	for i, w := range weights {
+		quotas[i] = capacity * w / wsum
+		floors[i] = capacity * w / (10 * wsum)
+		if floors[i] < 1 {
+			floors[i] = 1
+		}
+	}
+
+	d := mustNew(t, mk, core.Options[int64]{Places: workers + tenants, Seed: 37})
+
+	var producing atomic.Int32
+	producing.Store(tenants)
+	var admitted [tenants]atomic.Int64
+	var wg sync.WaitGroup
+	for ten := 0; ten < tenants; ten++ {
+		wg.Add(1)
+		go func(ten int) {
+			defer wg.Done()
+			defer producing.Add(-1)
+			r := xrand.New(uint64(ten)*613 + 11)
+			// The priority threshold of the scalar backpressure gate:
+			// only the most urgent half of the k-range passes when a
+			// task is over its tenant's floor. The hot tenant inflates —
+			// every task claims a top-band priority — while cold
+			// tenants draw uniformly, so without floors the threshold
+			// alone would let the hot tenant crowd the others out.
+			seq := 0
+			for w := 0; w < windows; w++ {
+				winSeq := int64(0)
+				for i := 0; i < arrivals[ten]; i++ {
+					var prio int
+					if ten == 0 {
+						prio = 1 + r.Intn(64) // inflated: always top band
+					} else {
+						prio = 1 + r.Intn(512)
+					}
+					winSeq++
+					switch {
+					case winSeq <= floors[ten]:
+						// Floor admission bypasses the threshold.
+					case winSeq > quotas[ten]:
+						seq++
+						continue // over quota: dropped above the DS
+					case prio > 256:
+						seq++
+						continue // under quota but below threshold
+					}
+					d.Push(workers+ten, prio, int64((ten*windows*200+seq)*tenants+ten))
+					seq++
+					admitted[ten].Add(1)
+				}
+			}
+		}(ten)
+	}
+
+	counts := make([][]int64, workers)
+	for pl := 0; pl < workers; pl++ {
+		wg.Add(1)
+		go func(pl int) {
+			defer wg.Done()
+			var mine []int64
+			fails := 0
+			for {
+				if v, ok := d.Pop(pl); ok {
+					mine = append(mine, v)
+					fails = 0
+					continue
+				}
+				if producing.Load() > 0 {
+					runtime.Gosched()
+					continue
+				}
+				fails++
+				if fails > 1<<14 {
+					break
+				}
+			}
+			counts[pl] = mine
+		}(pl)
+	}
+	wg.Wait()
+
+	leftovers := popAll(d, 0, 1<<15)
+	seen := map[int64]int{}
+	var delivered [tenants]int64
+	total := int64(0)
+	check := func(v int64) {
+		seen[v]++
+		delivered[int(v)%tenants]++
+		total++
+	}
+	for _, mine := range counts {
+		for _, v := range mine {
+			check(v)
+		}
+	}
+	for _, v := range leftovers {
+		check(v)
+	}
+	for v, c := range seen {
+		if c != 1 {
+			t.Fatalf("task %d delivered %d times", v, c)
+		}
+	}
+	var wantTotal int64
+	for ten := 0; ten < tenants; ten++ {
+		adm := admitted[ten].Load()
+		wantTotal += adm
+		if delivered[ten] != adm {
+			t.Fatalf("tenant %d: delivered %d of %d admitted tasks", ten, delivered[ten], adm)
+		}
+		// The starvation guarantee at the delivery level: every tenant's
+		// floor admissions made it through the structure, so no tenant
+		// with a positive weight went unserved in any window.
+		if minServed := floors[ten] * int64(windows); delivered[ten] < minServed {
+			t.Fatalf("tenant %d starved: delivered %d, floor guarantees %d", ten, delivered[ten], minServed)
+		}
+		// And the quota bound: the gate capped even the inflated hot
+		// tenant at its weight share of capacity.
+		if maxServed := quotas[ten] * int64(windows); delivered[ten] > maxServed {
+			t.Fatalf("tenant %d over quota: delivered %d, cap %d", ten, delivered[ten], maxServed)
+		}
+	}
+	if total != wantTotal {
+		t.Fatalf("delivered %d tasks, gate admitted %d", total, wantTotal)
+	}
+	s := d.Stats()
+	if s.Pushes != wantTotal {
+		t.Fatalf("Stats.Pushes = %d, gate admitted %d", s.Pushes, wantTotal)
+	}
+	if s.TenantShed != 0 || s.TenantDeferred != 0 {
+		t.Fatalf("raw DS counted tenant admission outcomes itself: shed=%d deferred=%d",
+			s.TenantShed, s.TenantDeferred)
+	}
+	if s.Shed != 0 || s.Deferred != 0 || s.Readmitted != 0 {
+		t.Fatalf("raw DS counted admission outcomes itself: shed=%d deferred=%d readmitted=%d",
+			s.Shed, s.Deferred, s.Readmitted)
 	}
 }

@@ -1,0 +1,92 @@
+package simtest
+
+import (
+	"errors"
+
+	"repro/internal/fair"
+	"repro/internal/obs"
+)
+
+// ReplayWindows drives a real fair.Controller — Step, snapshot
+// diffing, cloning and all, not just the pure Decide chain — over a
+// captured trace: the cumulative per-tenant counters the live
+// scheduler's tick fed to Step are rebuilt by integrating the captured
+// per-window deltas, so the controller sees exactly the windows the
+// incident saw. The returned trace must be bit-identical to the
+// capture whenever the recorded config/seed and the decision logic
+// still agree; any divergence localizes to the first differing window
+// (obs.DiffFair).
+func ReplayWindows(cfg fair.Config, seed fair.State, ws []fair.Window) ([]fair.Window, error) {
+	ctrl, err := fair.NewControllerSeeded(cfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	n := cfg.Tenants()
+	cum := fair.Cumulative{
+		Arrived: make([]int64, n), Admitted: make([]int64, n),
+		Deferred: make([]int64, n), Shed: make([]int64, n),
+		Readmitted: make([]int64, n), Executed: make([]int64, n),
+		Pending: make([]int64, n),
+	}
+	add := func(dst, delta []int64) {
+		for i := range dst {
+			if i < len(delta) {
+				dst[i] += delta[i]
+			}
+		}
+	}
+	out := make([]fair.Window, 0, len(ws))
+	for _, w := range ws {
+		add(cum.Arrived, w.Sample.Arrived)
+		add(cum.Admitted, w.Sample.Admitted)
+		add(cum.Deferred, w.Sample.Deferred)
+		add(cum.Shed, w.Sample.Shed)
+		add(cum.Readmitted, w.Sample.Readmitted)
+		add(cum.Executed, w.Sample.Executed)
+		copy(cum.Pending, w.Sample.Pending)
+		out = append(out, ctrl.Step(w.At, cum))
+	}
+	return out, nil
+}
+
+// RunRecorded is Run with the session recorded: the validated config,
+// the ungated seed the plant starts from, and every window's decision
+// record are written to rec as a capture (header source "simtest"),
+// and the capture is sealed with Finish. The result is a synthetic
+// incident file that round-trips through ReplayCapture bit-identically.
+func RunRecorded(cfg fair.Config, phases []Phase, rec *obs.Recorder) (Result, error) {
+	res, err := Run(cfg, phases)
+	if err != nil {
+		return res, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return res, err
+	}
+	rec.Begin(obs.Header{Source: "simtest", Meta: map[string]string{"plant": "fair"}})
+	rec.ConfigFair(cfg, cfg.Open())
+	for _, w := range res.Windows {
+		rec.FairWindow(w.Window)
+	}
+	return res, rec.Finish()
+}
+
+// FromCapture extracts this plant's replay inputs from a parsed
+// capture: the recorded controller config, the seed state in force at
+// the capture's first window, and the decision trace.
+func FromCapture(c *obs.Capture) (fair.Config, fair.State, []fair.Window, error) {
+	if c.FairConfig == nil {
+		return fair.Config{}, fair.State{}, nil,
+			errors.New("simtest: capture has no fair config record")
+	}
+	return *c.FairConfig, c.FairSeed, c.Fair, nil
+}
+
+// ReplayCapture is FromCapture + ReplayWindows: the one-call
+// capture-to-trace replay.
+func ReplayCapture(c *obs.Capture) ([]fair.Window, error) {
+	cfg, seed, ws, err := FromCapture(c)
+	if err != nil {
+		return nil, err
+	}
+	return ReplayWindows(cfg, seed, ws)
+}

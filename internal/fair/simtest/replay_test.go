@@ -1,0 +1,85 @@
+package simtest
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestReplayCaptureBitIdentical is the plant-level half of the
+// tenant-fairness incident-replay contract: a recorded hot-tenant
+// session, read back from its JSONL capture and re-run through a real
+// controller via ReplayWindows, reproduces the captured fairness trace
+// bit-identically — Step's own snapshot diffing and cloning included,
+// not just the pure Decide chain.
+func TestReplayCaptureBitIdentical(t *testing.T) {
+	var buf bytes.Buffer
+	rec := obs.NewRecorder(&buf)
+	cfg := StandardConfig()
+	res, err := RunRecorded(cfg, StandardPhases(), rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The incident must actually be an incident: the gate engaged.
+	gated := false
+	for _, w := range res.Windows {
+		if w.Window.State.Gated {
+			gated = true
+			break
+		}
+	}
+	if !gated {
+		t.Fatal("hot-tenant script never engaged the gate")
+	}
+
+	c, err := obs.ReadCapture(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Header.Source != "simtest" {
+		t.Fatalf("capture source = %q, want simtest", c.Header.Source)
+	}
+	if c.End == nil {
+		t.Fatal("capture was not sealed")
+	}
+	if len(c.Fair) != len(res.Windows) {
+		t.Fatalf("capture has %d windows, plant produced %d", len(c.Fair), len(res.Windows))
+	}
+
+	replayed, err := ReplayCapture(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := obs.DiffFair(replayed, c.Fair); len(diffs) != 0 {
+		t.Fatalf("plant replay diverges from capture (%d windows), first:\n%s", len(diffs), diffs[0])
+	}
+
+	// And against the live plant trace directly, not just the capture's
+	// rendering of it: JSONL round-trip plus replay is end-to-end exact.
+	for i, w := range res.Windows {
+		if !reflect.DeepEqual(replayed[i], w.Window) {
+			t.Fatalf("replayed[%d] = %+v, live plant window = %+v", i, replayed[i], w.Window)
+		}
+	}
+}
+
+// TestReplayCaptureRejectsMissingConfig pins the error path: a capture
+// without a cfg_fair record cannot be replayed through this plant.
+func TestReplayCaptureRejectsMissingConfig(t *testing.T) {
+	var buf bytes.Buffer
+	rec := obs.NewRecorder(&buf)
+	rec.Begin(obs.Header{Source: "simtest"})
+	if err := rec.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := obs.ReadCapture(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayCapture(c); err == nil {
+		t.Fatal("replay of a config-less capture succeeded")
+	}
+}

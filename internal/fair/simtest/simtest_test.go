@@ -1,0 +1,325 @@
+package simtest
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/fair"
+)
+
+// phaseWindows extracts the trace windows belonging to one named phase.
+func phaseWindows(res Result, name string) []WindowResult {
+	var out []WindowResult
+	for _, w := range res.Windows {
+		if w.Phase == name {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// TestStandardReplay runs the canonical 10× hot-tenant script and
+// asserts the fairness story phase by phase: the well-provisioned
+// lead-in is untouched, the sustained 1.5× overload gates and converges
+// each cold tenant's goodput to its weight-fair share without starving
+// anyone, and the recovery tail releases the gate and drains the
+// spillway.
+func TestStandardReplay(t *testing.T) {
+	cfg := StandardConfig()
+	res, err := Run(cfg, StandardPhases())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Underload: the gate never engages and nothing is deferred or shed.
+	for i, w := range phaseWindows(res, "underload") {
+		if w.Window.State.Gated {
+			t.Fatalf("underload window %d is gated: %+v", i, w.Window.State)
+		}
+		for ten := range w.Window.Sample.Deferred {
+			if w.Window.Sample.Deferred[ten] != 0 || w.Window.Sample.Shed[ten] != 0 {
+				t.Fatalf("underload window %d deferred/shed for tenant %d: %+v",
+					i, ten, w.Window.Sample)
+			}
+		}
+	}
+
+	// Overload: the gate engages within the transient, and over the
+	// converged tail each cold tenant's goodput lands within 25% of its
+	// weight-fair share (1000/window split 7:1:1:1 → 100/window each)
+	// while its demand is 115/window — the quota, not the demand, sets
+	// the share.
+	over := phaseWindows(res, "overload")
+	gatedAt := -1
+	for i, w := range over {
+		if w.Window.State.Gated {
+			gatedAt = i
+			break
+		}
+	}
+	if gatedAt < 0 {
+		t.Fatal("overload never gated")
+	}
+	if gatedAt > 20 {
+		t.Fatalf("overload gated only at window %d", gatedAt)
+	}
+	tail := over[len(over)-30:]
+	const fairShare = 100.0 // 1000/window × weight 1/10
+	for ten := 1; ten <= 3; ten++ {
+		var sum int64
+		for _, w := range tail {
+			sum += w.Executed[ten]
+		}
+		avg := float64(sum) / float64(len(tail))
+		if avg < 0.75*fairShare || avg > 1.25*fairShare {
+			t.Errorf("cold tenant %d tail goodput %.1f/window, want within 25%% of %.0f",
+				ten, avg, fairShare)
+		}
+	}
+
+	// Zero starvation: in every converged overload window, every
+	// positive-weight tenant executes work.
+	for i, w := range tail {
+		for ten, ex := range w.Executed {
+			if ex == 0 {
+				t.Errorf("tenant %d starved in overload tail window %d", ten, i)
+			}
+		}
+	}
+
+	// The converged quotas reflect the weight vector: the hot tenant's
+	// quota dominates each cold quota by most of the 7:1 ratio, and the
+	// cold quotas stay near the fair share.
+	last := tail[len(tail)-1].Window.State
+	if !last.Gated {
+		t.Fatalf("overload tail not gated: %+v", last)
+	}
+	for ten := 1; ten <= 3; ten++ {
+		if q := last.Quotas[ten]; q < 75 || q > 160 {
+			t.Errorf("cold tenant %d converged quota %d, want near fair share 100", ten, q)
+		}
+		if last.Quotas[0] < 4*last.Quotas[ten] {
+			t.Errorf("hot quota %d does not dominate cold quota %d under 7:1 weights",
+				last.Quotas[0], last.Quotas[ten])
+		}
+		if last.Floors[ten] < 1 {
+			t.Errorf("cold tenant %d floor %d, want ≥ 1", ten, last.Floors[ten])
+		}
+	}
+
+	// The overload actually sheds once the spillway fills — the quota
+	// rejections outrun the readmit chunk.
+	var shed int64
+	for _, v := range res.Shed {
+		shed += v
+	}
+	if shed == 0 {
+		t.Error("sustained 1.5× overload never shed")
+	}
+
+	// Recovery: the gate releases, the spillway drains, and the parked
+	// work was readmitted rather than lost.
+	recv := phaseWindows(res, "recovery")
+	final := recv[len(recv)-1]
+	if final.Window.State.Gated {
+		t.Errorf("gate still engaged at the end of recovery: %+v", final.Window.State)
+	}
+	if final.Spill != 0 {
+		t.Errorf("spillway still holds %d tasks at the end of recovery", final.Spill)
+	}
+	var readmitted int64
+	for _, v := range res.Readmitted {
+		readmitted += v
+	}
+	if readmitted == 0 {
+		t.Error("no spilled task was ever readmitted")
+	}
+
+	// Conservation, per tenant: everything that arrived was admitted,
+	// shed, or is still parked/pending; everything admitted or
+	// readmitted beyond the final backlog was executed.
+	for ten := range res.Arrived {
+		inflow := res.Admitted[ten] + res.Readmitted[ten]
+		outflow := res.Executed[ten] + final.Backlog[ten]
+		if inflow != outflow {
+			t.Errorf("tenant %d flow broken: admitted+readmitted %d, executed+backlog %d",
+				ten, inflow, outflow)
+		}
+	}
+}
+
+// TestStarvationFloorHoldsUnderPriorityInflation scripts the
+// adversarial scenario the floor exists for: the hot tenant inflates
+// its priorities so the backpressure threshold (scripted at 1<<11)
+// lands between its traffic (1<<10) and the cold tenants' (1<<12).
+// Without the floor every cold task is over-threshold and starves;
+// with it, once the gate engages each cold tenant's first Floors[t]
+// tasks bypass the threshold and keep executing every window.
+func TestStarvationFloorHoldsUnderPriorityInflation(t *testing.T) {
+	cfg := StandardConfig()
+	warm := Load{
+		Arrivals: []Group{
+			{Tenant: 0, Prio: 1 << 10, Count: 200},
+			{Tenant: 1, Prio: 1 << 12, Count: 20},
+			{Tenant: 2, Prio: 1 << 12, Count: 20},
+			{Tenant: 3, Prio: 1 << 12, Count: 20},
+		},
+		ServiceRate: 1000,
+		Threshold:   OpenThreshold,
+	}
+	inflate := Load{
+		Arrivals: []Group{
+			{Tenant: 0, Prio: 1 << 10, Count: 1200},
+			{Tenant: 1, Prio: 1 << 12, Count: 100},
+			{Tenant: 2, Prio: 1 << 12, Count: 100},
+			{Tenant: 3, Prio: 1 << 12, Count: 100},
+		},
+		ServiceRate: 1000,
+		Threshold:   1 << 11, // priority gate tightened into the hot band
+	}
+	res, err := Run(cfg, []Phase{
+		{Name: "warmup", Windows: 10, Load: warm},
+		{Name: "inflation", Windows: 40, Load: inflate},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	infl := phaseWindows(res, "inflation")
+	gatedAt := -1
+	for i, w := range infl {
+		if w.Window.State.Gated {
+			gatedAt = i
+			break
+		}
+	}
+	if gatedAt < 0 {
+		t.Fatal("priority inflation never engaged the gate")
+	}
+	if gatedAt > 5 {
+		t.Fatalf("gate engaged only at inflation window %d; starved cold pending should gate it within a few windows", gatedAt)
+	}
+
+	// From the first window that ran under an engaged gate onward, every
+	// cold tenant's floor lets work past the threshold (fresh arrivals
+	// or spilled tasks being readmitted — both consume floor slots) and
+	// the tenant executes work every single window — the no-starvation
+	// guarantee under the worst-case adversary.
+	for i, w := range infl[gatedAt+1:] {
+		for ten := 1; ten <= 3; ten++ {
+			if w.Window.Sample.Admitted[ten]+w.Window.Sample.Readmitted[ten] == 0 {
+				t.Errorf("cold tenant %d admitted nothing in gated inflation window %d", ten, i)
+			}
+			if w.Executed[ten] == 0 {
+				t.Errorf("cold tenant %d executed nothing in gated inflation window %d", ten, i)
+			}
+		}
+	}
+
+	// Sanity: the threshold really was adversarial — cold traffic was
+	// deferred or shed in bulk, so the admissions above came from the
+	// floor, not from headroom.
+	var coldRejected int64
+	for ten := 1; ten <= 3; ten++ {
+		coldRejected += res.Deferred[ten] + res.Shed[ten]
+	}
+	if coldRejected == 0 {
+		t.Error("no cold traffic was ever rejected; the inflation scenario has no teeth")
+	}
+}
+
+// TestDiurnalRampReleases scripts a diurnal ramp — load climbing
+// through the provisioned capacity to a 1.5× peak and back down — and
+// asserts the gate engages around the peak and fully releases on the
+// downslope, with the spillway drained.
+func TestDiurnalRampReleases(t *testing.T) {
+	cfg := StandardConfig()
+	step := func(name string, windows int, x int64) Phase {
+		return Phase{Name: name, Windows: windows, Load: Load{
+			Arrivals: []Group{
+				{Tenant: 0, Prio: 1 << 10, Count: 10 * x},
+				{Tenant: 1, Prio: 1 << 12, Count: x},
+				{Tenant: 2, Prio: 1 << 12, Count: x},
+				{Tenant: 3, Prio: 1 << 12, Count: x},
+			},
+			ServiceRate: 1000,
+			Threshold:   OpenThreshold,
+		}}
+	}
+	res, err := Run(cfg, []Phase{
+		step("night", 15, 20),   // 260/window
+		step("morning", 15, 60), // 780/window
+		step("peak", 40, 115),   // 1495/window ≈ 1.5×
+		step("evening", 15, 60), // back under capacity
+		step("late", 30, 20),    // idle tail
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i, w := range phaseWindows(res, "night") {
+		if w.Window.State.Gated {
+			t.Fatalf("night window %d gated under 0.26× load", i)
+		}
+	}
+	peakGated := false
+	for _, w := range phaseWindows(res, "peak") {
+		if w.Window.State.Gated {
+			peakGated = true
+			break
+		}
+	}
+	if !peakGated {
+		t.Error("1.5× peak never engaged the gate")
+	}
+	late := phaseWindows(res, "late")
+	final := late[len(late)-1]
+	if final.Window.State.Gated {
+		t.Errorf("gate still engaged long after the peak: %+v", final.Window.State)
+	}
+	if final.Spill != 0 {
+		t.Errorf("spillway still holds %d tasks long after the peak", final.Spill)
+	}
+}
+
+// TestReplayDeterministic pins bit-identical replays: the plant is
+// pure integer/float arithmetic on scripted inputs, so two runs of the
+// same script are deeply equal, trace and all.
+func TestReplayDeterministic(t *testing.T) {
+	a, err := Run(StandardConfig(), StandardPhases())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(StandardConfig(), StandardPhases())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two runs of the same script diverged")
+	}
+}
+
+// TestScriptValidation pins the plant's input checking.
+func TestScriptValidation(t *testing.T) {
+	cfg := StandardConfig()
+	cases := []struct {
+		name   string
+		cfg    fair.Config
+		phases []Phase
+	}{
+		{"no windows", cfg, []Phase{{Name: "x", Windows: 0, Load: Load{ServiceRate: 1}}}},
+		{"negative service", cfg, []Phase{{Name: "x", Windows: 1, Load: Load{ServiceRate: -1}}}},
+		{"tenant out of range", cfg, []Phase{{Name: "x", Windows: 1, Load: Load{
+			ServiceRate: 1, Arrivals: []Group{{Tenant: 4, Prio: 1, Count: 1}}}}}},
+		{"negative count", cfg, []Phase{{Name: "x", Windows: 1, Load: Load{
+			ServiceRate: 1, Arrivals: []Group{{Tenant: 0, Prio: 1, Count: -1}}}}}},
+		{"negative priority", cfg, []Phase{{Name: "x", Windows: 1, Load: Load{
+			ServiceRate: 1, Arrivals: []Group{{Tenant: 0, Prio: -1, Count: 1}}}}}},
+		{"bad config", fair.Config{Weights: []int64{-1}}, []Phase{{Name: "x", Windows: 1, Load: Load{ServiceRate: 1}}}},
+	}
+	for _, tc := range cases {
+		if _, err := Run(tc.cfg, tc.phases); err == nil {
+			t.Errorf("%s: Run accepted an invalid script", tc.name)
+		}
+	}
+}

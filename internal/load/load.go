@@ -32,6 +32,7 @@ import (
 	"repro/internal/adapt"
 	"repro/internal/backpressure"
 	"repro/internal/core"
+	"repro/internal/fair"
 	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/sched"
@@ -98,11 +99,48 @@ func (d PrioDist) String() string {
 	}
 }
 
-// Task is the unit of work the generator submits: a priority and the
-// submission timestamp (nanoseconds since the run's epoch).
+// Scenario selects a scripted traffic pattern layered over the arrival
+// process (multi-tenant runs; see Config.TenantWeights).
+type Scenario int
+
+const (
+	// SteadyLoad: the arrival mix is fixed for the whole run.
+	SteadyLoad Scenario = iota
+	// DiurnalRamp: the aggregate arrival rate follows a day-shaped
+	// profile — 40% of Rate in the first quarter of the run, a linear
+	// ramp up to the full Rate through the second quarter, the full
+	// Rate through the third, and a ramp back down in the last —
+	// implemented by thinning, so Poisson arrivals stay Poisson.
+	DiurnalRamp
+	// PriorityInflation: from the midpoint of the run the hot tenant
+	// (tenant 0) inflates every submission into the most urgent eighth
+	// of the priority range, the adversarial pattern a priority-only
+	// admission gate cannot defend against. Requires TenantWeights
+	// with at least two tenants.
+	PriorityInflation
+)
+
+// String returns the scenario name used in reports.
+func (sc Scenario) String() string {
+	switch sc {
+	case SteadyLoad:
+		return "steady"
+	case DiurnalRamp:
+		return "diurnal"
+	case PriorityInflation:
+		return "inflation"
+	default:
+		return fmt.Sprintf("scenario(%d)", int(sc))
+	}
+}
+
+// Task is the unit of work the generator submits: a priority, the
+// submission timestamp (nanoseconds since the run's epoch), and — for
+// multi-tenant runs — the submitting tenant.
 type Task struct {
-	Prio int64
-	Enq  int64
+	Prio   int64
+	Enq    int64
+	Tenant int
 }
 
 // Config parameterizes one generator run.
@@ -205,6 +243,27 @@ type Config struct {
 	ProtectedBand int64
 	// SpillCap bounds the deferral spillway (0: the package default).
 	SpillCap int
+	// TenantWeights enables multi-tenant fair scheduling
+	// (sched.Config.TenantWeights): entry t is tenant t's weight in the
+	// weighted-fair capacity split, producers stamp every task with a
+	// drawn tenant id, and the result gains per-tenant goodput/sojourn/
+	// shed reports plus the fairness controller's window trace.
+	// Requires Backpressure.
+	TenantWeights []int64
+	// TenantSkew is the hot-tenant arrival multiplier: tenant 0 draws
+	// TenantSkew× the arrival share of each other tenant (default 1:
+	// uniform arrivals). 10 with four tenants reproduces the paper-eval
+	// "one tenant floods the queue" regime.
+	TenantSkew float64
+	// TenantFloorFrac is the guaranteed-floor capacity fraction
+	// (sched.Config.TenantFloorFrac; 0 = the 5% default).
+	TenantFloorFrac float64
+	// TenantBudgets optionally sets per-tenant sojourn budgets (SLO
+	// bands, sched.Config.TenantBudgets).
+	TenantBudgets []time.Duration
+	// Scenario layers a scripted traffic pattern over the arrival
+	// process; see the Scenario constants.
+	Scenario Scenario
 	// Metrics, when non-nil, is handed to the scheduler as
 	// sched.Config.Metrics: the controller goroutine publishes the serve
 	// series into it at every window boundary. The generator itself never
@@ -259,6 +318,30 @@ type BandResult struct {
 	Executed      int64   `json:"executed"`
 	GoodputPerSec float64 `json:"goodput_per_sec"`
 	// SojournNs summarizes the band's submission-to-execution latency.
+	SojournNs stats.Summary `json:"sojourn_ns"`
+}
+
+// TenantResult is one tenant's admission and goodput report.
+type TenantResult struct {
+	// Tenant is the tenant id; Weight its configured fair-share weight.
+	Tenant int   `json:"tenant"`
+	Weight int64 `json:"weight"`
+	// Attempted counts submissions drawn for the tenant; Admitted the
+	// ones accepted outright, Deferred the ones parked in the spillway
+	// (also accepted), Shed the ones rejected.
+	Attempted int64 `json:"attempted"`
+	Admitted  int64 `json:"admitted"`
+	Deferred  int64 `json:"deferred"`
+	Shed      int64 `json:"shed"`
+	// Executed counts the tenant's tasks that ran; GoodputPerSec is
+	// Executed over the run's elapsed time, and FairSharePerSec the
+	// tenant's weight-proportional share of the total executed
+	// throughput — the yardstick the fairness acceptance criteria
+	// compare goodput against.
+	Executed        int64   `json:"executed"`
+	GoodputPerSec   float64 `json:"goodput_per_sec"`
+	FairSharePerSec float64 `json:"fair_share_per_sec"`
+	// SojournNs summarizes the tenant's submission-to-execution latency.
 	SojournNs stats.Summary `json:"sojourn_ns"`
 }
 
@@ -333,6 +416,17 @@ type Result struct {
 	FinalThreshold  int64                 `json:"final_threshold,omitempty"`
 	Bands           []BandResult          `json:"bands,omitempty"`
 	BPTrace         []backpressure.Window `json:"bp_trace,omitempty"`
+
+	// Tenant-fairness extras: the configured weights and skew, the
+	// scenario name, per-tenant admission/goodput reports, the fairness
+	// controller's per-window trace and how many of its windows held the
+	// tenant gate engaged.
+	TenantWeights    []int64        `json:"tenant_weights,omitempty"`
+	TenantSkew       float64        `json:"tenant_skew,omitempty"`
+	Scenario         string         `json:"scenario,omitempty"`
+	Tenants          []TenantResult `json:"tenants,omitempty"`
+	FairTrace        []fair.Window  `json:"fair_trace,omitempty"`
+	FairGatedWindows int            `json:"fair_gated_windows,omitempty"`
 
 	DS core.Stats `json:"ds"`
 }
@@ -414,6 +508,24 @@ func (c Config) withDefaults() (Config, error) {
 			return c, fmt.Errorf("load: ProtectedBand %d outside the priority range [0, %d)", c.ProtectedBand, c.PrioRange)
 		}
 	}
+	if len(c.TenantWeights) > 0 {
+		if !c.Backpressure {
+			return c, fmt.Errorf("load: TenantWeights requires Backpressure (the tenant gate defers over-quota tasks to its spillway)")
+		}
+		if c.TenantSkew == 0 {
+			c.TenantSkew = 1
+		}
+		if c.TenantSkew < 0 {
+			return c, fmt.Errorf("load: negative TenantSkew")
+		}
+		// The weight vector itself is validated by the scheduler's
+		// fairness config (non-negative, at least one positive).
+	} else if c.TenantSkew != 0 || c.TenantFloorFrac != 0 || len(c.TenantBudgets) > 0 {
+		return c, fmt.Errorf("load: tenant knobs set without TenantWeights")
+	}
+	if c.Scenario == PriorityInflation && len(c.TenantWeights) < 2 {
+		return c, fmt.Errorf("load: PriorityInflation needs TenantWeights with a hot and at least one cold tenant")
+	}
 	return c, nil
 }
 
@@ -446,6 +558,51 @@ type tracker struct {
 	bandDeferred  [numBands]atomic.Int64
 	bandShed      [numBands]atomic.Int64
 	bandExecuted  [numBands]atomic.Int64
+
+	// Multi-tenant accounting (nil slices when off): tenCum is the
+	// cumulative arrival-share distribution the producers draw tenant
+	// ids from (tenant 0 weighted by TenantSkew), the counters mirror
+	// the band ledgers per tenant.
+	tenants      int
+	tenCum       []float64
+	tenAttempted []atomic.Int64
+	tenAdmitted  []atomic.Int64
+	tenDeferred  []atomic.Int64
+	tenShed      []atomic.Int64
+	tenExecuted  []atomic.Int64
+}
+
+// drawTenant samples a tenant id from the skewed arrival-share
+// distribution.
+func (tr *tracker) drawTenant(rng *xrand.Rand) int {
+	x := rng.Float64() * tr.tenCum[tr.tenants-1]
+	for t, c := range tr.tenCum {
+		if x < c {
+			return t
+		}
+	}
+	return tr.tenants - 1
+}
+
+// diurnalFactor maps an arrival instant to the DiurnalRamp rate
+// multiplier: 40% through the first quarter of the run, a linear ramp
+// to 100% through the second, full rate through the third, and the
+// mirror-image ramp down through the last.
+func (tr *tracker) diurnalFactor(at int64) float64 {
+	const trough = 0.4
+	frac := float64(at) / float64(tr.cfg.Duration)
+	switch {
+	case frac < 0.25:
+		return trough
+	case frac < 0.5:
+		return trough + (frac-0.25)/0.25*(1-trough)
+	case frac < 0.75:
+		return 1
+	case frac < 1:
+		return 1 - (frac-0.75)/0.25*(1-trough)
+	default:
+		return trough
+	}
 }
 
 // band maps a priority to its report band: 0 for the protected band,
@@ -481,6 +638,24 @@ func newTracker(cfg Config) (*tracker, error) {
 	if cfg.LaneGroups > 1 {
 		tr.groupExec = make([]atomic.Int64, cfg.LaneGroups)
 	}
+	if n := len(cfg.TenantWeights); n > 0 {
+		tr.tenants = n
+		tr.tenCum = make([]float64, n)
+		acc := 0.0
+		for t := range tr.tenCum {
+			share := 1.0
+			if t == 0 {
+				share = cfg.TenantSkew
+			}
+			acc += share
+			tr.tenCum[t] = acc
+		}
+		tr.tenAttempted = make([]atomic.Int64, n)
+		tr.tenAdmitted = make([]atomic.Int64, n)
+		tr.tenDeferred = make([]atomic.Int64, n)
+		tr.tenShed = make([]atomic.Int64, n)
+		tr.tenExecuted = make([]atomic.Int64, n)
+	}
 	return tr, nil
 }
 
@@ -488,15 +663,20 @@ func newTracker(cfg Config) (*tracker, error) {
 func (tr *tracker) now() int64 { return int64(time.Since(tr.epoch)) }
 
 // onExecute is the scheduler's Execute hook: latency, rank error,
-// synthetic work, closed-loop completion. bands is the executing
-// place's per-band sojourn histograms (nil for non-backpressure runs).
-func (tr *tracker) onExecute(hist, rankHist *stats.Histogram, bands []*stats.Histogram, t Task) {
+// synthetic work, closed-loop completion. bands and tens are the
+// executing place's per-band and per-tenant sojourn histograms (nil for
+// non-backpressure and single-tenant runs respectively).
+func (tr *tracker) onExecute(hist, rankHist *stats.Histogram, bands, tens []*stats.Histogram, t Task) {
 	sojourn := float64(tr.now() - t.Enq)
 	hist.Observe(sojourn)
 	if bands != nil {
 		bd := tr.band(t.Prio)
 		bands[bd].Observe(sojourn)
 		tr.bandExecuted[bd].Add(1)
+	}
+	if tens != nil {
+		tens[t.Tenant].Observe(sojourn)
+		tr.tenExecuted[t.Tenant].Add(1)
 	}
 
 	if better, ok := tr.rank.Executed(t.Prio); ok {
@@ -551,7 +731,25 @@ func (tr *tracker) drawPrio(rng *xrand.Rand, at int64) int64 {
 // for non-backpressure runs).
 func (tr *tracker) enqueue(s *sched.Scheduler[Task], rng *xrand.Rand, buf []Task, out []sched.Outcome) ([]Task, error) {
 	at := tr.now()
-	buf = append(buf, Task{Prio: tr.drawPrio(rng, at), Enq: at})
+	if tr.cfg.Scenario == DiurnalRamp && rng.Float64() > tr.diurnalFactor(at) {
+		// Thinned arrival: the diurnal profile suppresses this draw. A
+		// closed-loop producer returns the outstanding token it consumed
+		// for the non-arrival.
+		if tr.tokens != nil {
+			tr.tokens <- struct{}{}
+		}
+		return buf, nil
+	}
+	t := Task{Prio: tr.drawPrio(rng, at), Enq: at}
+	if tr.tenants > 0 {
+		t.Tenant = tr.drawTenant(rng)
+		if tr.cfg.Scenario == PriorityInflation && t.Tenant == 0 && at >= int64(tr.cfg.Duration)/2 {
+			// The hot tenant turns adversarial: every submission claims a
+			// priority in the most urgent eighth of the range.
+			t.Prio = int64(rng.Uint64n(uint64(tr.cfg.PrioRange / 8)))
+		}
+	}
+	buf = append(buf, t)
 	if len(buf) >= tr.cfg.Batch {
 		return tr.flush(s, buf, out)
 	}
@@ -593,10 +791,16 @@ func (tr *tracker) flush(s *sched.Scheduler[Task], buf []Task, out []sched.Outco
 	for i, t := range buf {
 		bd := tr.band(t.Prio)
 		tr.bandAttempted[bd].Add(1)
+		if tr.tenants > 0 {
+			tr.tenAttempted[t.Tenant].Add(1)
+		}
 		switch out[i] {
 		case sched.Shed:
 			tr.rank.Retract(t.Prio)
 			tr.bandShed[bd].Add(1)
+			if tr.tenants > 0 {
+				tr.tenShed[t.Tenant].Add(1)
+			}
 			if tr.tokens != nil {
 				// Closed loop: a shed task completes immediately from the
 				// producer's point of view — release its budget token so
@@ -605,8 +809,14 @@ func (tr *tracker) flush(s *sched.Scheduler[Task], buf []Task, out []sched.Outco
 			}
 		case sched.Deferred:
 			tr.bandDeferred[bd].Add(1)
+			if tr.tenants > 0 {
+				tr.tenDeferred[t.Tenant].Add(1)
+			}
 		default:
 			tr.bandAdmitted[bd].Add(1)
+			if tr.tenants > 0 {
+				tr.tenAdmitted[t.Tenant].Add(1)
+			}
 		}
 	}
 	tr.submitted.Add(int64(accepted))
@@ -723,9 +933,12 @@ func Run(cfg Config) (Result, error) {
 	}
 	hists := make([]*stats.Histogram, cfg.Places)
 	rankHists := make([]*stats.Histogram, cfg.Places)
-	var bandHists [][]*stats.Histogram
+	var bandHists, tenHists [][]*stats.Histogram
 	if cfg.Backpressure {
 		bandHists = make([][]*stats.Histogram, cfg.Places)
+	}
+	if tr.tenants > 0 {
+		tenHists = make([][]*stats.Histogram, cfg.Places)
 	}
 	for i := range hists {
 		hists[i] = stats.NewHistogram()
@@ -734,6 +947,12 @@ func Run(cfg Config) (Result, error) {
 			bandHists[i] = make([]*stats.Histogram, numBands)
 			for b := range bandHists[i] {
 				bandHists[i][b] = stats.NewHistogram()
+			}
+		}
+		if tenHists != nil {
+			tenHists[i] = make([]*stats.Histogram, tr.tenants)
+			for t := range tenHists[i] {
+				tenHists[i][t] = stats.NewHistogram()
 			}
 		}
 	}
@@ -745,14 +964,17 @@ func Run(cfg Config) (Result, error) {
 		Less:     func(a, b Task) bool { return a.Prio < b.Prio },
 		Execute: func(ctx *sched.Ctx[Task], t Task) {
 			pl := ctx.Place()
-			var bands []*stats.Histogram
+			var bands, tens []*stats.Histogram
 			if bandHists != nil {
 				bands = bandHists[pl]
+			}
+			if tenHists != nil {
+				tens = tenHists[pl]
 			}
 			if tr.groupExec != nil {
 				tr.groupExec[sched.HomeGroup(pl, cfg.Places, cfg.LaneGroups)].Add(1)
 			}
-			tr.onExecute(hists[pl], rankHists[pl], bands, t)
+			tr.onExecute(hists[pl], rankHists[pl], bands, tens, t)
 		},
 		LocalQueue:        cfg.LocalQueue,
 		Injectors:         cfg.Producers,
@@ -784,6 +1006,12 @@ func Run(cfg Config) (Result, error) {
 		scfg.SojournBudget = cfg.SojournBudget
 		scfg.ProtectedBand = cfg.ProtectedBand
 		scfg.SpillCap = cfg.SpillCap
+	}
+	if tr.tenants > 0 {
+		scfg.TenantWeights = cfg.TenantWeights
+		scfg.Tenant = func(t Task) int { return t.Tenant }
+		scfg.TenantFloorFrac = cfg.TenantFloorFrac
+		scfg.TenantBudgets = cfg.TenantBudgets
 	}
 	if cfg.Adaptive || (cfg.Backpressure && cfg.RankErrorBudget > 0) {
 		scfg.RankErrorBudget = cfg.RankErrorBudget
@@ -939,6 +1167,48 @@ func Run(cfg Config) (Result, error) {
 			}
 			res.Bands = append(res.Bands, br)
 		}
+	}
+	if tr.tenants > 0 {
+		res.TenantWeights = cfg.TenantWeights
+		res.TenantSkew = cfg.TenantSkew
+		var wsum int64
+		for _, w := range cfg.TenantWeights {
+			wsum += w
+		}
+		elapsed := res.ElapsedSec
+		for t := 0; t < tr.tenants; t++ {
+			merged := stats.NewHistogram()
+			for pl := range tenHists {
+				merged.Merge(tenHists[pl][t])
+			}
+			tn := TenantResult{
+				Tenant:    t,
+				Weight:    cfg.TenantWeights[t],
+				Attempted: tr.tenAttempted[t].Load(),
+				Admitted:  tr.tenAdmitted[t].Load(),
+				Deferred:  tr.tenDeferred[t].Load(),
+				Shed:      tr.tenShed[t].Load(),
+				Executed:  tr.tenExecuted[t].Load(),
+				SojournNs: merged.Summarize(),
+			}
+			if elapsed > 0 {
+				tn.GoodputPerSec = float64(tn.Executed) / elapsed
+			}
+			if wsum > 0 && elapsed > 0 {
+				tn.FairSharePerSec = float64(res.Executed) / elapsed *
+					float64(cfg.TenantWeights[t]) / float64(wsum)
+			}
+			res.Tenants = append(res.Tenants, tn)
+		}
+		res.FairTrace = s.FairTrace()
+		for _, w := range res.FairTrace {
+			if w.State.Gated {
+				res.FairGatedWindows++
+			}
+		}
+	}
+	if cfg.Scenario != SteadyLoad {
+		res.Scenario = cfg.Scenario.String()
 	}
 	if cfg.Arrival != ClosedLoop {
 		res.TargetRate = cfg.Rate

@@ -556,3 +556,154 @@ func TestRunGrouped(t *testing.T) {
 		t.Fatalf("flat run reported grouped extras: %+v", flat.Groups)
 	}
 }
+
+// TestRunTenantSkew floods a throttled scheduler with a 10×-skewed
+// four-tenant mix and checks the tenant instrumentation end to end:
+// per-tenant ledgers conserving task flow, every tenant making
+// progress, the fairness trace recorded, and the gate engaging under
+// genuine overload.
+func TestRunTenantSkew(t *testing.T) {
+	res, err := Run(Config{
+		Strategy:      sched.RelaxedSampleTwo,
+		Places:        2,
+		Producers:     4,
+		Duration:      2 * shortDur(t),
+		Arrival:       Poisson,
+		Rate:          400000,
+		WorkSpin:      3000, // throttle the workers so the flood overloads
+		Backpressure:  true,
+		SojournBudget: 5 * time.Millisecond,
+		SpillCap:      256,
+		AdaptInterval: 2 * time.Millisecond,
+		RankSample:    4,
+		TenantWeights: []int64{1, 1, 1, 1},
+		TenantSkew:    10,
+		Seed:          13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tenants) != 4 || res.TenantSkew != 10 {
+		t.Fatalf("tenant metadata missing: %+v", res.Tenants)
+	}
+	if len(res.FairTrace) == 0 {
+		t.Fatal("no fairness trace recorded")
+	}
+	if res.FairGatedWindows == 0 {
+		t.Fatal("a 10×-skewed overload never engaged the tenant gate")
+	}
+	var attempted, shed, executed int64
+	for _, tn := range res.Tenants {
+		attempted += tn.Attempted
+		shed += tn.Shed
+		executed += tn.Executed
+		if tn.Attempted != tn.Admitted+tn.Deferred+tn.Shed {
+			t.Fatalf("tenant %d outcomes do not sum: %+v", tn.Tenant, tn)
+		}
+		if tn.Executed != tn.Admitted+tn.Deferred {
+			t.Fatalf("tenant %d executed %d of %d accepted", tn.Tenant, tn.Executed, tn.Admitted+tn.Deferred)
+		}
+		if tn.Executed == 0 {
+			t.Fatalf("tenant %d starved: %+v", tn.Tenant, tn)
+		}
+		if tn.FairSharePerSec <= 0 {
+			t.Fatalf("tenant %d has no fair-share yardstick: %+v", tn.Tenant, tn)
+		}
+	}
+	if attempted != res.Attempted || shed != res.Shed || executed != res.Executed {
+		t.Fatalf("tenant totals %d/%d/%d disagree with run totals %d/%d/%d",
+			attempted, shed, executed, res.Attempted, res.Shed, res.Executed)
+	}
+	// The hot tenant floods 10× harder than any cold tenant; with equal
+	// weights the gate must keep it from translating that into a 10×
+	// executed share. Allow generous slack — this is a smoke bound, the
+	// tight ratio is asserted by the deterministic fair/simtest plant.
+	hot := res.Tenants[0].Executed
+	for _, tn := range res.Tenants[1:] {
+		if hot > 8*tn.Executed {
+			t.Errorf("hot tenant executed %d vs tenant %d's %d: skew passed through the gate",
+				hot, tn.Tenant, tn.Executed)
+		}
+	}
+}
+
+// TestRunScenarios: the diurnal and inflation scenarios must run to
+// completion with the tenant ledgers intact, and the inflation run must
+// keep every cold tenant progressing despite the hot tenant claiming
+// top priorities.
+func TestRunScenarios(t *testing.T) {
+	for _, sc := range []Scenario{DiurnalRamp, PriorityInflation} {
+		res, err := Run(Config{
+			Strategy:      sched.RelaxedSampleTwo,
+			Places:        2,
+			Producers:     2,
+			Duration:      2 * shortDur(t),
+			Arrival:       Poisson,
+			Rate:          200000,
+			WorkSpin:      2000,
+			Backpressure:  true,
+			SojournBudget: 5 * time.Millisecond,
+			SpillCap:      256,
+			AdaptInterval: 2 * time.Millisecond,
+			RankSample:    4,
+			TenantWeights: []int64{1, 1, 1},
+			TenantSkew:    8,
+			Scenario:      sc,
+			Seed:          23,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", sc, err)
+		}
+		if res.Scenario != sc.String() {
+			t.Fatalf("scenario %v reported as %q", sc, res.Scenario)
+		}
+		for _, tn := range res.Tenants {
+			if tn.Executed == 0 {
+				t.Errorf("%v: tenant %d starved", sc, tn.Tenant)
+			}
+			if tn.Attempted != tn.Admitted+tn.Deferred+tn.Shed {
+				t.Errorf("%v: tenant %d outcomes do not sum: %+v", sc, tn.Tenant, tn)
+			}
+		}
+	}
+}
+
+// TestTenantLoadConfigValidation pins the tenant knob contract.
+func TestTenantLoadConfigValidation(t *testing.T) {
+	bad := []Config{
+		{TenantWeights: []int64{1, 1}},                                     // no Backpressure
+		{Backpressure: true, TenantWeights: []int64{1, 1}, TenantSkew: -1}, // negative skew
+		{TenantSkew: 4}, // skew without tenants
+		{Backpressure: true, Scenario: PriorityInflation},   // inflation without tenants
+		{Backpressure: true, TenantWeights: []int64{-1, 1}}, // negative weight (sched rejects)
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+}
+
+// TestDiurnalFactorShape pins the ramp profile's endpoints and symmetry.
+func TestDiurnalFactorShape(t *testing.T) {
+	cfg, err := Config{Duration: time.Second}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &tracker{cfg: cfg}
+	d := int64(time.Second)
+	cases := []struct {
+		at   int64
+		want float64
+	}{
+		{0, 0.4}, {d / 8, 0.4}, {d / 2, 1}, {5 * d / 8, 1}, {d, 0.4},
+	}
+	for _, c := range cases {
+		if got := tr.diurnalFactor(c.at); got != c.want {
+			t.Errorf("diurnalFactor(%d) = %v, want %v", c.at, got, c.want)
+		}
+	}
+	if up, down := tr.diurnalFactor(3*d/8), tr.diurnalFactor(7*d/8); up != down {
+		t.Errorf("ramp not symmetric: up %v, down %v", up, down)
+	}
+}

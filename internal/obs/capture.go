@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/adapt"
 	"repro/internal/backpressure"
+	"repro/internal/fair"
 	"repro/internal/placement"
 )
 
@@ -131,7 +132,7 @@ func (r *Recorder) Begin(h Header) {
 	}{T: "hdr", Header: h})
 }
 
-// cfgRecord is the shared shape of the three controller-config lines.
+// cfgRecord is the shared shape of the controller-config lines.
 type cfgRecord[C, S any] struct {
 	T    string `json:"t"`
 	Cfg  C      `json:"cfg"`
@@ -155,6 +156,12 @@ func (r *Recorder) ConfigAdapt(cfg adapt.Config, seed adapt.State) {
 // starting state.
 func (r *Recorder) ConfigPlacement(cfg placement.Config, seed placement.State) {
 	r.writeJSON(cfgRecord[placement.Config, placement.State]{T: "cfg_pl", Cfg: cfg, Seed: seed})
+}
+
+// ConfigFair records the tenant-fairness controller's config and
+// starting state.
+func (r *Recorder) ConfigFair(cfg fair.Config, seed fair.State) {
+	r.writeJSON(cfgRecord[fair.Config, fair.State]{T: "cfg_fair", Cfg: cfg, Seed: seed})
 }
 
 // Arrival records one submission envelope: at nanoseconds since
@@ -214,8 +221,7 @@ func (r *Recorder) Flush() {
 	}
 }
 
-// windowRecord is the shared shape of the three per-window decision
-// lines.
+// windowRecord is the shared shape of the per-window decision lines.
 type windowRecord[W any] struct {
 	T string `json:"t"`
 	W W      `json:"w"`
@@ -234,6 +240,12 @@ func (r *Recorder) AdaptWindow(w adapt.Window) {
 // PlacementWindow records one placement decision.
 func (r *Recorder) PlacementWindow(w placement.Window) {
 	r.writeJSON(windowRecord[placement.Window]{T: "pl", W: w})
+}
+
+// FairWindow records one tenant-fairness decision (the "ten" envelope:
+// per-tenant sample deltas plus the quota state in force).
+func (r *Recorder) FairWindow(w fair.Window) {
+	r.writeJSON(windowRecord[fair.Window]{T: "ten", W: w})
 }
 
 // Dropped returns the number of arrival envelopes that did not fit the

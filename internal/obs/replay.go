@@ -11,6 +11,7 @@ import (
 	"repro/internal/adapt"
 	"repro/internal/backpressure"
 	"repro/internal/ctl"
+	"repro/internal/fair"
 	"repro/internal/placement"
 )
 
@@ -28,11 +29,14 @@ type Capture struct {
 	AdaptSeed       adapt.State
 	PlacementConfig *placement.Config
 	PlacementSeed   placement.State
+	FairConfig      *fair.Config
+	FairSeed        fair.State
 
 	Arrivals  []Arrival
 	BP        []backpressure.Window
 	Adapt     []adapt.Window
 	Placement []placement.Window
+	Fair      []fair.Window
 
 	// End is non-nil when the capture was Finished cleanly.
 	End *End
@@ -92,6 +96,11 @@ func ReadCapture(r io.Reader) (*Capture, error) {
 			if err = json.Unmarshal(raw, &rec); err == nil {
 				c.PlacementConfig, c.PlacementSeed = &rec.Cfg, rec.Seed
 			}
+		case "cfg_fair":
+			var rec cfgRecord[fair.Config, fair.State]
+			if err = json.Unmarshal(raw, &rec); err == nil {
+				c.FairConfig, c.FairSeed = &rec.Cfg, rec.Seed
+			}
 		case "arr":
 			var a Arrival
 			if err = json.Unmarshal(raw, &a); err == nil {
@@ -111,6 +120,11 @@ func ReadCapture(r io.Reader) (*Capture, error) {
 			var rec windowRecord[placement.Window]
 			if err = json.Unmarshal(raw, &rec); err == nil {
 				c.Placement = append(c.Placement, rec.W)
+			}
+		case "ten":
+			var rec windowRecord[fair.Window]
+			if err = json.Unmarshal(raw, &rec); err == nil {
+				c.Fair = append(c.Fair, rec.W)
 			}
 		case "end":
 			var rec struct {
@@ -191,6 +205,18 @@ func (c *Capture) ReplayPlacement() ([]placement.Window, error) {
 	}), nil
 }
 
+// ReplayFair re-runs the tenant-fairness decision chain over the
+// captured windows. Requires a cfg_fair record.
+func (c *Capture) ReplayFair() ([]fair.Window, error) {
+	if c.FairConfig == nil {
+		return nil, errors.New("obs: capture has no fair config record")
+	}
+	cfg := *c.FairConfig
+	return replayDecide(c.Fair, c.FairSeed, func(st fair.State, s fair.Sample) fair.State {
+		return fair.Decide(cfg, st, s)
+	}), nil
+}
+
 // diffWindows reports, window by window, every field-level difference
 // between two traces. Empty result means bit-identical.
 func diffWindows[S, St any](kind string, got, want []ctl.Window[S, St]) []string {
@@ -228,4 +254,10 @@ func DiffAdapt(got, want []adapt.Window) []string {
 // traces; empty means bit-identical.
 func DiffPlacement(got, want []placement.Window) []string {
 	return diffWindows("pl", got, want)
+}
+
+// DiffFair reports per-window differences between two tenant-fairness
+// traces; empty means bit-identical.
+func DiffFair(got, want []fair.Window) []string {
+	return diffWindows("ten", got, want)
 }

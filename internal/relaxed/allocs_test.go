@@ -7,12 +7,13 @@ import (
 )
 
 // TestRelaxedBoxedMinAllocsPinned pins the allocation cost of the
-// Less-only fallback: without a numeric projection every lane lock
-// episode re-boxes the advertised minimum (one heap copy of T), and
-// with one the advertisement is a plain atomic.Int64 store. The boxed
-// figure is a documented caveat (docs/METRICS.md), not a bug — this
-// test keeps it from silently growing, and keeps the numeric path at
-// zero so the serve mode's allocation guarantee stays grounded here.
+// Less-only fallback at zero steady-state allocations per lock
+// episode: the boxed advertisement recycles each lane's retired box
+// through the hazard-guarded spare slot, so after the first episode
+// per lane no re-advertisement allocates (a fresh box is paid only
+// when a concurrent sampler pins the spare — impossible here, single
+// threaded). The numeric path stays at zero too, so the serve mode's
+// allocation guarantee is grounded here for both advertisement modes.
 func TestRelaxedBoxedMinAllocsPinned(t *testing.T) {
 	opts := core.Options[int64]{
 		Places: 1,
@@ -37,12 +38,11 @@ func TestRelaxedBoxedMinAllocsPinned(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Push and pop each end one lock episode that re-advertises the
-	// minimum; allow a little slack for amortized heap growth inside
-	// the lane queues, but fail well before a second box per episode.
-	if got := measure(boxed); got > 2.5 {
-		t.Errorf("boxed Less-only path: %.2f allocs per push+pop cycle, pinned at ≤ 2.5", got)
-	} else if got == 0 {
-		t.Error("boxed Less-only path measured 0 allocs — the boxed advertisement was removed; update docs/METRICS.md and delete this pin")
+	// minimum; the two-slot recycle must make both allocation-free in
+	// steady state (the ≤4 one-time per-lane boxes amortize to zero
+	// over AllocsPerRun's 500 runs).
+	if got := measure(boxed); got != 0 {
+		t.Errorf("boxed Less-only path: %.2f allocs per push+pop cycle, want 0 steady-state", got)
 	}
 
 	numeric, err := NewWithNumeric(opts, cfg, NumericConfig[int64]{

@@ -183,10 +183,15 @@ type lane[T any] struct {
 	mu sync.Mutex
 	q  pq.Queue[T]
 	// min is the boxed advertised minimum: nil when empty, updated under
-	// mu. Only maintained when no numeric projection is configured —
-	// boxing allocates a copy of T per lock episode, which the numeric
-	// minP slot exists to avoid.
+	// mu. Only maintained when no numeric projection is configured. The
+	// boxes cycle through a per-lane two-slot recycle (spare) guarded by
+	// hazard slots, so steady state re-advertisement is allocation-free.
 	min atomic.Pointer[T]
+	// spare is the retired advertisement box awaiting reuse, owned by
+	// mu. advertise swaps it with the published box each episode unless
+	// a sampler's hazard slot still pins it (then a fresh box is
+	// allocated — a rare race, not the steady state).
+	spare *T
 	// minP is the numeric advertised minimum (emptyPrio when empty),
 	// updated under mu. Only maintained when a numeric projection is
 	// configured.
@@ -197,6 +202,18 @@ type lane[T any] struct {
 	// uncontended paths never touch it.
 	contended atomic.Int64
 	_         [16]byte // keep lane locks on distinct cache lines
+}
+
+// hzBox is one place's hazard slot for the boxed advertisement: a
+// sampler publishes the box pointer it is about to dereference here,
+// revalidates the lane's min, and clears the slot once the copy is
+// done. advertise scans the slots before reusing a retired box, so a
+// box is never overwritten while a sampler still reads it. The pad
+// rounds the element to a 128-byte stride for the same prefetch-pair
+// reason as sticky below.
+type hzBox[T any] struct {
+	p atomic.Pointer[T]
+	_ [120]byte
 }
 
 // sticky is one place's lane-affinity state. It is written only by the
@@ -238,6 +255,7 @@ type DS[T any] struct {
 	maxGroups int
 	prio      func(T) int64 // nil: boxed advertisement
 	home      []int32       // per place: home group in [0, maxGroups)
+	hz        []hzBox[T]    // per place: hazard slot (boxed mode only)
 	lanes     []*lane[T]
 	rngs      []*xrand.Rand // one per place
 	sticky    []sticky      // one per place
@@ -324,6 +342,9 @@ func NewWithNumeric[T any](opts core.Options[T], cfg Config, num NumericConfig[T
 		sticky:    make([]sticky, opts.Places),
 		ctrs:      make([]core.Counters, opts.Places),
 		popKBuf:   make([][]T, opts.Places),
+	}
+	if num.Prio == nil {
+		d.hz = make([]hzBox[T], opts.Places)
 	}
 	d.stick.Store(int64(cfg.Stickiness))
 	d.agroups.Store(int64(cfg.Groups))
@@ -447,9 +468,11 @@ func (d *DS[T]) ContentionTotal() int64 {
 
 // advertise re-publishes ln's minimum for the lock-free samplers;
 // callers hold ln.mu. With a numeric projection the advertisement is a
-// plain int64 store; the boxed variant copies the minimum to the heap
-// (one allocation per lock episode), which is why the numeric path
-// exists.
+// plain int64 store. The boxed variant copies the minimum into the
+// lane's spare box and swaps it with the published one — hazard slots
+// keep a box from being overwritten under a concurrent sampler, so
+// steady state costs zero allocations; a fresh box is allocated only
+// when a sampler pins the spare mid-read.
 func (d *DS[T]) advertise(ln *lane[T]) {
 	if d.prio != nil {
 		if v, ok := ln.q.Peek(); ok {
@@ -460,9 +483,52 @@ func (d *DS[T]) advertise(ln *lane[T]) {
 		return
 	}
 	if v, ok := ln.q.Peek(); ok {
-		ln.min.Store(&v)
-	} else {
+		box := ln.spare
+		if box == nil || d.boxHazarded(box) {
+			box = new(T)
+		}
+		*box = v
+		old := ln.min.Load()
+		ln.min.Store(box)
+		ln.spare = old
+	} else if old := ln.min.Load(); old != nil {
 		ln.min.Store(nil)
+		ln.spare = old
+	}
+}
+
+// boxHazarded reports whether any place's hazard slot currently pins p.
+// Called under the lane mu with p retired (not published), so a slot
+// acquiring p after this scan must fail its revalidation and never
+// dereference it.
+func (d *DS[T]) boxHazarded(p *T) bool {
+	for i := range d.hz {
+		if d.hz[i].p.Load() == p {
+			return true
+		}
+	}
+	return false
+}
+
+// loadMin copies ln's boxed advertised minimum under pl's hazard slot:
+// publish the pointer, revalidate the advertisement, copy, release.
+// A failed revalidation means advertise swapped boxes mid-read; retry
+// with the fresh pointer rather than dereference a recycled box.
+func (d *DS[T]) loadMin(pl int, ln *lane[T]) (v T, ok bool) {
+	hz := &d.hz[pl].p
+	for {
+		p := ln.min.Load()
+		if p == nil {
+			var zero T
+			return zero, false
+		}
+		hz.Store(p)
+		if ln.min.Load() != p {
+			continue
+		}
+		v = *p
+		hz.Store(nil)
+		return v, true
 	}
 }
 
@@ -475,8 +541,9 @@ func (d *DS[T]) laneEmpty(ln *lane[T]) bool {
 }
 
 // bestOfSpan returns the lane in [lo, hi) advertising the best minimum,
-// or -1 when every lane advertises empty.
-func (d *DS[T]) bestOfSpan(lo, hi int) int {
+// or -1 when every lane advertises empty. pl selects the sampling
+// place's hazard slot in boxed mode.
+func (d *DS[T]) bestOfSpan(pl, lo, hi int) int {
 	best := -1
 	if d.prio != nil {
 		bestK := int64(emptyPrio)
@@ -489,15 +556,15 @@ func (d *DS[T]) bestOfSpan(lo, hi int) int {
 	}
 	var bestV T
 	for i := lo; i < hi; i++ {
-		if p := d.lanes[i].min.Load(); p != nil && (best < 0 || d.opts.Less(*p, bestV)) {
-			best, bestV = i, *p
+		if v, ok := d.loadMin(pl, d.lanes[i]); ok && (best < 0 || d.opts.Less(v, bestV)) {
+			best, bestV = i, v
 		}
 	}
 	return best
 }
 
 // bestOfTwo is bestOfSpan over exactly the lanes a and b.
-func (d *DS[T]) bestOfTwo(a, b int) int {
+func (d *DS[T]) bestOfTwo(pl, a, b int) int {
 	best := -1
 	if d.prio != nil {
 		bestK := int64(emptyPrio)
@@ -510,8 +577,8 @@ func (d *DS[T]) bestOfTwo(a, b int) int {
 	}
 	var bestV T
 	for _, i := range [2]int{a, b} {
-		if p := d.lanes[i].min.Load(); p != nil && (best < 0 || d.opts.Less(*p, bestV)) {
-			best, bestV = i, *p
+		if v, ok := d.loadMin(pl, d.lanes[i]); ok && (best < 0 || d.opts.Less(v, bestV)) {
+			best, bestV = i, v
 		}
 	}
 	return best
@@ -712,9 +779,9 @@ func (d *DS[T]) popInto(pl int, out []T) int {
 					b++
 				}
 			}
-			best = d.bestOfTwo(a, b)
+			best = d.bestOfTwo(pl, a, b)
 		} else { // SampleAll
-			best = d.bestOfSpan(lo, hi)
+			best = d.bestOfSpan(pl, lo, hi)
 		}
 		if best < 0 {
 			break // sampled lanes advertise empty: go sweep

@@ -39,10 +39,24 @@ type serveMetrics struct {
 	laneGroups  obs.Gauge // nil when ungrouped
 	rankP99     obs.Gauge // nil without RankSignal
 
+	// Per-tenant series (nil without TenantWeights), indexed by tenant,
+	// plus the gate flag gauge.
+	tenSeries []tenantSeries
+	fairGated obs.Gauge
+
 	prev     obsCum
 	prevG    []int64 // previous per-group contention totals
 	scratchG []int64 // retained GroupContention buffer
 	lastAt   time.Duration
+}
+
+// tenantSeries is one tenant's registered instruments plus the
+// previous window's cumulative snapshot its counters are differenced
+// against.
+type tenantSeries struct {
+	arrived, admitted, deferred, shed, readmitted, executed obs.Counter
+	quota, floor, pending                                   obs.Gauge
+	prev                                                    TenantCounters
 }
 
 // obsCum is one snapshot of every cumulative counter the metric
@@ -102,7 +116,42 @@ func (s *Scheduler[T]) newServeMetrics(sink obs.Sink) *serveMetrics {
 	if s.cfg.RankSignal != nil {
 		m.rankP99 = sink.Gauge(obs.Desc{Name: "sched_rank_error_p99", Help: "windowed pop rank-error p99 from RankSignal (-1: no signal)", Unit: "tasks"})
 	}
+	if s.tenants > 0 {
+		m.fairGated = sink.Gauge(obs.Desc{Name: "sched_fair_gated", Help: "tenant-fairness gate engaged (1) or open (0)"})
+		m.tenSeries = make([]tenantSeries, s.tenants)
+		for t := 0; t < s.tenants; t++ {
+			lbl := []obs.Label{{Key: "tenant", Value: strconv.Itoa(t)}}
+			ts := &m.tenSeries[t]
+			ts.arrived = sink.Counter(obs.Desc{Name: "sched_tenant_arrived_total", Help: "per-tenant submissions offered (before any gate)", Unit: "tasks", Labels: lbl})
+			ts.admitted = sink.Counter(obs.Desc{Name: "sched_tenant_admitted_total", Help: "per-tenant tasks accepted past both gates", Unit: "tasks", Labels: lbl})
+			ts.deferred = sink.Counter(obs.Desc{Name: "sched_tenant_deferred_total", Help: "per-tenant tasks parked in the spillway", Unit: "tasks", Labels: lbl})
+			ts.shed = sink.Counter(obs.Desc{Name: "sched_tenant_shed_total", Help: "per-tenant tasks rejected outright", Unit: "tasks", Labels: lbl})
+			ts.readmitted = sink.Counter(obs.Desc{Name: "sched_tenant_readmitted_total", Help: "per-tenant spilled tasks re-submitted", Unit: "tasks", Labels: lbl})
+			ts.executed = sink.Counter(obs.Desc{Name: "sched_tenant_executed_total", Help: "per-tenant tasks run by Execute", Unit: "tasks", Labels: lbl})
+			ts.quota = sink.Gauge(obs.Desc{Name: "sched_tenant_quota", Help: "per-tenant window admission quota in force (-1: gate open)", Unit: "tasks", Labels: lbl})
+			ts.floor = sink.Gauge(obs.Desc{Name: "sched_tenant_floor", Help: "per-tenant unconditional admission floor in force (-1: gate open)", Unit: "tasks", Labels: lbl})
+			ts.pending = sink.Gauge(obs.Desc{Name: "sched_tenant_pending", Help: "per-tenant outstanding tasks (spillway included)", Unit: "tasks", Labels: lbl})
+		}
+	}
 	return m
+}
+
+// tenCumNow snapshots one tenant's cumulative counters for the
+// exporter (same sources as fairSnapshot).
+func (s *Scheduler[T]) tenCumNow(t int) TenantCounters {
+	p := s.tenPending[t].v.Load()
+	if p < 0 {
+		p = 0
+	}
+	return TenantCounters{
+		Arrived:    s.tenArrived[t].v.Load(),
+		Admitted:   s.tenAdmitted[t].v.Load(),
+		Deferred:   s.tenDeferred[t].v.Load(),
+		Shed:       s.tenShed[t].v.Load(),
+		Readmitted: s.tenReadmitted[t].v.Load(),
+		Executed:   s.tenExecuted[t].v.Load(),
+		Pending:    p,
+	}
 }
 
 // obsCumNow snapshots every cumulative counter the exporter publishes.
@@ -136,6 +185,9 @@ func (s *Scheduler[T]) primeMetrics() {
 	m := s.metrics
 	m.prev = s.obsCumNow()
 	m.lastAt = 0
+	for t := range m.tenSeries {
+		m.tenSeries[t].prev = s.tenCumNow(t)
+	}
 	if m.groupCont != nil {
 		m.scratchG = s.grpDS.GroupContention(m.scratchG[:0])
 		copy(m.prevG, m.scratchG)
@@ -198,6 +250,35 @@ func (s *Scheduler[T]) obsTick(at time.Duration, rank float64) {
 	if m.rankP99 != nil {
 		m.rankP99.Set(rank)
 	}
+	if m.tenSeries != nil {
+		s.fairMu.Lock()
+		fst := s.fairLast
+		s.fairMu.Unlock()
+		gated := 0.0
+		if fst.Gated {
+			gated = 1
+		}
+		m.fairGated.Set(gated)
+		for t := range m.tenSeries {
+			ts := &m.tenSeries[t]
+			tc := s.tenCumNow(t)
+			ts.arrived.Add(tc.Arrived - ts.prev.Arrived)
+			ts.admitted.Add(tc.Admitted - ts.prev.Admitted)
+			ts.deferred.Add(tc.Deferred - ts.prev.Deferred)
+			ts.shed.Add(tc.Shed - ts.prev.Shed)
+			ts.readmitted.Add(tc.Readmitted - ts.prev.Readmitted)
+			ts.executed.Add(tc.Executed - ts.prev.Executed)
+			if fst.Gated {
+				ts.quota.Set(float64(fst.Quotas[t]))
+				ts.floor.Set(float64(fst.Floors[t]))
+			} else {
+				ts.quota.Set(-1)
+				ts.floor.Set(-1)
+			}
+			ts.pending.Set(float64(tc.Pending))
+			ts.prev = tc
+		}
+	}
 	m.prev = cur
 	m.lastAt = at
 }
@@ -233,6 +314,12 @@ func (s *Scheduler[T]) recBegin(rec *obs.Recorder) {
 		cfg, seed := s.plCtrl.Config(), s.plCtrl.State()
 		s.plMu.Unlock()
 		rec.ConfigPlacement(cfg, seed)
+	}
+	if s.tenants > 0 {
+		s.fairMu.Lock()
+		cfg, seed := s.fairCtrl.Config(), s.fairCtrl.State()
+		s.fairMu.Unlock()
+		rec.ConfigFair(cfg, seed)
 	}
 }
 

@@ -418,7 +418,7 @@ func TestReadmitSpillStripesAcrossInjectors(t *testing.T) {
 		want[3*100000+int64(n)] = true
 		n++
 	}
-	if !s.readmitSpill(n) {
+	if !s.readmitSpill(n, true) {
 		t.Fatal("readmitSpill reported nothing drained")
 	}
 	if got := s.readmitted.Load(); got != int64(n) {

@@ -34,6 +34,7 @@ import (
 	"repro/internal/core/hybrid"
 	"repro/internal/core/wsprio"
 	"repro/internal/ctl"
+	"repro/internal/fair"
 	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/relaxed"
@@ -248,6 +249,33 @@ type Config[T any] struct {
 	// SpillCap bounds the deferral spillway (0 selects
 	// backpressure.DefaultSpillCap).
 	SpillCap int
+	// TenantWeights enables multi-tenant fair scheduling in serve mode
+	// (internal/fair): entry t is tenant t's weight in the weighted-fair
+	// capacity split. While the fairness controller's gate is engaged
+	// (some tenant's backlog past its sojourn-budget depth), each
+	// tenant's admissions per control window are capped at its
+	// water-filled fair-share quota — excess is deferred to the spillway
+	// or shed — and each tenant's first Floors[t] tasks per window are
+	// admitted unconditionally, bypassing even the priority threshold,
+	// so no tenant starves behind a hotter or higher-priority one.
+	// Requires Backpressure (the tenant gate shares its spillway) and a
+	// Tenant projection. Empty disables tenancy entirely; a zero-weight
+	// entry declares a best-effort tenant with no floor.
+	TenantWeights []int64
+	// Tenant maps a task to its tenant index in
+	// [0, len(TenantWeights)). Out-of-range returns are clamped.
+	// Required with TenantWeights; called on the submit and execute hot
+	// paths, so keep it a field read.
+	Tenant func(T) int
+	// TenantFloorFrac is the capacity fraction reserved for the
+	// per-tenant starvation floors (0 selects fair.DefaultFloorFrac).
+	TenantFloorFrac float64
+	// TenantBudgets optionally sets per-tenant sojourn budgets (SLO
+	// bands): entry t overrides SojournBudget for tenant t's overload
+	// signal, so a latency-sensitive tenant can gate the system earlier
+	// than a batch tenant. Missing or zero entries inherit
+	// SojournBudget.
+	TenantBudgets []time.Duration
 	// Metrics optionally plugs an export sink (internal/obs) into serve
 	// mode: once per AdaptInterval window, the controller goroutine
 	// publishes the scheduler's core series — throughput, admission
@@ -375,6 +403,43 @@ type Scheduler[T any] struct {
 	deferredN  atomic.Int64
 	readmitted atomic.Int64
 	admittedN  atomic.Int64
+
+	// Tenant-fairness state (see fair.go). tenants is the tenant count
+	// (0: tenancy off); tenGated plus the padded per-tenant atomics are
+	// the Submit hot path's view of the controller's last decision;
+	// fairMu guards the controller, its trace and fairLast against
+	// concurrent observers; fairCum is the controller goroutine's
+	// snapshot scratch (Step clones on entry).
+	fairCfg       fair.Config
+	tenants       int
+	fairMu        sync.Mutex
+	fairCtrl      *fair.Controller
+	fairLast      fair.State
+	fairTrace     *ctl.Ring[fair.Window]
+	fairCum       fair.Cumulative
+	tenGated      atomic.Bool
+	tenQuota      []padCounter
+	tenFloor      []padCounter
+	tenWin        []padCounter
+	tenArrived    []padCounter
+	tenAdmitted   []padCounter
+	tenDeferred   []padCounter
+	tenShed       []padCounter
+	tenReadmitted []padCounter
+	tenExecuted   []padCounter
+	tenPending    []padCounter
+	quotaShed     atomic.Int64
+	quotaDeferred atomic.Int64
+	// quotaHold parks spillway tasks a controller-tick readmission
+	// drained but could not admit within their tenant's window quota:
+	// re-offering them to the ring races with producers refilling it,
+	// and losing that race admitted them over quota — under a sustained
+	// hot-tenant flood the leak let the hot tenant run several times
+	// its fair share. Held tasks go first on the next readmission tick
+	// (they are the oldest accepted work) and the spillway is only
+	// drained again once the hold is empty, bounding it to one chunk.
+	holdMu    sync.Mutex
+	quotaHold []deferredTask[T]
 
 	// Observability state (see obs.go): the registered metric
 	// instruments and the previous window's counter snapshot (nil
@@ -514,6 +579,44 @@ func New[T any](cfg Config[T]) (*Scheduler[T], error) {
 		s.spill = backpressure.NewSpillway[deferredTask[T]](bcfg.SpillCap)
 		s.bpGate.Store(bcfg.MaxPrio)
 		s.bpLast = bcfg.Open()
+	}
+	if len(cfg.TenantWeights) > 0 {
+		if cfg.Tenant == nil {
+			return nil, fmt.Errorf("sched: TenantWeights requires a Tenant projection (tasks must be attributable to a tenant)")
+		}
+		if !cfg.Backpressure {
+			return nil, fmt.Errorf("sched: TenantWeights requires Backpressure (the tenant gate defers over-quota tasks to its spillway)")
+		}
+		fcfg := fair.Config{
+			Weights:       cfg.TenantWeights,
+			FloorFrac:     cfg.TenantFloorFrac,
+			SojournBudget: cfg.SojournBudget,
+			Budgets:       cfg.TenantBudgets,
+			Interval:      cfg.AdaptInterval,
+		}
+		if err := fcfg.Validate(); err != nil {
+			return nil, err
+		}
+		s.fairCfg = fcfg
+		s.tenants = len(cfg.TenantWeights)
+		s.fairLast = fcfg.Open()
+		n := s.tenants
+		s.tenQuota = make([]padCounter, n)
+		s.tenFloor = make([]padCounter, n)
+		s.tenWin = make([]padCounter, n)
+		s.tenArrived = make([]padCounter, n)
+		s.tenAdmitted = make([]padCounter, n)
+		s.tenDeferred = make([]padCounter, n)
+		s.tenShed = make([]padCounter, n)
+		s.tenReadmitted = make([]padCounter, n)
+		s.tenExecuted = make([]padCounter, n)
+		s.tenPending = make([]padCounter, n)
+		s.fairCum = fair.Cumulative{
+			Arrived: make([]int64, n), Admitted: make([]int64, n),
+			Deferred: make([]int64, n), Shed: make([]int64, n),
+			Readmitted: make([]int64, n), Executed: make([]int64, n),
+			Pending: make([]int64, n),
+		}
 	}
 	s.effBatch.Store(int32(cfg.Batch))
 	s.envArena = newBlockArena[envelope[T]]()
@@ -788,6 +891,11 @@ func (s *Scheduler[T]) execute(ctx *Ctx[T], e envelope[T]) {
 	e.fin.pending.Add(-1)
 	s.pending.Add(-1)
 	s.executed.Add(1)
+	if s.tenants > 0 {
+		t := s.tenantOf(e.v)
+		s.tenExecuted[t].v.Add(1)
+		s.tenPending[t].v.Add(-1)
+	}
 }
 
 // backoff implements the idle policy: spin briefly, then yield, then
@@ -809,13 +917,15 @@ func backoff(fails int) {
 
 // Stats exposes the backing data structure's cumulative counters,
 // merged with the scheduler-level admission counters (Shed, Deferred,
-// Readmitted) — a raw DS never sheds, so the scheduler is the only
-// writer of those three.
+// Readmitted, plus the tenant-quota split TenantShed/TenantDeferred) —
+// a raw DS never sheds, so the scheduler is the only writer of those.
 func (s *Scheduler[T]) Stats() core.Stats {
 	st := s.ds.Stats()
 	st.Shed = s.shed.Load()
 	st.Deferred = s.deferredN.Load()
 	st.Readmitted = s.readmitted.Load()
+	st.TenantShed = s.quotaShed.Load()
+	st.TenantDeferred = s.quotaDeferred.Load()
 	return st
 }
 

@@ -26,6 +26,7 @@ import (
 	"repro/internal/adapt"
 	"repro/internal/backpressure"
 	"repro/internal/ctl"
+	"repro/internal/fair"
 	"repro/internal/placement"
 	"repro/internal/xrand"
 )
@@ -161,6 +162,23 @@ func (s *Scheduler[T]) Start() error {
 		s.bpMu.Unlock()
 		s.bpGate.Store(ctrl.State().Threshold)
 	}
+	if s.tenants > 0 {
+		// The fairness controller follows the same session protocol:
+		// fresh controller, gate open, primed with the cumulative
+		// per-tenant totals.
+		ctrl, err := fair.NewController(s.fairCfg)
+		if err != nil {
+			// fairCfg was validated in New; a failure here is a bug.
+			panic(fmt.Sprintf("sched: fairness controller: %v", err))
+		}
+		ctrl.Prime(s.fairSnapshot())
+		s.fairMu.Lock()
+		s.fairCtrl = ctrl
+		s.fairLast = ctrl.State()
+		s.fairTrace = ctl.NewRing[fair.Window](maxTraceWindows)
+		s.fairMu.Unlock()
+		s.applyFair(ctrl.State())
+	}
 	if s.cfg.AdaptivePlacement {
 		// Like the other controllers, each session starts clean: the
 		// finest partition in force, a fresh controller primed with the
@@ -257,6 +275,12 @@ func (s *Scheduler[T]) ctlLoop(stop <-chan struct{}, done chan<- struct{}) {
 				w := s.bpTick(at, rank)
 				if rec != nil {
 					rec.BackpressureWindow(w)
+				}
+			}
+			if s.tenants > 0 {
+				w := s.fairTick(at)
+				if rec != nil {
+					rec.FairWindow(w)
 				}
 			}
 			if s.cfg.AdaptivePlacement {
@@ -363,7 +387,7 @@ func (s *Scheduler[T]) bpTick(at time.Duration, rank float64) backpressure.Windo
 	s.bpMu.Unlock()
 	s.bpGate.Store(w.State.Threshold)
 	if q := backpressure.ReadmitQuota(s.bpCfg, w.Sample); q > 0 {
-		s.readmitSpill(int(q))
+		s.readmitSpill(int(q), true)
 	}
 	return w
 }
@@ -461,24 +485,84 @@ func readmitRuns[T any](ds []deferredTask[T], lanes int) [][]deferredTask[T] {
 // the Readmitted counter moves here. Reports whether anything drained.
 // Safe for concurrent callers (the controller tick, Stop's flush, the
 // Submit re-flush race and Drain's nudge may overlap).
-func (s *Scheduler[T]) readmitSpill(max int) bool {
+//
+// respectQuota makes readmission honor the tenant gate: while it is
+// engaged, a drained task consumes its tenant's window sequence like a
+// fresh arrival and is parked in the quota hold when over quota, so a
+// hot tenant's spilled backlog cannot flood the structure at the
+// window boundary ahead of cold tenants' fresh traffic. (Re-offering
+// over-quota tasks to the ring instead would race with producers
+// refilling it, and every lost race admitted a task over quota — a
+// leak that let a flooding tenant run far past its share.) Held tasks
+// lead the next readmission, which drains the ring again only once
+// the hold is empty. The controller tick respects quotas; Stop's
+// flush and Drain's nudge bypass them — they exist to reach
+// quiescence, and every parked task was accepted and must execute.
+func (s *Scheduler[T]) readmitSpill(max int, respectQuota bool) bool {
+	// Quota-held tasks go first: they are the oldest accepted work.
+	var held []deferredTask[T]
+	if s.tenants > 0 {
+		s.holdMu.Lock()
+		held = s.quotaHold
+		s.quotaHold = nil
+		s.holdMu.Unlock()
+	}
 	// Clamp the drain scratch to the spillway's current occupancy: the
 	// quota can far exceed what is parked, and the arena retains the
 	// largest buffer ever grown.
 	if l := s.spill.Len(); max > l {
 		max = l
 	}
-	if max < 1 {
+	if max < 0 {
+		max = 0
+	}
+	if respectQuota && len(held) > 0 && s.tenGated.Load() {
+		// While the gate is engaged, no fresh spillway tasks are drained
+		// until the hold clears — this bounds the hold to one chunk.
+		max = 0
+	}
+	if len(held) == 0 && max < 1 {
 		return false
 	}
 	dblk := s.defArena.get()
-	dbuf := dblk.grow(max)
-	got := s.spill.DrainUpToInto(dbuf)
+	dbuf := dblk.grow(len(held) + max)
+	got := copy(dbuf, held)
+	if max > 0 {
+		got += s.spill.DrainUpToInto(dbuf[len(held):])
+	}
 	if got == 0 {
 		s.defArena.put(dblk)
 		return false
 	}
 	ds := dbuf[:got]
+	if respectQuota && s.tenants > 0 && s.tenGated.Load() {
+		kept := ds[:0]
+		var over []deferredTask[T]
+		for _, d := range ds {
+			ten := s.tenantOf(d.env.v)
+			if s.tenWin[ten].v.Add(1) > s.tenQuota[ten].v.Load() {
+				over = append(over, d)
+				continue
+			}
+			kept = append(kept, d)
+		}
+		if len(over) > 0 {
+			s.holdMu.Lock()
+			s.quotaHold = append(s.quotaHold, over...)
+			s.holdMu.Unlock()
+		}
+		ds = kept
+		if len(ds) == 0 {
+			s.defArena.put(dblk)
+			return false
+		}
+		got = len(ds)
+	}
+	if s.tenants > 0 {
+		for _, d := range ds {
+			s.tenReadmitted[s.tenantOf(d.env.v)].v.Add(1)
+		}
+	}
 	s.readmitted.Add(int64(got))
 	chunk := readmitChunk(got, len(s.injectors))
 	eblk := s.envArena.get()
@@ -507,7 +591,7 @@ func (s *Scheduler[T]) readmitSpill(max int) bool {
 // where a task is parked just after Stop's flush (the seq-cst order of
 // the accepting flag guarantees one of the two flushes sees it).
 func (s *Scheduler[T]) flushSpill() {
-	for s.readmitSpill(1024) {
+	for s.readmitSpill(1024, false) {
 	}
 }
 
@@ -619,6 +703,11 @@ func (s *Scheduler[T]) SubmitK(k int, v T) error {
 	}
 	if s.cfg.Recorder != nil {
 		s.recArrival(k, v)
+	}
+	if s.tenants > 0 {
+		// Tenant-aware admission: floor, quota, then the priority
+		// threshold (see fair.go).
+		return s.submitTenant(k, v)
 	}
 	if s.spill != nil && s.cfg.Priority(v) > s.bpGate.Load() {
 		return s.deferOrShed(k, v)
@@ -742,14 +831,36 @@ func (s *Scheduler[T]) SubmitAllKOutcomes(k int, vs []T, out []Outcome) (int, er
 	}
 	// Gated: one threshold read decides the whole batch, so a batch is
 	// internally consistent even while the controller moves the gate.
+	// The tenant gate, when configured, is consulted per task — its
+	// window counters are inherently per-task sequence numbers.
 	threshold := s.bpGate.Load()
+	tenGated := s.tenants > 0 && s.tenGated.Load()
 	blk := s.envArena.get()
 	envs := blk.grow(len(vs))[:0]
 	deferred, shedN := 0, 0
 	for i, v := range vs {
-		if s.cfg.Priority(v) <= threshold {
+		ten, byQuota, floored := 0, false, false
+		if s.tenants > 0 {
+			ten = s.tenantOf(v)
+			s.tenArrived[ten].v.Add(1)
+			// The protected band bypasses the tenant gate like it
+			// bypasses the threshold (see submitTenant).
+			if tenGated && s.cfg.Priority(v) >= s.bpCfg.ProtectedBand {
+				seq := s.tenWin[ten].v.Add(1)
+				if seq <= s.tenFloor[ten].v.Load() {
+					floored = true // floor: bypasses the priority threshold
+				} else if seq > s.tenQuota[ten].v.Load() {
+					byQuota = true
+				}
+			}
+		}
+		if !byQuota && (floored || s.cfg.Priority(v) <= threshold) {
 			if out != nil {
 				out[i] = Admitted
+			}
+			if s.tenants > 0 {
+				s.tenAdmitted[ten].v.Add(1)
+				s.tenPending[ten].v.Add(1)
 			}
 			envs = append(envs, envelope[T]{v: v, fin: s.serveFin})
 			continue
@@ -759,6 +870,13 @@ func (s *Scheduler[T]) SubmitAllKOutcomes(k int, vs []T, out []Outcome) (int, er
 		if s.spill.Offer(deferredTask[T]{env: envelope[T]{v: v, fin: s.serveFin}, k: k}) {
 			s.deferredN.Add(1)
 			deferred++
+			if s.tenants > 0 {
+				s.tenDeferred[ten].v.Add(1)
+				s.tenPending[ten].v.Add(1)
+				if byQuota {
+					s.quotaDeferred.Add(1)
+				}
+			}
 			if out != nil {
 				out[i] = Deferred
 			}
@@ -768,6 +886,12 @@ func (s *Scheduler[T]) SubmitAllKOutcomes(k int, vs []T, out []Outcome) (int, er
 		s.spawned.Add(-1)
 		s.pending.Add(-1)
 		s.shed.Add(1)
+		if s.tenants > 0 {
+			s.tenShed[ten].v.Add(1)
+			if byQuota {
+				s.quotaShed.Add(1)
+			}
+		}
 		shedN++
 		if out != nil {
 			out[i] = Shed
@@ -814,13 +938,23 @@ func (s *Scheduler[T]) Drain() error {
 	}
 	fails := 0
 	for s.pending.Load() != 0 {
-		if s.spill != nil && s.spill.Len() > 0 {
-			s.readmitSpill(s.bpCfg.ReadmitChunk)
+		if s.spill != nil && (s.spill.Len() > 0 || s.holdLen() > 0) {
+			s.readmitSpill(s.bpCfg.ReadmitChunk, false)
 		}
 		fails++
 		backoff(fails)
 	}
 	return nil
+}
+
+// holdLen reports the quota hold's occupancy (see readmitSpill).
+func (s *Scheduler[T]) holdLen() int {
+	if s.tenants == 0 {
+		return 0
+	}
+	s.holdMu.Lock()
+	defer s.holdMu.Unlock()
+	return len(s.quotaHold)
 }
 
 // Stop closes the submission gate, waits until every accepted task has
@@ -862,6 +996,11 @@ func (s *Scheduler[T]) Stop() (RunStats, error) {
 			// Reopen the gate between sessions: the next Start begins
 			// from a clean, fully open slate.
 			s.bpGate.Store(s.bpCfg.MaxPrio)
+		}
+		if s.tenants > 0 {
+			// Disengage the tenant gate too; FairState keeps reporting
+			// the session's final decision.
+			s.tenGated.Store(false)
 		}
 		if s.cfg.AdaptivePlacement {
 			// Restore the configured partition, so a closed-world Run

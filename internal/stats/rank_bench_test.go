@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// TestRankTrackerHierarchicalCensus cross-checks the word-summary fast
+// path against a brute-force bucket scan over a scattered live set with
+// churn: single-threaded the hierarchical read must be exact, including
+// after buckets empty out (occupancy bits cleared) and refill.
+func TestRankTrackerHierarchicalCensus(t *testing.T) {
+	tr, err := NewRankTracker(1<<12, 1) // 16 priorities per bucket
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(41)
+	live := make([]int64, RankBuckets)
+	bucket := func(p int64) int64 { return p >> tr.bshift }
+	var prios []int64
+	for step := 0; step < 20000; step++ {
+		if len(prios) == 0 || r.Intn(3) != 0 {
+			p := int64(r.Intn(1 << 12))
+			tr.Submitted(p)
+			live[bucket(p)]++
+			prios = append(prios, p)
+			continue
+		}
+		i := r.Intn(len(prios))
+		p := prios[i]
+		prios[i] = prios[len(prios)-1]
+		prios = prios[:len(prios)-1]
+		live[bucket(p)]--
+		var want int64
+		for b := int64(0); b < bucket(p); b++ {
+			want += live[b]
+		}
+		got, ok := tr.Executed(p)
+		if !ok || got != want {
+			t.Fatalf("step %d: Executed(%d) = (%d, %v), brute-force census says %d", step, p, got, ok, want)
+		}
+	}
+	var want int64
+	for _, n := range live {
+		want += n
+	}
+	if got := tr.Live(); got != want {
+		t.Fatalf("Live = %d, brute-force census says %d", got, want)
+	}
+}
+
+// BenchmarkRankTrackerExecuted pins the sampled-scan cost of the rank
+// census. The live set is concentrated in the worst position for the
+// old implementation — many occupied buckets below a high-priority
+// task's — and every call is sampled, so the benchmark measures the
+// summary read itself, not the sampling stride.
+func BenchmarkRankTrackerExecuted(b *testing.B) {
+	tr, err := NewRankTracker(1<<20, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Populate every bucket below the probe's so the old linear scan
+	// would touch RankBuckets-1 counters per sample.
+	width := int64(1) << tr.bshift
+	for bk := int64(0); bk < RankBuckets-1; bk++ {
+		tr.Submitted(bk * width)
+	}
+	probe := int64(RankBuckets-1) * width
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Submitted(probe)
+		if _, ok := tr.Executed(probe); !ok {
+			b.Fatal("unsampled call with stride 1")
+		}
+	}
+}

@@ -45,6 +45,7 @@ import (
 	"repro/internal/core/centralized"
 	"repro/internal/core/hybrid"
 	"repro/internal/core/wsprio"
+	"repro/internal/fair"
 	"repro/internal/obs"
 	"repro/internal/relaxed"
 	"repro/internal/sched"
@@ -185,13 +186,13 @@ type SchedulerConfig[T any] struct {
 	// urgent); required with Backpressure and must agree with Less
 	// (Priority(a) < Priority(b) must imply Less(a, b)).
 	//
-	// Supplying it also matters for allocation behavior: the relaxed
-	// strategies use it as a numeric projection, advertising each
-	// lane's minimum as a plain atomic int64 instead of a boxed copy of
-	// the task. Without it, the Less-only fallback allocates one box
-	// per lane lock episode — correct, but not allocation-free. Set
-	// Priority whenever tasks have a numeric priority, even with
-	// Backpressure off; the zero-allocation serve path depends on it.
+	// Supplying it also helps the relaxed strategies: they use it as a
+	// numeric projection, advertising each lane's minimum as a plain
+	// atomic int64. The Less-only fallback advertises a boxed copy of
+	// the task through a hazard-guarded per-lane box recycle — also
+	// zero steady-state allocations per lock episode, at a slightly
+	// higher sampling cost. Set Priority whenever tasks have a numeric
+	// priority, even with Backpressure off.
 	Priority func(T) int64
 	// MaxPrio is the inclusive upper bound of the Priority domain
 	// (required ≥ 1 with Backpressure, and with Resolution > 1).
@@ -213,6 +214,31 @@ type SchedulerConfig[T any] struct {
 	// SpillCap bounds the backpressure deferral spillway (0 = the
 	// 4096-task default).
 	SpillCap int
+	// TenantWeights enables multi-tenant fair scheduling in serve mode:
+	// entry t is tenant t's weight in the weighted-fair capacity split.
+	// Every AdaptInterval a fairness controller measures per-tenant
+	// demand and the served rate, and while any tenant's backlog
+	// exceeds its share of the sojourn budget it gates admission:
+	// each tenant gets a per-window quota (weighted fair share of the
+	// measured capacity, unused share redistributed water-filling
+	// style) plus a guaranteed floor that bypasses the backpressure
+	// priority threshold, so no tenant starves behind a hot one.
+	// Weights must be ≥ 0 with at least one > 0; requires Tenant and
+	// Backpressure. Observe with FairState/FairTrace/TenantCounters.
+	TenantWeights []int64
+	// Tenant maps a task to its tenant id in [0, len(TenantWeights));
+	// out-of-range ids are clamped. Required with TenantWeights.
+	Tenant func(T) int
+	// TenantFloorFrac is the fraction of measured capacity reserved as
+	// guaranteed admission floors, split across tenants by weight
+	// (0 = the 0.05 default; at most 0.5).
+	TenantFloorFrac float64
+	// TenantBudgets optionally sets per-tenant sojourn budgets (SLO
+	// bands): tenant t's backlog is policed against TenantBudgets[t]
+	// instead of the global SojournBudget. Shorter entries mean the
+	// controller gates sooner on that tenant's behalf. Missing or zero
+	// entries inherit SojournBudget.
+	TenantBudgets []time.Duration
 	// Metrics optionally plugs a metrics registry into serve mode: the
 	// scheduler publishes its core series to it once per control
 	// window, entirely off the per-task hot path (0 allocs/task added).
@@ -283,6 +309,10 @@ func NewScheduler[T any](cfg SchedulerConfig[T]) (*Scheduler[T], error) {
 		SojournBudget:     cfg.SojournBudget,
 		ProtectedBand:     cfg.ProtectedBand,
 		SpillCap:          cfg.SpillCap,
+		TenantWeights:     cfg.TenantWeights,
+		Tenant:            cfg.Tenant,
+		TenantFloorFrac:   cfg.TenantFloorFrac,
+		TenantBudgets:     cfg.TenantBudgets,
 		Recorder:          cfg.Recorder,
 		Hash:              cfg.Hash,
 		Seed:              cfg.Seed,
@@ -392,6 +422,40 @@ func (s *Scheduler[T]) AdaptiveState() (stickiness, batch int, ok bool) {
 func (s *Scheduler[T]) BackpressureState() (threshold int64, ok bool) {
 	st, ok := s.inner.BackpressureState()
 	return st.Threshold, ok
+}
+
+// FairnessState is the tenant-fairness controller's published decision;
+// see FairState.
+type FairnessState = fair.State
+
+// FairnessWindow is one control-window record of the fairness
+// controller's trace: the measured per-tenant sample plus the decision
+// it produced. See FairTrace.
+type FairnessWindow = fair.Window
+
+// TenantCounters is one tenant's cumulative serve-session ledger; see
+// Scheduler.TenantCounters.
+type TenantCounters = sched.TenantCounters
+
+// FairState reports the tenant-fairness controller's latest decision
+// under SchedulerConfig.TenantWeights: whether the per-tenant admission
+// gate is engaged, and if so each tenant's window quota and guaranteed
+// floor. ok is false when tenancy is not configured.
+func (s *Scheduler[T]) FairState() (FairnessState, bool) {
+	return s.inner.FairState()
+}
+
+// FairTrace returns the fairness controller's recent control-window
+// trace (a bounded ring, oldest first) for the current or last serve
+// session. Nil when tenancy is not configured.
+func (s *Scheduler[T]) FairTrace() []FairnessWindow {
+	return s.inner.FairTrace()
+}
+
+// TenantCounters reports every tenant's cumulative ledger for the
+// current or last serve session. Nil when tenancy is not configured.
+func (s *Scheduler[T]) TenantCounters() []TenantCounters {
+	return s.inner.TenantCounters()
 }
 
 // PlacementState reports the active lane-group count currently in
