@@ -1,0 +1,137 @@
+// Command schedlint runs the repository's analyzer suite (package
+// repro/internal/analysis): hotpath, puredecide, stridepad, atomicmix
+// and metricsync. It speaks two dialects:
+//
+// Standalone, over package patterns:
+//
+//	go run ./cmd/schedlint ./...
+//
+// loads the matched packages (and their dependencies, for facts) via
+// `go list -deps -export`, runs the suite in dependency order and
+// prints findings as file:line:col: analyzer: message, exiting 1 when
+// any survive //schedlint:ignore suppression.
+//
+// As a vet tool:
+//
+//	go build -o /tmp/schedlint ./cmd/schedlint
+//	go vet -vettool=/tmp/schedlint ./...
+//
+// implements the cmd/go unitchecker protocol: -V=full prints a
+// content-derived build ID so vet results cache correctly, -flags
+// advertises the (empty) flag set, and a *.cfg argument analyzes one
+// compilation unit, exchanging facts through the vetx files cmd/go
+// threads between units. Packages outside this module are skipped by
+// the driver, so the vet run stays cheap. Both dialects share the
+// driver; CI runs the vet form (blocking), the standalone form is for
+// humans iterating locally.
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis/all"
+	"repro/internal/analysis/driver"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	analyzers := all.Analyzers()
+
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		return printVersion(args[0])
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		// The unitchecker flag-discovery handshake: schedlint exposes
+		// no tunables — the suite is the contract, all of it runs.
+		fmt.Println("[]")
+		return 0
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return driver.Unitcheck(args[0], analyzers)
+	}
+	if len(args) == 0 || args[0] == "-h" || args[0] == "--help" || args[0] == "help" {
+		usage()
+		return 2
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+		return 2
+	}
+	pkgs, fset, mod, err := driver.Load(cwd, args...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		return 2
+	}
+	findings, err := driver.RunPackages(analyzers, pkgs, fset, mod)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// printVersion answers the `go vet` tool handshake. The full form
+// must end in a buildID derived from the tool's own content: cmd/go
+// keys its vet result cache on it, so a rebuilt schedlint (new or
+// changed analyzers) invalidates stale clean verdicts.
+func printVersion(flag string) int {
+	name := filepath.Base(os.Args[0])
+	if flag != "-V=full" {
+		fmt.Printf("%s version devel\n", name)
+		return 0
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+		return 2
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+		return 2
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+		return 2
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%x\n", name, h.Sum(nil))
+	return 0
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `schedlint: the repository's invariant analyzers
+
+usage:
+  schedlint ./...                      standalone run over package patterns
+  go vet -vettool=$(which schedlint) ./...   as a vet tool (CI form)
+
+analyzers:
+`)
+	for _, a := range all.Analyzers() {
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprint(os.Stderr, `
+annotations (see docs/LINT.md):
+  //schedlint:hotpath          function must be allocation-free, transitively
+  //schedlint:padded           struct must end on the 128-byte stride
+  //schedlint:ignore <reason>  suppress findings on this or the next line
+`)
+}

@@ -1,3 +1,11 @@
 module repro
 
+// Zero third-party requirements, deliberately: the build must be
+// hermetic under the bare toolchain. The schedlint analyzer suite
+// (internal/analysis, docs/LINT.md) would conventionally pin
+// golang.org/x/tools for go/analysis + analysistest; it instead
+// re-implements the needed fraction in-tree so `go build ./...` and
+// the CI lint gate work with no module downloads. If x/tools is ever
+// vendored, the analyzers port to it mechanically (the Analyzer/Pass
+// shapes match upstream).
 go 1.22

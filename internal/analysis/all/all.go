@@ -1,0 +1,23 @@
+// Package all registers the complete schedlint analyzer suite, in the
+// order diagnostics should be grouped when several fire on one line.
+package all
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/atomicmix"
+	"repro/internal/analysis/hotpath"
+	"repro/internal/analysis/metricsync"
+	"repro/internal/analysis/puredecide"
+	"repro/internal/analysis/stridepad"
+)
+
+// Analyzers is the suite cmd/schedlint runs and CI enforces.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		hotpath.Analyzer,
+		puredecide.Analyzer,
+		stridepad.Analyzer,
+		atomicmix.Analyzer,
+		metricsync.Analyzer,
+	}
+}

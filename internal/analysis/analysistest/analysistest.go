@@ -1,0 +1,320 @@
+// Package analysistest runs schedlint analyzers over fixture packages
+// and checks their diagnostics against // want comments, in the style
+// of golang.org/x/tools/go/analysis/analysistest (stdlib-only, like
+// the framework it tests).
+//
+// Fixture layout: <testdata>/src/fix/<pkg>/*.go, imported as
+// "fix/<pkg>". Fixtures run with module path "fix", so imports among
+// fixture packages exercise the cross-package fact plumbing while
+// standard-library imports resolve through the real toolchain's
+// export data. The fixture module root <testdata>/src/fix is also the
+// Pass.ModuleDir, so analyzers that read repository files (metricsync
+// and docs/METRICS.md) see a fixture-local copy.
+//
+// Expectations: a comment of the form
+//
+//	// want "regexp" "another regexp"
+//
+// on a source line declares that exactly those diagnostics (matched by
+// unanchored regexp, any analyzer) are reported on that line. Every
+// diagnostic must be wanted and every want must fire, across all
+// loaded fixture packages — dependencies included, so a fixture
+// dependency can carry expectations of its own.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/driver"
+)
+
+// FixtureModule is the module path fixture packages live under.
+const FixtureModule = "fix"
+
+// TestData returns the calling test's testdata directory.
+func TestData() string {
+	wd, err := os.Getwd()
+	if err != nil {
+		panic(err)
+	}
+	return filepath.Join(wd, "testdata")
+}
+
+// Run loads the named fixture packages (plus their fixture
+// dependencies), runs the analyzers over them in dependency order, and
+// reports every mismatch between diagnostics and // want comments as a
+// test error.
+func Run(t *testing.T, testdata string, analyzers []*analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	ld := &loader{
+		testdata: testdata,
+		fset:     fset,
+		parsed:   make(map[string][]*ast.File),
+		order:    nil,
+	}
+	for _, p := range pkgPaths {
+		if err := ld.load(p); err != nil {
+			t.Fatalf("loading fixture %s: %v", p, err)
+		}
+	}
+
+	// Resolve the standard-library imports the fixtures use through
+	// the real toolchain, from the enclosing module (any directory
+	// with a go.mod works for `go list`).
+	exports, err := driver.ExportsFor(moduleRoot(), ld.stdlib())
+	if err != nil {
+		t.Fatalf("resolving fixture stdlib imports: %v", err)
+	}
+
+	pkgs, err := ld.typecheck(exports)
+	if err != nil {
+		t.Fatalf("type-checking fixtures: %v", err)
+	}
+
+	mod := &driver.Module{Path: FixtureModule, Dir: filepath.Join(testdata, "src", FixtureModule)}
+	findings, err := driver.RunPackages(analyzers, pkgs, fset, mod)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	check(t, fset, ld, findings)
+}
+
+// loader accumulates fixture packages in dependency order.
+type loader struct {
+	testdata string
+	fset     *token.FileSet
+	parsed   map[string][]*ast.File // fixture pkg path -> files
+	order    []string
+	std      map[string]bool
+}
+
+func (ld *loader) dirOf(pkgPath string) string {
+	return filepath.Join(ld.testdata, "src", filepath.FromSlash(pkgPath))
+}
+
+func (ld *loader) load(pkgPath string) error {
+	if _, done := ld.parsed[pkgPath]; done {
+		return nil
+	}
+	dir := ld.dirOf(pkgPath)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("no Go files in %s", dir)
+	}
+	ld.parsed[pkgPath] = files // mark before recursing (cycles fail in typecheck)
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			if strings.HasPrefix(path, FixtureModule+"/") {
+				if err := ld.load(path); err != nil {
+					return err
+				}
+			} else {
+				if ld.std == nil {
+					ld.std = make(map[string]bool)
+				}
+				ld.std[path] = true
+			}
+		}
+	}
+	ld.order = append(ld.order, pkgPath) // post-order: dependencies first
+	return nil
+}
+
+func (ld *loader) stdlib() []string {
+	var out []string
+	for p := range ld.std {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (ld *loader) typecheck(exports map[string]string) ([]*driver.Package, error) {
+	checked := make(map[string]*types.Package)
+	gc := importer.ForCompiler(ld.fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if p, ok := checked[path]; ok {
+			return p, nil
+		}
+		return gc.Import(path)
+	})
+	var pkgs []*driver.Package
+	for _, pkgPath := range ld.order {
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Implicits:  make(map[ast.Node]types.Object),
+			Instances:  make(map[*ast.Ident]types.Instance),
+			Scopes:     make(map[ast.Node]*types.Scope),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := &types.Config{Importer: imp, Sizes: types.SizesFor("gc", "amd64")}
+		pkg, err := conf.Check(pkgPath, ld.fset, ld.parsed[pkgPath], info)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", pkgPath, err)
+		}
+		checked[pkgPath] = pkg
+		pkgs = append(pkgs, &driver.Package{
+			PkgPath: pkgPath,
+			Dir:     ld.dirOf(pkgPath),
+			Files:   ld.parsed[pkgPath],
+			Types:   pkg,
+			Info:    info,
+		})
+	}
+	return pkgs, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// expectation is one // want regexp, positioned at its line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+func check(t *testing.T, fset *token.FileSet, ld *loader, findings []driver.Finding) {
+	t.Helper()
+	var wants []*expectation
+	for _, files := range ld.parsed {
+		for _, f := range files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					for _, raw := range splitQuoted(m[1]) {
+						pat, err := strconv.Unquote(raw)
+						if err != nil {
+							t.Errorf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, raw, err)
+							continue
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+							continue
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+					}
+				}
+			}
+		}
+	}
+
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// splitQuoted extracts the double-quoted or backquoted segments of a
+// want comment's tail.
+func splitQuoted(s string) []string {
+	var out []string
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			j := i + 1
+			for j < len(s) && s[j] != '"' {
+				if s[j] == '\\' {
+					j++
+				}
+				j++
+			}
+			if j < len(s) {
+				out = append(out, s[i:j+1])
+				i = j
+			}
+		case '`':
+			j := i + 1
+			for j < len(s) && s[j] != '`' {
+				j++
+			}
+			if j < len(s) {
+				out = append(out, s[i:j+1])
+				i = j
+			}
+		}
+	}
+	return out
+}
+
+// moduleRoot walks up from the working directory to the enclosing
+// go.mod — the module whose toolchain context resolves stdlib export
+// data for fixtures.
+func moduleRoot() string {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "."
+	}
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return dir
+		}
+		d = parent
+	}
+}

@@ -1,0 +1,14 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/atomicmix"
+)
+
+func TestAtomicmix(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(),
+		[]*analysis.Analyzer{atomicmix.Analyzer}, "fix/mix")
+}

@@ -1,0 +1,49 @@
+// Fixture for the atomicmix analyzer: a struct field and a package
+// variable driven through the legacy sync/atomic API, with plain
+// accesses on hot paths (flagged), in exempt construction/teardown
+// functions (not flagged), and under the ignore hatch.
+package mix
+
+import "sync/atomic"
+
+type gauge struct {
+	n    int64
+	name string
+}
+
+func (g *gauge) bump() int64 {
+	return atomic.AddInt64(&g.n, 1)
+}
+
+func (g *gauge) read() int64 {
+	return g.n // want "n is accessed with sync/atomic.AddInt64 elsewhere"
+}
+
+func (g *gauge) label() string {
+	return g.name
+}
+
+func (g *gauge) Stop() int64 {
+	return g.n
+}
+
+func NewGauge() *gauge {
+	g := &gauge{}
+	g.n = 1
+	return g
+}
+
+func (g *gauge) drain() int64 {
+	//schedlint:ignore fixture: called only after the workers quiesce
+	return g.n
+}
+
+var hits int64
+
+func record() {
+	atomic.StoreInt64(&hits, 1)
+}
+
+func peek() int64 {
+	return hits // want "hits is accessed with sync/atomic.StoreInt64 elsewhere"
+}

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// StaticCallee resolves a call expression to the *types.Func it
+// statically invokes: a package-level function, or a method called on
+// a concrete receiver. Dynamic calls — interface method dispatch,
+// func-typed values, method values passed around — return nil: they
+// cannot be walked without whole-program analysis, and the schedlint
+// analyzers treat them as contract boundaries (the callee's own
+// package carries the annotations that keep it honest). Generic
+// instantiations are resolved to their origin (the generic
+// declaration), so fact keys are stable across instantiations.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	// Unwrap explicit instantiation: f[T](...) / m[T1, T2](...).
+	switch idx := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(idx.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(idx.X)
+	}
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return origin(fn)
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if sel.Kind() != types.MethodVal {
+				return nil
+			}
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return nil
+			}
+			// Interface dispatch is dynamic.
+			if types.IsInterface(recvType(sel.Recv())) {
+				return nil
+			}
+			return origin(fn)
+		}
+		// No selection: a qualified identifier (pkg.Func).
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return origin(fn)
+		}
+	}
+	return nil
+}
+
+func origin(fn *types.Func) *types.Func {
+	if o := fn.Origin(); o != nil {
+		return o
+	}
+	return fn
+}
+
+func recvType(t types.Type) types.Type {
+	if ptr, ok := types.Unalias(t).(*types.Pointer); ok {
+		return ptr.Elem()
+	}
+	return t
+}
+
+// IsConversion reports whether the call expression is a type
+// conversion rather than a function call.
+func IsConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// BuiltinName returns the name of the builtin a call invokes ("" for
+// non-builtin calls).
+func BuiltinName(info *types.Info, call *ast.CallExpr) string {
+	fun := ast.Unparen(call.Fun)
+	id, ok := fun.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// FuncDecls maps every function declaration of the package to its
+// defining object, for call-graph walks.
+func FuncDecls(info *types.Info, files []*ast.File) map[*types.Func]*ast.FuncDecl {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Name == nil {
+				continue
+			}
+			if obj, ok := info.Defs[fn.Name].(*types.Func); ok {
+				decls[obj] = fn
+			}
+		}
+	}
+	return decls
+}
+
+// IsPointerShaped reports whether values of t are represented as a
+// single pointer word at runtime — boxing such a value into an
+// interface does not allocate.
+func IsPointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}

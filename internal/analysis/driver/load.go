@@ -1,0 +1,241 @@
+// Package driver loads type-checked packages and executes schedlint
+// analyzers over them, in two modes: a standalone loader built on
+// `go list -deps -export` (the `schedlint ./...` CLI and the in-repo
+// self-clean test), and the `go vet -vettool` unitchecker protocol
+// (unitchecker.go). Both modes share the same Pass construction, fact
+// plumbing and //schedlint:ignore suppression, so a diagnostic means
+// the same thing no matter how the tool was invoked.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the module under
+// analysis.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// Module describes the main module of a load.
+type Module struct {
+	Path string
+	Dir  string
+}
+
+// Load runs `go list -deps -export` for the patterns in dir, parses
+// and type-checks every package of the main module from source (in
+// dependency order, so facts flow bottom-up), and resolves all other
+// imports through their compiled export data. The returned packages
+// are in dependency order.
+func Load(dir string, patterns ...string) ([]*Package, *token.FileSet, *Module, error) {
+	metas, err := goList(dir, patterns)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var mod *Module
+	for _, m := range metas {
+		if m.Module != nil && m.Module.Main {
+			mod = &Module{Path: m.Module.Path, Dir: m.Module.Dir}
+			break
+		}
+	}
+	if mod == nil {
+		return nil, nil, nil, fmt.Errorf("schedlint: no main-module package matches %v", patterns)
+	}
+
+	fset := token.NewFileSet()
+	exports := make(map[string]string)
+	for _, m := range metas {
+		if m.Export != "" {
+			exports[m.ImportPath] = m.Export
+		}
+	}
+	imp := newSourceImporter(fset, func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var pkgs []*Package
+	for _, m := range metas {
+		inMain := m.Module != nil && m.Module.Main
+		if !inMain {
+			continue // deps resolve through export data on demand
+		}
+		var files []*ast.File
+		var names []string
+		for _, f := range m.GoFiles {
+			names = append(names, m.Dir+"/"+f)
+		}
+		files, err := parseFiles(fset, names)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		pkg, info, err := typecheck(fset, m.ImportPath, files, imp)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("schedlint: %s: %w", m.ImportPath, err)
+		}
+		imp.checked[m.ImportPath] = pkg
+		pkgs = append(pkgs, &Package{
+			PkgPath: m.ImportPath,
+			Dir:     m.Dir,
+			Files:   files,
+			Types:   pkg,
+			Info:    info,
+		})
+	}
+	return pkgs, fset, mod, nil
+}
+
+// listMeta is the subset of `go list -json` output the loader needs.
+type listMeta struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Module     *struct {
+		Path string
+		Dir  string
+		Main bool
+	}
+}
+
+func goList(dir string, patterns []string) ([]*listMeta, error) {
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Name,Dir,Export,GoFiles,Standard,Module"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("schedlint: go list %v: %v\n%s", patterns, err, errb.String())
+	}
+	var metas []*listMeta
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		m := new(listMeta)
+		if err := dec.Decode(m); err != nil {
+			return nil, fmt.Errorf("schedlint: decoding go list output: %v", err)
+		}
+		metas = append(metas, m)
+	}
+	return metas, nil
+}
+
+func parseFiles(fset *token.FileSet, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// sourceImporter resolves module packages to their source-checked
+// *types.Package (so type identity is shared across the whole load)
+// and everything else through gc export data.
+type sourceImporter struct {
+	checked map[string]*types.Package
+	gc      types.Importer
+}
+
+func newSourceImporter(fset *token.FileSet, lookup func(string) (io.ReadCloser, error)) *sourceImporter {
+	return &sourceImporter{
+		checked: make(map[string]*types.Package),
+		gc:      importer.ForCompiler(fset, "gc", lookup),
+	}
+}
+
+func (si *sourceImporter) Import(path string) (*types.Package, error) {
+	if p, ok := si.checked[path]; ok {
+		return p, nil
+	}
+	return si.gc.Import(path)
+}
+
+func typecheck(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := &types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", "amd64"),
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// ExportsFor resolves export-data files for the given import paths
+// (and their dependencies) by running `go list -deps -export` from
+// dir. The analysistest fixture loader uses it to type-check fixture
+// imports of the standard library without a module context of its own.
+func ExportsFor(dir string, imports []string) (map[string]string, error) {
+	if len(imports) == 0 {
+		return map[string]string{}, nil
+	}
+	metas, err := goList(dir, imports)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	for _, m := range metas {
+		if m.Export != "" {
+			exports[m.ImportPath] = m.Export
+		}
+	}
+	return exports, nil
+}
+
+// moduleOf walks up from dir to the enclosing go.mod, returning the
+// module root ("" when none is found). The unitchecker path uses it to
+// locate repository files (docs/METRICS.md) from a package directory.
+func moduleOf(dir string) string {
+	for d := dir; ; {
+		if _, err := os.Stat(d + "/go.mod"); err == nil {
+			return d
+		}
+		parent := strings.TrimRight(d[:len(d)-len(baseName(d))], "/")
+		if parent == "" || parent == d {
+			return ""
+		}
+		d = parent
+	}
+}
+
+func baseName(p string) string {
+	if i := strings.LastIndex(p, "/"); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}

@@ -1,0 +1,136 @@
+package driver
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+
+	"repro/internal/analysis"
+)
+
+// A Finding is one diagnostic attributed to its analyzer and package.
+type Finding struct {
+	Analyzer string
+	PkgPath  string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// FactStore accumulates per-package facts across a standalone run.
+// Facts are keyed by package path, then fact key; a package's visible
+// facts are those of every package loaded before it (the loader
+// returns dependency order, so that is exactly its transitive
+// imports, plus unrelated earlier packages whose facts are harmless).
+type FactStore map[string]map[string]string
+
+// RunPackages executes every analyzer over every loaded package,
+// applying //schedlint:ignore suppression, and returns the surviving
+// findings sorted by position. The fact store is shared across
+// packages in load (dependency) order.
+func RunPackages(analyzers []*analysis.Analyzer, pkgs []*Package, fset *token.FileSet, mod *Module) ([]Finding, error) {
+	store := make(FactStore)
+	var findings []Finding
+	for _, pkg := range pkgs {
+		fs, err := runOne(analyzers, pkg, fset, mod, store)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	sort.SliceStable(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Message < b.Message
+	})
+	return findings, nil
+}
+
+func runOne(analyzers []*analysis.Analyzer, pkg *Package, fset *token.FileSet, mod *Module, store FactStore) ([]Finding, error) {
+	imported := store.snapshot(pkg.PkgPath)
+	own := store.pkg(pkg.PkgPath)
+	ignores, bare := analysis.Ignores(fset, pkg.Files)
+
+	var findings []Finding
+	for _, d := range bare {
+		findings = append(findings, Finding{
+			Analyzer: "schedlint",
+			PkgPath:  pkg.PkgPath,
+			Pos:      fset.Position(d.Pos),
+			Message:  d.Message,
+		})
+	}
+
+	modPath, modDir := "", ""
+	if mod != nil {
+		modPath, modDir = mod.Path, mod.Dir
+	}
+	for _, a := range analyzers {
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			Info:       pkg.Info,
+			ModulePath: modPath,
+			ModuleDir:  modDir,
+			Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+			ExportFact: func(k, v string) { own[k] = v },
+			ImportedFacts: func() map[string]map[string]string {
+				return imported
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("schedlint: %s on %s: %w", a.Name, pkg.PkgPath, err)
+		}
+		analysis.SortDiagnostics(fset, diags)
+		for _, d := range diags {
+			if ignores.Covers(d.Pos) {
+				continue
+			}
+			findings = append(findings, Finding{
+				Analyzer: a.Name,
+				PkgPath:  pkg.PkgPath,
+				Pos:      fset.Position(d.Pos),
+				Message:  d.Message,
+			})
+		}
+	}
+	return findings, nil
+}
+
+// pkg returns (creating if needed) the fact map of one package.
+func (s FactStore) pkg(path string) map[string]string {
+	m, ok := s[path]
+	if !ok {
+		m = make(map[string]string)
+		s[path] = m
+	}
+	return m
+}
+
+// snapshot copies the store's current contents, excluding self: the
+// facts visible to a package mid-load.
+func (s FactStore) snapshot(self string) map[string]map[string]string {
+	out := make(map[string]map[string]string, len(s))
+	for p, m := range s {
+		if p == self {
+			continue
+		}
+		cp := make(map[string]string, len(m))
+		for k, v := range m {
+			cp[k] = v
+		}
+		out[p] = cp
+	}
+	return out
+}

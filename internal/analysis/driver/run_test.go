@@ -1,0 +1,102 @@
+package driver_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/driver"
+)
+
+// loadSrc typechecks one import-free source string into a driver
+// package.
+func loadSrc(t *testing.T, src string) (*driver.Package, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &driver.Package{PkgPath: "p", Files: []*ast.File{f}, Types: pkg, Info: info}, fset
+}
+
+// probe reports one diagnostic per package-level var declaration: a
+// minimal analyzer to exercise the driver's suppression machinery.
+var probe = &analysis.Analyzer{
+	Name: "probe",
+	Doc:  "flag every package-level var (test probe)",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				gd, ok := d.(*ast.GenDecl)
+				if !ok || gd.Tok != token.VAR {
+					continue
+				}
+				pass.Reportf(gd.Pos(), "probe: package-level var")
+			}
+		}
+		return nil
+	},
+}
+
+// TestBareIgnoreReported: an ignore directive without a justification
+// is itself a finding, attributed to the suite rather than an
+// analyzer, and suppresses nothing.
+func TestBareIgnoreReported(t *testing.T) {
+	pkg, fset := loadSrc(t, `package p
+
+//schedlint:ignore
+var x = 1
+`)
+	findings, err := driver.RunPackages([]*analysis.Analyzer{probe}, []*driver.Package{pkg}, fset, &driver.Module{Path: "p", Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2 (bare ignore + unsuppressed probe): %v", len(findings), findings)
+	}
+	var sawBare, sawProbe bool
+	for _, f := range findings {
+		if f.Analyzer == "schedlint" && strings.Contains(f.Message, "requires a justification") {
+			sawBare = true
+		}
+		if f.Analyzer == "probe" {
+			sawProbe = true
+		}
+	}
+	if !sawBare || !sawProbe {
+		t.Fatalf("missing expected findings (bare=%v probe=%v): %v", sawBare, sawProbe, findings)
+	}
+}
+
+// TestJustifiedIgnoreSuppresses: a justified ignore on (or above) the
+// flagged line suppresses the diagnostic.
+func TestJustifiedIgnoreSuppresses(t *testing.T) {
+	pkg, fset := loadSrc(t, `package p
+
+//schedlint:ignore test: audited
+var x = 1
+
+var y = 2
+`)
+	findings, err := driver.RunPackages([]*analysis.Analyzer{probe}, []*driver.Package{pkg}, fset, &driver.Module{Path: "p", Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || findings[0].Pos.Line != 6 {
+		t.Fatalf("want exactly the unignored var y flagged at line 6, got: %v", findings)
+	}
+}

@@ -1,0 +1,216 @@
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// VetConfig mirrors the JSON compilation-unit description `go vet`
+// hands a -vettool for every package it analyzes (the unitchecker
+// protocol; see $GOROOT/src/cmd/go/internal/work/exec.go
+// buildVetConfig). Fields the suite does not consume are listed for
+// documentation but decode harmlessly.
+type VetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Unitcheck implements one `go vet -vettool` invocation: read the
+// config, analyze the unit, write the facts output, print diagnostics
+// to stderr. The returned exit code follows the vet convention: 0
+// clean, 1 diagnostics found, 2 operational failure.
+//
+// Packages outside the main module (the standard library and, in
+// future, vendored deps) are fast-pathed: go vet drives the tool over
+// every dependency in VetxOnly mode to give fact-using analyzers a
+// chance, but every schedlint invariant is scoped to this module, so
+// for foreign packages the tool writes an empty fact file without
+// even parsing them — this keeps `go vet -vettool=schedlint ./...`
+// within the same order of cost as plain `go vet`.
+func Unitcheck(configFile string, analyzers []*analysis.Analyzer) int {
+	cfg, err := readVetConfig(configFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+		return 2
+	}
+
+	inModule := cfg.ModulePath != "" &&
+		(cfg.ImportPath == cfg.ModulePath || strings.HasPrefix(cfg.ImportPath, cfg.ModulePath+"/"))
+	if !inModule {
+		if err := writeVetx(cfg.VetxOutput, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+			return 2
+		}
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files, err := parseFiles(fset, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx(cfg.VetxOutput, nil)
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+		return 2
+	}
+	imp := vetImporter(fset, cfg)
+	pkg, info, err := typecheck(fset, cfg.ImportPath, files, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx(cfg.VetxOutput, nil)
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+		return 2
+	}
+
+	// Import facts: every dependency's vetx file holds that package's
+	// own facts merged with its imports' (see below), so the union over
+	// direct deps covers the transitive closure.
+	imported := make(map[string]map[string]string)
+	for _, vetx := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetx)
+		if err != nil || len(data) == 0 {
+			continue // no facts from that dep
+		}
+		var m map[string]map[string]string
+		if json.Unmarshal(data, &m) != nil {
+			continue
+		}
+		for p, facts := range m {
+			dst := imported[p]
+			if dst == nil {
+				dst = make(map[string]string, len(facts))
+				imported[p] = dst
+			}
+			for k, v := range facts {
+				dst[k] = v
+			}
+		}
+	}
+
+	mod := &Module{Path: cfg.ModulePath, Dir: moduleOf(cfg.Dir)}
+	store := make(FactStore)
+	for p, m := range imported {
+		store[p] = m
+	}
+	loaded := &Package{PkgPath: cfg.ImportPath, Dir: cfg.Dir, Files: files, Types: pkg, Info: info}
+	findings, err := runOne(analyzers, loaded, fset, mod, store)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+		return 2
+	}
+
+	// Re-export: own facts plus everything imported, so facts reach
+	// indirect dependents whose PackageVetx lists only direct deps.
+	// Facts are keyed under the unit's ImportPath, which for a test
+	// variant carries a " [pkg.test]" suffix — strip it so dependents
+	// find the facts under the plain package path.
+	exportPath := cfg.ImportPath
+	if i := strings.Index(exportPath, " ["); i >= 0 {
+		exportPath = exportPath[:i]
+	}
+	out := map[string]map[string]string{}
+	for p, m := range imported {
+		out[p] = m
+	}
+	if own := store[cfg.ImportPath]; len(own) > 0 {
+		merged := out[exportPath]
+		if merged == nil {
+			merged = make(map[string]string, len(own))
+			out[exportPath] = merged
+		}
+		for k, v := range own {
+			merged[k] = v
+		}
+	}
+	if err := writeVetx(cfg.VetxOutput, out); err != nil {
+		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+		return 2
+	}
+
+	if cfg.VetxOnly || len(findings) == 0 {
+		return 0
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", f.Pos, f.Analyzer, f.Message)
+	}
+	return 1
+}
+
+func readVetConfig(name string) (*VetConfig, error) {
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(VetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode vet config %s: %v", name, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return nil, fmt.Errorf("package has no Go files: %s", cfg.ImportPath)
+	}
+	return cfg, nil
+}
+
+func writeVetx(name string, facts map[string]map[string]string) error {
+	if name == "" {
+		return nil
+	}
+	data := []byte("{}")
+	if len(facts) > 0 {
+		var err error
+		data, err = json.Marshal(facts)
+		if err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(name, data, 0o666)
+}
+
+// vetImporter resolves imports through the export data files the
+// build system supplies in the vet config.
+func vetImporter(fset *token.FileSet, cfg *VetConfig) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	}
+	si := newSourceImporter(fset, lookup)
+	return importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			path = importPath
+		}
+		return si.Import(path)
+	})
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

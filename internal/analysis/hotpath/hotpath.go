@@ -1,0 +1,536 @@
+// Package hotpath implements the schedlint analyzer that keeps
+// //schedlint:hotpath functions allocation-free.
+//
+// The zero-allocation submit/pop/execute path is a core performance
+// claim of this repository (see PR 6 in ROADMAP.md): a task's steady
+// -state round trip may not touch the garbage collector. The analyzer
+// enforces it structurally: a function annotated //schedlint:hotpath
+// must contain no allocating construct, and neither may any function
+// it calls, transitively, so far as calls resolve statically:
+//
+//   - intra-package callees are walked directly;
+//   - calls into other packages of this module consult the "safe:"
+//     facts the analyzer exports bottom-up (the callee package was
+//     analyzed first — dependency order — and proved each of its
+//     functions allocation-free or not);
+//   - standard-library calls are checked against a small allowlist
+//     (sync, sync/atomic, runtime, math, math/bits, unsafe, and the
+//     arithmetic core of time); everything else is treated as
+//     allocating, because most of it is (fmt, errors, strconv, ...);
+//   - dynamic calls — interface dispatch, func-typed config fields
+//     like Config.Execute — are skipped: they are the scheduler's
+//     user-code boundary, and their cost belongs to the caller's
+//     account, not the scheduler's.
+//
+// Allocating constructs: make, new, append (its growth path
+// allocates; pre-sized appends must be audited with
+// //schedlint:ignore), map and slice literals, map inserts, &struct
+// literals, capturing closures, go statements, string concatenation
+// and string<->[]byte conversions, and interface boxing of values
+// that are not pointer-shaped (assignment, argument passing, returns,
+// and explicit conversions).
+//
+// An allocation site annotated //schedlint:ignore <reason> is excused
+// and — deliberately — does not poison the containing function's
+// exported safety fact: the annotation records that a human audited
+// the site (amortized growth, once-per-lifetime warmup), so callers
+// may keep treating the function as hot-safe.
+package hotpath
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc:  "check that //schedlint:hotpath functions and their static callees are allocation-free",
+	Run:  run,
+}
+
+// FactPrefix keys the per-function safety facts this analyzer exports:
+// "safe:<funcKey>" => "ok" for every function proven allocation-free.
+const FactPrefix = "safe:"
+
+// FuncKey names a function for fact exchange, package-relative so the
+// same key is computed by the exporting package (from its FuncDecl)
+// and by callers (from the imported object): "F" for functions,
+// "(T).M" / "(*T).M" for methods on the generic origin.
+func FuncKey(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return fn.Name()
+	}
+	t := sig.Recv().Type()
+	star := ""
+	if p, isPtr := types.Unalias(t).(*types.Pointer); isPtr {
+		star = "*"
+		t = p.Elem()
+	}
+	name := "?"
+	if n, isNamed := types.Unalias(t).(*types.Named); isNamed {
+		name = n.Obj().Name()
+	}
+	return "(" + star + name + ")." + fn.Name()
+}
+
+// site is one allocating construct, positioned at its expression.
+type site struct {
+	pos token.Pos
+	msg string
+}
+
+// edge is one statically resolved call out of a function.
+type edge struct {
+	pos    token.Pos
+	callee *types.Func
+}
+
+// funcFacts is the per-function scan result.
+type funcFacts struct {
+	sites []site
+	intra []edge // callees declared in this package
+	cross []edge // callees in other packages of this module
+}
+
+func run(pass *analysis.Pass) error {
+	decls := analysis.FuncDecls(pass.Info, pass.Files)
+	ignores, _ := analysis.Ignores(pass.Fset, pass.Files) // bare ignores are the driver's report
+	imported := pass.ImportedFacts()
+
+	// Scan every function body once.
+	scanned := make(map[*types.Func]*funcFacts, len(decls))
+	for fn, decl := range decls {
+		scanned[fn] = scanFunc(pass, ignores, decl)
+	}
+
+	// crossSafe consults the exporting package's facts for one callee.
+	crossSafe := func(callee *types.Func) bool {
+		pkg := callee.Pkg()
+		if pkg == nil {
+			return true
+		}
+		facts := imported[pkg.Path()]
+		return facts != nil && facts[FactPrefix+FuncKey(callee)] == "ok"
+	}
+
+	// Bottom-up fixpoint: a function is unsafe if it has a site of its
+	// own, calls an unproven module function in another package, or
+	// calls an unsafe function here. unsafe[fn] records the first
+	// reason, for diagnostics on the annotated roots.
+	type blame struct {
+		pos token.Pos
+		msg string
+	}
+	unsafe := make(map[*types.Func]blame)
+	for fn, ff := range scanned {
+		if len(ff.sites) > 0 {
+			unsafe[fn] = blame{ff.sites[0].pos, ff.sites[0].msg}
+			continue
+		}
+		for _, e := range ff.cross {
+			if !crossSafe(e.callee) {
+				unsafe[fn] = blame{e.pos, fmt.Sprintf(
+					"calls %s.%s, which is not proven allocation-free",
+					e.callee.Pkg().Name(), FuncKey(e.callee))}
+				break
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, ff := range scanned {
+			if _, bad := unsafe[fn]; bad {
+				continue
+			}
+			for _, e := range ff.intra {
+				if b, bad := unsafe[e.callee]; bad {
+					unsafe[fn] = blame{e.pos, fmt.Sprintf(
+						"calls %s, which is not allocation-free (%s)",
+						FuncKey(e.callee), b.msg)}
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Export safety facts for every clean function, so dependent
+	// packages' hot paths can call into this one.
+	for fn := range scanned {
+		if _, bad := unsafe[fn]; !bad {
+			pass.ExportFact(FactPrefix+FuncKey(fn), "ok")
+		}
+	}
+
+	// Diagnose: walk the transitive intra-package closure of each
+	// annotated function, reporting every allocation site reached and
+	// every unproven cross-package call. Sites are deduplicated across
+	// roots — one finding per construct, attributed to the first
+	// annotated function that reaches it.
+	reported := make(map[token.Pos]bool)
+	var roots []*types.Func
+	for fn, decl := range decls {
+		if analysis.FuncHasDirective(decl, analysis.DirHotpath) {
+			roots = append(roots, fn)
+		}
+	}
+	// Deterministic root order.
+	for i := range roots {
+		for j := i + 1; j < len(roots); j++ {
+			if roots[j].Pos() < roots[i].Pos() {
+				roots[i], roots[j] = roots[j], roots[i]
+			}
+		}
+	}
+	for _, root := range roots {
+		visited := make(map[*types.Func]bool)
+		var walk func(fn *types.Func, viaRoot bool)
+		walk = func(fn *types.Func, viaRoot bool) {
+			if visited[fn] {
+				return
+			}
+			visited[fn] = true
+			ff := scanned[fn]
+			if ff == nil {
+				return
+			}
+			suffix := ""
+			if !viaRoot {
+				suffix = fmt.Sprintf(" (on the hot path of %s)", FuncKey(root))
+			}
+			for _, s := range ff.sites {
+				if !reported[s.pos] {
+					reported[s.pos] = true
+					pass.Reportf(s.pos, "%s%s", s.msg, suffix)
+				}
+			}
+			for _, e := range ff.cross {
+				if !crossSafe(e.callee) && !reported[e.pos] {
+					reported[e.pos] = true
+					pass.Reportf(e.pos,
+						"hot path calls %s.%s, which is not proven allocation-free%s",
+						e.callee.Pkg().Name(), FuncKey(e.callee), suffix)
+				}
+			}
+			for _, e := range ff.intra {
+				walk(e.callee, false)
+			}
+		}
+		walk(root, true)
+	}
+	return nil
+}
+
+// scanFunc records every allocating construct and static call edge in
+// one function body. Sites on //schedlint:ignore-covered lines are
+// dropped here — before fact computation — so an audited site neither
+// reports nor poisons the function's safety fact.
+func scanFunc(pass *analysis.Pass, ignores *analysis.IgnoreSet, decl *ast.FuncDecl) *funcFacts {
+	ff := &funcFacts{}
+	if decl.Body == nil {
+		return ff // assembly or external linkage: nothing to prove here
+	}
+	var sig *types.Signature
+	if obj, ok := pass.Info.Defs[decl.Name].(*types.Func); ok {
+		sig, _ = obj.Type().(*types.Signature)
+	}
+	s := &scanner{pass: pass, ignores: ignores, sig: sig, ff: ff}
+	ast.Inspect(decl.Body, s.visit)
+	return ff
+}
+
+type scanner struct {
+	pass    *analysis.Pass
+	ignores *analysis.IgnoreSet
+	sig     *types.Signature
+	ff      *funcFacts
+}
+
+func (s *scanner) add(pos token.Pos, format string, args ...any) {
+	if s.ignores.Covers(pos) {
+		return
+	}
+	s.ff.sites = append(s.ff.sites, site{pos, fmt.Sprintf(format, args...)})
+}
+
+func (s *scanner) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		// A closure body runs on whatever path invokes the func value,
+		// not necessarily this one; what is charged here is only the
+		// closure object itself, which allocates iff it captures.
+		if capturesLocals(s.pass.Info, n) {
+			s.add(n.Pos(), "closure captures local variables and allocates its environment")
+		}
+		return false
+
+	case *ast.GoStmt:
+		s.add(n.Pos(), "go statement spawns a goroutine on the hot path")
+		return true
+
+	case *ast.CompositeLit:
+		if tv, ok := s.pass.Info.Types[n]; ok {
+			switch tv.Type.Underlying().(type) {
+			case *types.Map:
+				s.add(n.Pos(), "map literal allocates")
+			case *types.Slice:
+				s.add(n.Pos(), "slice literal allocates its backing array")
+			}
+		}
+		return true
+
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			if _, lit := ast.Unparen(n.X).(*ast.CompositeLit); lit {
+				s.add(n.Pos(), "&composite literal escapes to the heap")
+			}
+		}
+		return true
+
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD {
+			if tv, ok := s.pass.Info.Types[n]; ok && tv.Value == nil && isString(tv.Type) {
+				s.add(n.Pos(), "string concatenation allocates")
+			}
+		}
+		return true
+
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+				if tv, ok := s.pass.Info.Types[idx.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						s.add(lhs.Pos(), "map insert may allocate (rehash, new cell)")
+					}
+				}
+			}
+		}
+		if len(n.Lhs) == len(n.Rhs) {
+			for i, rhs := range n.Rhs {
+				if tv, ok := s.pass.Info.Types[n.Lhs[i]]; ok {
+					s.checkBox(rhs, tv.Type, "assignment")
+				}
+			}
+		}
+		return true
+
+	case *ast.ValueSpec:
+		if n.Type != nil && len(n.Values) > 0 {
+			if tv, ok := s.pass.Info.Types[n.Type]; ok {
+				for _, v := range n.Values {
+					s.checkBox(v, tv.Type, "assignment")
+				}
+			}
+		}
+		return true
+
+	case *ast.ReturnStmt:
+		if s.sig != nil && s.sig.Results().Len() == len(n.Results) {
+			for i, r := range n.Results {
+				s.checkBox(r, s.sig.Results().At(i).Type(), "return")
+			}
+		}
+		return true
+
+	case *ast.CallExpr:
+		s.call(n)
+		return true
+	}
+	return true
+}
+
+func (s *scanner) call(call *ast.CallExpr) {
+	info := s.pass.Info
+	if analysis.IsConversion(info, call) {
+		if tv, ok := info.Types[call]; ok && len(call.Args) == 1 {
+			s.checkBox(call.Args[0], tv.Type, "conversion")
+			s.checkStringConv(call, tv.Type)
+		}
+		return
+	}
+	switch analysis.BuiltinName(info, call) {
+	case "append":
+		s.add(call.Pos(), "append may grow its backing array (pre-size, or audit with //schedlint:ignore)")
+		return
+	case "make":
+		s.add(call.Pos(), "make allocates on the hot path")
+		return
+	case "new":
+		s.add(call.Pos(), "new allocates on the hot path")
+		return
+	case "":
+		// not a builtin: fall through to call resolution
+	default:
+		return // len, cap, copy, delete, min, max, panic, ...
+	}
+
+	callee := analysis.StaticCallee(info, call)
+	if callee == nil || callee.Pkg() == nil {
+		// Dynamic dispatch (interface methods, func-typed values such
+		// as Config.Execute): the callee is the user-code boundary.
+		s.checkArgBoxing(call)
+		return
+	}
+	if s.ignores.Covers(call.Pos()) {
+		// An audited call: the ignore vouches for the whole subtree
+		// behind this edge (e.g. a shutdown-only drain reachable from a
+		// hot submit), so it neither gets walked nor poisons the
+		// caller's safety fact.
+		s.checkArgBoxing(call)
+		return
+	}
+	switch path := callee.Pkg().Path(); {
+	case path == s.pass.Pkg.Path():
+		s.ff.intra = append(s.ff.intra, edge{call.Pos(), callee})
+	case s.pass.InModule(path):
+		s.ff.cross = append(s.ff.cross, edge{call.Pos(), callee})
+	default:
+		if !stdlibAllowed(callee) {
+			s.add(call.Pos(), "calls %s.%s, which is not on the hot-path allowlist",
+				callee.Pkg().Name(), FuncKey(callee))
+		}
+	}
+	s.checkArgBoxing(call)
+}
+
+// checkArgBoxing flags arguments boxed into interface parameters.
+func (s *scanner) checkArgBoxing(call *ast.CallExpr) {
+	tv, ok := s.pass.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice: no per-element boxing
+			}
+			if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt != nil {
+			s.checkBox(arg, pt, "argument")
+		}
+	}
+}
+
+// checkBox flags expr when storing it into target boxes a non-pointer
+// value into an interface.
+func (s *scanner) checkBox(expr ast.Expr, target types.Type, what string) {
+	if target == nil || !types.IsInterface(target) {
+		return
+	}
+	tv, ok := s.pass.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if tv.Value != nil || tv.IsNil() {
+		return // constants and nil box without a runtime allocation
+	}
+	if types.IsInterface(tv.Type) || analysis.IsPointerShaped(tv.Type) {
+		return
+	}
+	s.add(expr.Pos(), "%s boxes %s into an interface and allocates", what, tv.Type.String())
+}
+
+func (s *scanner) checkStringConv(call *ast.CallExpr, target types.Type) {
+	src, ok := s.pass.Info.Types[call.Args[0]]
+	if !ok || src.Value != nil {
+		return
+	}
+	to, from := target.Underlying(), src.Type.Underlying()
+	if isString(to) && isByteOrRuneSlice(from) {
+		s.add(call.Pos(), "[]byte/[]rune-to-string conversion copies and allocates")
+	}
+	if isByteOrRuneSlice(to) && isString(from) {
+		s.add(call.Pos(), "string-to-[]byte/[]rune conversion copies and allocates")
+	}
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// capturesLocals reports whether the closure references a variable
+// declared outside its own body (other than package-level state):
+// those captures force an environment allocation. Non-capturing func
+// literals compile to static function values.
+func capturesLocals(info *types.Info, lit *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if captured {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return true // package-level: no capture
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captured = true
+			return false
+		}
+		return true
+	})
+	return captured
+}
+
+// stdlibAllowed is the closed list of standard-library surface the hot
+// path may touch. Default-deny: the rest of the stdlib either
+// allocates (fmt, errors, strconv, strings builders...) or has not
+// been vetted, which for the hot path is the same thing.
+func stdlibAllowed(fn *types.Func) bool {
+	pkg := fn.Pkg().Path()
+	switch pkg {
+	case "sync", "sync/atomic", "runtime", "math", "math/bits", "unsafe":
+		return true
+	case "time":
+		return allowedTime[FuncKey(fn)]
+	}
+	return false
+}
+
+// allowedTime is the arithmetic core of package time: monotonic reads
+// and Duration/Time math. Formatting (String, Format, AppendFormat)
+// allocates and is excluded.
+var allowedTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"(Time).Add": true, "(Time).Sub": true, "(Time).Before": true,
+	"(Time).After": true, "(Time).Equal": true, "(Time).Compare": true,
+	"(Time).IsZero": true, "(Time).Unix": true, "(Time).UnixNano": true,
+	"(Time).UnixMilli": true, "(Time).UnixMicro": true,
+	"(Duration).Nanoseconds": true, "(Duration).Microseconds": true,
+	"(Duration).Milliseconds": true, "(Duration).Seconds": true,
+	"(Duration).Minutes": true, "(Duration).Hours": true,
+	"(Duration).Truncate": true, "(Duration).Round": true,
+}

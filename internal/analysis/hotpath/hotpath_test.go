@@ -1,0 +1,14 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/hotpath"
+)
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(),
+		[]*analysis.Analyzer{hotpath.Analyzer}, "fix/hot")
+}

@@ -1,0 +1,82 @@
+// Fixture for the hotpath analyzer: annotated functions with
+// allocating constructs (positive), clean ones (negative), transitive
+// callees, cross-package fact consultation, and the ignore hatch.
+package hot
+
+import (
+	"strconv"
+	"sync/atomic"
+
+	"fix/hotdep"
+)
+
+//schedlint:hotpath
+func allocsNew() *int {
+	return new(int) // want "new allocates on the hot path"
+}
+
+//schedlint:hotpath
+func viaHelper() int {
+	return helper()
+}
+
+func helper() int {
+	s := make([]int, 4) // want "make allocates on the hot path \\(on the hot path of viaHelper\\)"
+	return len(s)
+}
+
+//schedlint:hotpath
+func boxes(x int) any {
+	return x // want "return boxes int into an interface and allocates"
+}
+
+//schedlint:hotpath
+func concats(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+//schedlint:hotpath
+func spawns(ch chan int) {
+	go drain(ch) // want "go statement spawns a goroutine on the hot path"
+}
+
+func drain(ch chan int) {
+	<-ch
+}
+
+//schedlint:hotpath
+func closes(n int) func() int {
+	return func() int { return n } // want "closure captures local variables and allocates its environment"
+}
+
+//schedlint:hotpath
+func formats(n int) int {
+	return len(strconv.Itoa(n)) // want "calls strconv.Itoa, which is not on the hot-path allowlist"
+}
+
+//schedlint:hotpath
+func crossClean(c *hotdep.Counter) int64 {
+	return c.Bump() // proven safe via the exported fact: no diagnostic
+}
+
+//schedlint:hotpath
+func crossDirty() int {
+	return hotdep.Scratch() // want "hot path calls hotdep.Scratch, which is not proven allocation-free"
+}
+
+//schedlint:hotpath
+func audited(buf []int, v int) []int {
+	//schedlint:ignore fixture: capacity is pre-sized by the caller contract
+	buf = append(buf, v)
+	return buf
+}
+
+//schedlint:hotpath
+func clean(xs []int, n *atomic.Int64) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	n.Add(int64(t))
+	return t
+}

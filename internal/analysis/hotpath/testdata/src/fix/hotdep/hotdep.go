@@ -1,0 +1,18 @@
+// Fixture dependency for the hotpath analyzer: exports a "safe:" fact
+// for Counter.Bump (allocation-free) and none for Scratch, so the
+// importing fixture exercises both sides of the cross-package check.
+package hotdep
+
+import "sync/atomic"
+
+type Counter struct {
+	n atomic.Int64
+}
+
+func (c *Counter) Bump() int64 {
+	return c.n.Add(1)
+}
+
+func Scratch() int {
+	return len(make([]byte, 8))
+}

@@ -1,0 +1,199 @@
+// Package metricsync implements the schedlint analyzer that keeps the
+// registered metric series and docs/METRICS.md in lockstep.
+//
+// docs/METRICS.md is the operational contract of the scheduler: every
+// `sched_*` series an operator can scrape, with type, unit and
+// meaning. It drifts in both directions — a new counter lands without
+// a row, or a series is renamed and the old row lingers for an
+// operator to alert on. The analyzer closes both:
+//
+//   - forward: every obs.Desc composite literal whose Name is a
+//     string literal starting with "sched_" must have a matching row
+//     in docs/METRICS.md (label-suffixed rows like
+//     `sched_tenant_quota{tenant="t"}` match their base name);
+//   - reverse: in a package that registers at least one series, every
+//     `sched_*` row of docs/METRICS.md must correspond to a
+//     registration — in that package or in one visible through its
+//     "metric:" facts. The gate matters: packages that register
+//     nothing (and so see no registration facts) cannot tell a stale
+//     row from someone else's series. With a single registering
+//     package — internal/sched, today — the reverse check is exact;
+//     if registration ever spreads across sibling packages, the rows
+//     of one would need a hub package importing both to stay checked,
+//     and this comment is the breadcrumb for that day.
+//
+// Desc literals with computed (non-literal) names are outside the
+// analyzer's reach and are skipped; the repository convention is
+// literal names with per-series Labels, which keeps every series
+// checkable. Test files are skipped: fixtures and benchmarks register
+// scratch series that are not part of the operational contract.
+package metricsync
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "metricsync",
+	Doc:  "check that obs.Desc registrations of sched_* series and docs/METRICS.md agree in both directions",
+	Run:  run,
+}
+
+// FactPrefix keys the registration facts: "metric:<series>" => "registered".
+const FactPrefix = "metric:"
+
+// docsPath is the contract file, relative to the module root.
+const docsPath = "docs/METRICS.md"
+
+func run(pass *analysis.Pass) error {
+	// Collect this package's registrations: Desc{Name: "sched_..."}
+	// composite literals in non-test files.
+	type reg struct {
+		name string
+		pos  token.Pos
+	}
+	var regs []reg
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok || !isObsDesc(pass, lit) {
+				return true
+			}
+			name, pos, ok := literalNameField(lit)
+			if ok && strings.HasPrefix(name, "sched_") {
+				regs = append(regs, reg{name, pos})
+			}
+			return true
+		})
+	}
+	for _, r := range regs {
+		pass.ExportFact(FactPrefix+r.name, "registered")
+	}
+	if len(regs) == 0 || pass.ModuleDir == "" {
+		return nil
+	}
+
+	rows, err := docRows(pass.ModuleDir)
+	if err != nil {
+		pass.Reportf(regs[0].pos, "cannot check metric registrations: %v", err)
+		return nil
+	}
+
+	// Forward: registered => documented.
+	for _, r := range regs {
+		if !rows[r.name] {
+			pass.Reportf(r.pos,
+				"metric %q is registered but has no row in %s; document it (or rename the stale row)",
+				r.name, docsPath)
+		}
+	}
+
+	// Reverse: documented => registered somewhere visible from here.
+	known := make(map[string]bool, len(regs))
+	for _, r := range regs {
+		known[r.name] = true
+	}
+	for _, facts := range pass.ImportedFacts() {
+		for k := range facts {
+			if strings.HasPrefix(k, FactPrefix) {
+				known[strings.TrimPrefix(k, FactPrefix)] = true
+			}
+		}
+	}
+	var stale []string
+	for name := range rows {
+		if !known[name] {
+			stale = append(stale, name)
+		}
+	}
+	sort.Strings(stale)
+	for _, name := range stale {
+		pass.Reportf(regs[0].pos,
+			"%s documents %q but no registration for it exists; remove the stale row (or restore the series)",
+			docsPath, name)
+	}
+	return nil
+}
+
+// isObsDesc reports whether the composite literal's type is a named
+// type Desc from a package named obs (name-based so analysistest
+// fixtures can supply their own obs package).
+func isObsDesc(pass *analysis.Pass, lit *ast.CompositeLit) bool {
+	tv, ok := pass.Info.Types[lit]
+	if !ok {
+		return false
+	}
+	pkgPath, name, ok := analysis.NamedTypePath(tv.Type)
+	if !ok || name != "Desc" {
+		return false
+	}
+	return pkgPath == "" || pkgPath == "obs" || strings.HasSuffix(pkgPath, "/obs")
+}
+
+// literalNameField extracts the Name: "..." element of a Desc literal.
+func literalNameField(lit *ast.CompositeLit) (string, token.Pos, bool) {
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "Name" {
+			continue
+		}
+		bl, ok := ast.Unparen(kv.Value).(*ast.BasicLit)
+		if !ok || bl.Kind != token.STRING {
+			return "", token.NoPos, false // computed name: unchecked
+		}
+		s, err := strconv.Unquote(bl.Value)
+		if err != nil {
+			return "", token.NoPos, false
+		}
+		return s, bl.Pos(), true
+	}
+	return "", token.NoPos, false
+}
+
+// docRows parses the sched_* series names out of the METRICS.md
+// tables: the first backtick-quoted token of each table row, with any
+// {label="x"} suffix stripped.
+func docRows(moduleDir string) (map[string]bool, error) {
+	data, err := os.ReadFile(moduleDir + "/" + docsPath)
+	if err != nil {
+		return nil, fmt.Errorf("reading %s: %v", docsPath, err)
+	}
+	rows := make(map[string]bool)
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "|") {
+			continue
+		}
+		start := strings.Index(line, "`")
+		if start < 0 {
+			continue
+		}
+		end := strings.Index(line[start+1:], "`")
+		if end < 0 {
+			continue
+		}
+		name := line[start+1 : start+1+end]
+		if i := strings.Index(name, "{"); i >= 0 {
+			name = name[:i]
+		}
+		if strings.HasPrefix(name, "sched_") {
+			rows[name] = true
+		}
+	}
+	return rows, nil
+}

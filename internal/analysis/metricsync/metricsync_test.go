@@ -1,0 +1,14 @@
+package metricsync_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/metricsync"
+)
+
+func TestMetricsync(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(),
+		[]*analysis.Analyzer{metricsync.Analyzer}, "fix/metrics")
+}

@@ -1,0 +1,19 @@
+// Fixture for the metricsync analyzer. The fixture module's contract
+// file is ../docs/METRICS.md: it documents the admitted and labeled
+// series (registered here — negative), one stale series with no
+// registration (the reverse diagnostic, anchored at the first
+// registration below), while the ghost series registered here has no
+// row (the forward diagnostic) and the experimental one is excused.
+package metrics
+
+import "fix/obs"
+
+var sink obs.Sink
+
+var (
+	admitted = sink.Counter(obs.Desc{Name: "sched_fixture_admitted_total"}) // want "docs/METRICS.md documents \"sched_fixture_stale_total\" but no registration for it exists"
+	labeled  = sink.Counter(obs.Desc{Name: "sched_fixture_labeled_total"})
+	ghost    = sink.Counter(obs.Desc{Name: "sched_fixture_ghost_total"}) // want "metric \"sched_fixture_ghost_total\" is registered but has no row"
+	//schedlint:ignore fixture: experimental series, documented at GA
+	experimental = sink.Counter(obs.Desc{Name: "sched_fixture_experimental_total"})
+)

@@ -1,0 +1,15 @@
+// Package obs is a fixture stand-in for the repository's metrics
+// facade: metricsync matches registrations structurally, by a
+// composite literal of a type named Desc from a package named obs.
+package obs
+
+type Desc struct {
+	Name, Help, Unit string
+	Labels           []string
+}
+
+type Counter struct{ v int64 }
+
+type Sink struct{}
+
+func (Sink) Counter(d Desc) *Counter { return &Counter{} }

@@ -1,0 +1,202 @@
+// Package puredecide implements the schedlint analyzer that keeps the
+// controller decision functions pure.
+//
+// The adapt, backpressure, placement and fair packages follow one
+// contract (ROADMAP.md, docs/ARCHITECTURE.md): the policy lives in a
+// pure function Decide(cfg, cur, s) that maps a windowed sample to
+// the next state. Purity is what makes the controllers testable
+// table-driven, replayable from incident captures (internal/obs
+// replay), and provable (internal/theory leans on Decide being a
+// function of its arguments). The analyzer enforces it: Decide — and
+// every intra-package function it statically reaches — may not
+//
+//   - read the clock (time.Now/Since/Until): timestamps are inputs,
+//     passed in by the driver;
+//   - draw from global randomness (math/rand top-level functions):
+//     a seeded generator is state, passed in explicitly;
+//   - spawn goroutines: decisions are synchronous;
+//   - touch package-level mutable state (any package-level var,
+//     read or write), excepting error sentinels, which are
+//     write-once by convention;
+//   - synchronize (sync/atomic calls, methods on sync.Mutex and
+//     friends, methods on the atomic types): a pure function has
+//     nothing to guard.
+//
+// Cross-package and dynamic calls are not walked: the snapshot
+// structs the controllers exchange are plain values, and the
+// contract's enforcement boundary is the package.
+package puredecide
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "puredecide",
+	Doc:  "check that controller Decide functions are pure (no clock, global rand, goroutines, package state, or synchronization)",
+	Run:  run,
+}
+
+// controllerPackages names the packages (by package name, so fixture
+// packages participate) bound to the pure-Decide contract.
+var controllerPackages = map[string]bool{
+	"adapt":        true,
+	"backpressure": true,
+	"placement":    true,
+	"fair":         true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !controllerPackages[pass.Pkg.Name()] {
+		return nil
+	}
+	decls := analysis.FuncDecls(pass.Info, pass.Files)
+
+	var roots []*types.Func
+	for fn := range decls {
+		if fn.Name() == "Decide" {
+			roots = append(roots, fn)
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+	for i := range roots {
+		for j := i + 1; j < len(roots); j++ {
+			if roots[j].Pos() < roots[i].Pos() {
+				roots[i], roots[j] = roots[j], roots[i]
+			}
+		}
+	}
+
+	reported := make(map[token.Pos]bool)
+	for _, root := range roots {
+		visited := make(map[*types.Func]bool)
+		var walk func(fn *types.Func, direct bool)
+		walk = func(fn *types.Func, direct bool) {
+			if visited[fn] {
+				return
+			}
+			visited[fn] = true
+			decl := decls[fn]
+			if decl == nil || decl.Body == nil {
+				return
+			}
+			suffix := ""
+			if !direct {
+				suffix = fmt.Sprintf(" (reached from Decide via %s)", fn.Name())
+			}
+			c := &checker{pass: pass, reported: reported, suffix: suffix}
+			ast.Inspect(decl.Body, c.visit)
+			for _, callee := range c.intra {
+				walk(callee, false)
+			}
+		}
+		walk(root, true)
+	}
+	return nil
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	reported map[token.Pos]bool
+	suffix   string
+	intra    []*types.Func
+}
+
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	if c.reported[pos] {
+		return
+	}
+	c.reported[pos] = true
+	c.pass.Reportf(pos, "%s%s", fmt.Sprintf(format, args...), c.suffix)
+}
+
+func (c *checker) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.GoStmt:
+		c.report(n.Pos(), "Decide must not spawn goroutines; decisions are synchronous")
+		return true
+
+	case *ast.CallExpr:
+		c.call(n)
+		return true
+
+	case *ast.Ident:
+		c.identUse(n)
+		return true
+	}
+	return true
+}
+
+func (c *checker) call(call *ast.CallExpr) {
+	info := c.pass.Info
+	if analysis.IsConversion(info, call) || analysis.BuiltinName(info, call) != "" {
+		return
+	}
+	callee := analysis.StaticCallee(info, call)
+	if callee == nil || callee.Pkg() == nil {
+		return // dynamic: the contract boundary
+	}
+	sig, _ := callee.Type().(*types.Signature)
+	isMethod := sig != nil && sig.Recv() != nil
+	switch callee.Pkg().Path() {
+	case "time":
+		switch callee.Name() {
+		case "Now", "Since", "Until":
+			c.report(call.Pos(),
+				"Decide must not read the clock (time.%s); take the timestamp as an argument",
+				callee.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !isMethod {
+			// Top-level functions draw from the shared global source;
+			// methods on an explicitly seeded *rand.Rand are state the
+			// caller owns and passes in.
+			c.report(call.Pos(),
+				"Decide must not use global randomness (%s.%s); thread a seeded generator through the inputs",
+				callee.Pkg().Name(), callee.Name())
+		}
+	case "sync/atomic":
+		c.report(call.Pos(),
+			"Decide must not synchronize (%s); it computes on the snapshot it is handed",
+			callee.FullName())
+	case "sync":
+		if isMethod {
+			c.report(call.Pos(),
+				"Decide must not synchronize (%s); it computes on the snapshot it is handed",
+				callee.FullName())
+		}
+	default:
+		if callee.Pkg().Path() == c.pass.Pkg.Path() {
+			c.intra = append(c.intra, callee)
+		}
+	}
+}
+
+// identUse flags reads and writes of package-level variables — from
+// this package or any other — except error sentinels.
+func (c *checker) identUse(id *ast.Ident) {
+	v, ok := c.pass.Info.Uses[id].(*types.Var)
+	if !ok || v.IsField() || v.Pkg() == nil {
+		return
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return // local, parameter, or result: fine
+	}
+	if isErrorType(v.Type()) {
+		return // sentinel errors are write-once by convention
+	}
+	c.report(id.Pos(),
+		"Decide must not touch package-level state (%s.%s); pass it in through Config or the sample",
+		v.Pkg().Name(), v.Name())
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

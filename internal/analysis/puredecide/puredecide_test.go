@@ -1,0 +1,14 @@
+package puredecide_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/puredecide"
+)
+
+func TestPuredecide(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(),
+		[]*analysis.Analyzer{puredecide.Analyzer}, "fix/fair", "fix/notctrl")
+}

@@ -1,0 +1,46 @@
+// Fixture for the puredecide analyzer: a controller package (the
+// package name "fair" binds it to the contract) whose Decide commits
+// every forbidden impurity, plus one reached through a helper and one
+// excused by the ignore hatch.
+package fair
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+type Config struct{ Seed int64 }
+
+type State struct{ N int }
+
+type Sample struct{ At time.Duration }
+
+var tuning = 7
+
+var knob = 1
+
+func Decide(cfg Config, cur State, s Sample) State {
+	cur.N = int(time.Now().UnixNano()) // want "Decide must not read the clock \\(time.Now\\)"
+	cur.N += rand.Intn(3)              // want "Decide must not use global randomness \\(rand.Intn\\)"
+	cur.N += tuning                    // want "Decide must not touch package-level state \\(fair.tuning\\)"
+	go jitter(&cur)                    // want "Decide must not spawn goroutines"
+	var mu sync.Mutex
+	mu.Lock() // want "Decide must not synchronize \\(\\(\\*sync.Mutex\\).Lock\\)"
+	jitter(&cur)
+	mu.Unlock() // want "Decide must not synchronize \\(\\(\\*sync.Mutex\\).Unlock\\)"
+	//schedlint:ignore fixture: migration shim, removed with the legacy knob
+	cur.N += knob
+	return clamp(cur)
+}
+
+func jitter(st *State) {
+	st.N += rand.Intn(5) // want "Decide must not use global randomness \\(rand.Intn\\).*\\(reached from Decide via jitter\\)"
+}
+
+func clamp(st State) State {
+	if st.N < 0 {
+		st.N = 0
+	}
+	return st
+}

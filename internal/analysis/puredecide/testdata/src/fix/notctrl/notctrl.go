@@ -1,0 +1,13 @@
+// Fixture for the puredecide analyzer: a package outside the
+// controller set — an equally impure Decide here draws no diagnostics,
+// because the contract binds the four controller packages by name.
+package notctrl
+
+import "time"
+
+type State struct{ N int }
+
+func Decide(cur State) State {
+	cur.N = int(time.Now().UnixNano())
+	return cur
+}

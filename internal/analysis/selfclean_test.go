@@ -1,0 +1,25 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/all"
+	"repro/internal/analysis/driver"
+)
+
+// TestSchedlintSelfClean runs the full analyzer suite over this module
+// — the same check CI's schedlint job performs via go vet — so a
+// violation anywhere in the tree fails plain `go test ./...` too.
+func TestSchedlintSelfClean(t *testing.T) {
+	pkgs, fset, mod, err := driver.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	findings, err := driver.RunPackages(all.Analyzers(), pkgs, fset, mod)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,14 @@
+package stridepad_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/stridepad"
+)
+
+func TestStridepad(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(),
+		[]*analysis.Analyzer{stridepad.Analyzer}, "fix/pads")
+}

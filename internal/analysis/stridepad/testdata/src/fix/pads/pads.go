@@ -1,0 +1,47 @@
+// Fixture for the stridepad analyzer: structs on and off the 128-byte
+// stride, a 32-bit misalignment case, generic instantiation, and the
+// ignore hatch.
+package pads
+
+import "sync/atomic"
+
+//schedlint:padded
+type lane struct {
+	v atomic.Int64
+	_ [120]byte
+}
+
+//schedlint:padded
+type short struct { // want "padded struct short is 64 bytes; the anti-false-sharing stride is 128 \\(adjust trailing padding by 64 bytes\\)"
+	v atomic.Int64
+	_ [56]byte
+}
+
+// skew is a full stride on amd64 but lands its plain 8-byte scalars on
+// 4-byte offsets under the 386 size model.
+//
+//schedlint:padded
+type skew struct { // want "field n sits at offset 4 on 32-bit targets" "field m sits at offset 12 on 32-bit targets"
+	a uint32
+	n int64
+	m int64
+	_ [104]byte
+}
+
+//schedlint:padded
+type box[T any] struct {
+	p *T
+	_ [120]byte
+}
+
+//schedlint:padded
+type shortBox[T any] struct { // want "padded struct shortBox is 64 bytes"
+	p *T
+	_ [56]byte
+}
+
+//schedlint:padded
+//schedlint:ignore fixture: layout pinned to the vendor ABI, audited
+type vendor struct {
+	v int64
+}

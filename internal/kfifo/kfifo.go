@@ -71,9 +71,12 @@ func (q *Queue[T]) Len() int { return int(q.size.Load()) }
 // within the current k-window starting at tail; if the window is full the
 // tail advances by k and the search restarts, exactly as in Listing 1 of
 // the paper (which borrowed the scheme from this queue).
+//
+//schedlint:hotpath
 func (q *Queue[T]) Enqueue(v T) {
 	r := q.rngs.Get().(*xrand.Rand)
 	defer q.rngs.Put(r)
+	//schedlint:ignore one boxed item per element is the k-FIFO design: slots hold pointers and claim them by CAS
 	it := &item[T]{v: v}
 	for {
 		t := q.tail.Load()
@@ -107,6 +110,8 @@ func (q *Queue[T]) Enqueue(v T) {
 // enqueues); under concurrency a false-negative is possible and callers
 // are expected to retry, matching the spurious-failure allowance the
 // scheduling model grants pop operations.
+//
+//schedlint:hotpath
 func (q *Queue[T]) Dequeue() (v T, ok bool) {
 	r := q.rngs.Get().(*xrand.Rand)
 	defer q.rngs.Put(r)
@@ -160,6 +165,7 @@ func (q *Queue[T]) advanceRetire(newHead int64) {
 	}
 	defer q.retireBusy.Store(0)
 	if q.cursor == nil {
+		//schedlint:ignore the retirement cursor is created once per queue, lazily, off the per-element steady state
 		q.cursor = q.arr.NewCursor()
 	}
 	if h := q.head.Load(); h > newHead {

@@ -56,8 +56,11 @@ func (q *BucketQueue[T]) clamp(b int) int {
 }
 
 // Push inserts v into its band.
+//
+//schedlint:hotpath
 func (q *BucketQueue[T]) Push(v T) {
 	b := q.clamp(q.band(v))
+	//schedlint:ignore amortized band-stack growth; backing arrays are retained across Clear, so steady state re-uses them
 	q.elems[b] = append(q.elems[b], v)
 	q.occ[b>>6] |= 1 << (b & 63)
 	if b < q.low {
@@ -82,6 +85,8 @@ func (q *BucketQueue[T]) lowest() int {
 
 // Pop removes and returns an element of the lowest occupied band (LIFO
 // within the band).
+//
+//schedlint:hotpath
 func (q *BucketQueue[T]) Pop() (v T, ok bool) {
 	if q.n == 0 {
 		return v, false

@@ -211,6 +211,8 @@ type lane[T any] struct {
 // box is never overwritten while a sampler still reads it. The pad
 // rounds the element to a 128-byte stride for the same prefetch-pair
 // reason as sticky below.
+//
+//schedlint:padded
 type hzBox[T any] struct {
 	p atomic.Pointer[T]
 	_ [120]byte
@@ -223,6 +225,8 @@ type hzBox[T any] struct {
 // pulls adjacent lines in 128-byte pairs, so 64-byte elements still
 // false-share through the prefetched sibling line. At 128 bytes per
 // element no two places' state can land on one prefetch pair.
+//
+//schedlint:padded
 type sticky struct {
 	pushLane, pushLeft int
 	popLane, popLeft   int
@@ -485,6 +489,7 @@ func (d *DS[T]) advertise(ln *lane[T]) {
 	if v, ok := ln.q.Peek(); ok {
 		box := ln.spare
 		if box == nil || d.boxHazarded(box) {
+			//schedlint:ignore fresh box only when a sampler's hazard slot pins the spare — a rare race, not the steady state (see lane.spare)
 			box = new(T)
 		}
 		*box = v
@@ -587,6 +592,8 @@ func (d *DS[T]) bestOfTwo(pl, a, b int) int {
 // Push inserts v into a lane chosen per the stickiness policy. The
 // relaxation parameter k is ignored: the structural relaxation is fixed
 // at construction.
+//
+//schedlint:hotpath
 func (d *DS[T]) Push(pl int, k int, v T) {
 	_ = k
 	ln := d.lockPushLane(pl)
@@ -598,6 +605,8 @@ func (d *DS[T]) Push(pl int, k int, v T) {
 
 // PushK inserts every element of vs into one lane under a single lock
 // acquisition, re-advertising the lane minimum once for the whole batch.
+//
+//schedlint:hotpath
 func (d *DS[T]) PushK(pl int, k int, vs []T) {
 	_ = k
 	if len(vs) == 0 {
@@ -666,6 +675,8 @@ func (d *DS[T]) lockPushLane(pl int) *lane[T] {
 // Pop selects a lane per the stickiness and sampling policies and pops
 // its minimum, eliminating stale tasks on the way. A failed try-lock or
 // an empty sample is a spurious failure.
+//
+//schedlint:hotpath
 func (d *DS[T]) Pop(pl int) (v T, ok bool) {
 	var buf [1]T
 	if d.popInto(pl, buf[:]) == 0 {
@@ -689,6 +700,8 @@ const maxPopKAlloc = 256
 // only allocation is the exact-size result — and a failed pop (the
 // common case under backoff) allocates nothing at all. Callers on the
 // true hot path use PopKInto and own the buffer outright.
+//
+//schedlint:hotpath
 func (d *DS[T]) PopK(pl int, max int) []T {
 	if max < 1 {
 		return nil
@@ -698,6 +711,7 @@ func (d *DS[T]) PopK(pl int, max int) []T {
 	}
 	buf := d.popKBuf[pl]
 	if cap(buf) < max {
+		//schedlint:ignore per-place scratch grows once per max increase and is retained; steady state re-uses it
 		buf = make([]T, max)
 		d.popKBuf[pl] = buf
 	}
@@ -706,6 +720,7 @@ func (d *DS[T]) PopK(pl int, max int) []T {
 	if got == 0 {
 		return nil
 	}
+	//schedlint:ignore the exact-size caller-owned result is PopK's documented contract; allocation-free callers use PopKInto
 	out := make([]T, got)
 	copy(out, buf[:got])
 	var zero T
@@ -719,6 +734,8 @@ func (d *DS[T]) PopK(pl int, max int) []T {
 // len(out) tasks and returns how many it obtained (0 is a possibly
 // spurious failure). The scheduler's batched worker loop uses this with
 // a reusable per-worker buffer (core.BatchPopIntoer).
+//
+//schedlint:hotpath
 func (d *DS[T]) PopKInto(pl int, out []T) int {
 	if len(out) == 0 {
 		return 0

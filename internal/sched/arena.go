@@ -39,6 +39,7 @@ type block[E any] struct {
 // only when the retained capacity falls short.
 func (b *block[E]) grow(want int) []E {
 	if cap(b.buf) < want {
+		//schedlint:ignore arena block growth is a retained high-water mark; steady state re-uses the buffer
 		b.buf = make([]E, want)
 	}
 	return b.buf[:want]
@@ -59,6 +60,7 @@ func (a *blockArena[E]) get() *block[E] {
 			return b
 		}
 	}
+	//schedlint:ignore a dry pool mints one block that joins the population on put — growth events, not steady state
 	return &block[E]{}
 }
 

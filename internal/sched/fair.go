@@ -15,12 +15,19 @@ import (
 	"repro/internal/fair"
 )
 
-// padCounter is a cache-line-padded atomic counter. The per-tenant
-// arrays are hammered by concurrent producers indexing different
-// tenants, so neighbors must not share a line.
+// padCounter is a stride-padded atomic counter. The per-tenant arrays
+// are hammered by concurrent producers indexing different tenants, so
+// neighbors must not share a line — and a single 64-byte line is not
+// enough: the arrays carry no 64-byte alignment guarantee and the
+// spatial prefetcher pulls adjacent lines in 128-byte pairs, so
+// 64-byte elements still false-share through the prefetched sibling
+// line (the same analysis as relaxed.sticky). 128 bytes per counter
+// keeps any two tenants' counters off one prefetch pair.
+//
+//schedlint:padded
 type padCounter struct {
 	v atomic.Int64
-	_ [56]byte
+	_ [120]byte
 }
 
 // loadAll copies every counter of xs into dst (sized len(xs)).
@@ -61,6 +68,8 @@ func (s *Scheduler[T]) tenantOf(v T) int {
 // (tenant floor, tenant quota, then the backpressure priority
 // threshold) plus per-tenant attribution. The caller has already
 // raised pending, checked accepting and recorded the arrival.
+//
+//schedlint:hotpath
 func (s *Scheduler[T]) submitTenant(k int, v T) error {
 	t := s.tenantOf(v)
 	s.tenArrived[t].v.Add(1)
@@ -88,6 +97,8 @@ func (s *Scheduler[T]) submitTenant(k int, v T) error {
 }
 
 // pushTenant admits one tenant-attributed task into the structure.
+//
+//schedlint:hotpath
 func (s *Scheduler[T]) pushTenant(k int, v T, t int) error {
 	s.admittedN.Add(1)
 	s.tenAdmitted[t].v.Add(1)
@@ -105,6 +116,8 @@ func (s *Scheduler[T]) pushTenant(k int, v T, t int) error {
 // byQuota marks a rejection by the tenant quota rather than the
 // priority threshold — the split the TenantShed/TenantDeferred
 // counters report.
+//
+//schedlint:hotpath
 func (s *Scheduler[T]) deferOrShedTenant(k int, v T, t int, byQuota bool) error {
 	s.serveFin.pending.Add(1)
 	s.spawned.Add(1)
@@ -116,6 +129,7 @@ func (s *Scheduler[T]) deferOrShedTenant(k int, v T, t int, byQuota bool) error 
 			s.quotaDeferred.Add(1)
 		}
 		if !s.accepting.Load() {
+			//schedlint:ignore stop-racing submissions drain the spillway once; a shutdown edge, not the steady submit path
 			s.flushSpill()
 		}
 		return nil

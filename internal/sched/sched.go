@@ -817,6 +817,8 @@ func (s *Scheduler[T]) Run(roots ...T) (RunStats, error) {
 // call; every task of an obtained batch is executed before the loop
 // re-checks done(), because a popped task is no longer in the structure
 // and skipping it would lose it.
+//
+//schedlint:hotpath
 func (s *Scheduler[T]) workLoop(ctx *Ctx[T], done func() bool) {
 	if s.maxBatch > 1 {
 		s.workLoopBatch(ctx, done)
@@ -850,12 +852,16 @@ func (s *Scheduler[T]) workLoop(ctx *Ctx[T], done func() bool) {
 // while the outer batch still holds unexecuted envelopes: a nested entry
 // finding no cached buffer allocates its own (once, then cached in turn)
 // instead of clobbering the outer one.
+//
+//schedlint:hotpath
 func (s *Scheduler[T]) workLoopBatch(ctx *Ctx[T], done func() bool) {
 	buf := ctx.popBuf
 	if len(buf) < s.maxBatch {
+		//schedlint:ignore once per nested loop entry, then cached on the Ctx; the per-task steady state re-uses it
 		buf = make([]envelope[T], s.maxBatch)
 	}
 	ctx.popBuf = nil
+	//schedlint:ignore one closure per loop entry (not per task) restores the cached buffer on exit
 	defer func() { ctx.popBuf = buf }()
 	fails := 0
 	for {
@@ -883,6 +889,8 @@ func (s *Scheduler[T]) workLoopBatch(ctx *Ctx[T], done func() bool) {
 }
 
 // execute runs one popped envelope and settles the task accounting.
+//
+//schedlint:hotpath
 func (s *Scheduler[T]) execute(ctx *Ctx[T], e envelope[T]) {
 	prev := ctx.fin
 	ctx.fin = e.fin
@@ -945,10 +953,14 @@ func (c *Ctx[T]) Place() int { return c.place }
 func (c *Ctx[T]) Rand() *xrand.Rand { return c.rng }
 
 // Spawn stores v for later execution with the scheduler's default k.
+//
+//schedlint:hotpath
 func (c *Ctx[T]) Spawn(v T) { c.SpawnK(c.s.cfg.K, v) }
 
 // SpawnK stores v for later execution with an explicit per-task k
 // (the data structure model supports choosing k per task, §1).
+//
+//schedlint:hotpath
 func (c *Ctx[T]) SpawnK(k int, v T) {
 	c.fin.pending.Add(1)
 	c.s.pending.Add(1)

@@ -689,9 +689,13 @@ func (s *Scheduler[T]) GroupContention() []int64 {
 // the admission controller rejects the task); a task whose Submit
 // returned nil is guaranteed to be executed (or staleness-eliminated)
 // before Stop returns — deferred tasks included.
+//
+//schedlint:hotpath
 func (s *Scheduler[T]) Submit(v T) error { return s.SubmitK(s.cfg.K, v) }
 
 // SubmitK stores v with an explicit per-task relaxation parameter k.
+//
+//schedlint:hotpath
 func (s *Scheduler[T]) SubmitK(k int, v T) error {
 	// Count the task before checking the gate: once pending is raised,
 	// workers (and Stop) will not conclude quiescence until it is either
@@ -727,6 +731,8 @@ func (s *Scheduler[T]) SubmitK(k int, v T) error {
 // deferOrShed handles a submission above the admission threshold: park
 // it in the spillway, or reject it with ErrShed when the spillway is
 // full. The caller has already raised pending.
+//
+//schedlint:hotpath
 func (s *Scheduler[T]) deferOrShed(k int, v T) error {
 	s.serveFin.pending.Add(1)
 	s.spawned.Add(1)
@@ -735,6 +741,7 @@ func (s *Scheduler[T]) deferOrShed(k int, v T) error {
 		if !s.accepting.Load() {
 			// Stop may have flushed the spillway between our gate check
 			// and the Offer; flush again so the envelope is not stranded.
+			//schedlint:ignore stop-racing submissions drain the spillway once; a shutdown edge, not the steady submit path
 			s.flushSpill()
 		}
 		return nil
@@ -769,6 +776,8 @@ func (s *Scheduler[T]) SubmitAllOutcomes(vs []T, out []Outcome) (int, error) {
 // SubmitAllKOutcomes. Tasks of one batch land in the structure
 // together, so producers trading latency for throughput should keep
 // batches small relative to their latency budget.
+//
+//schedlint:hotpath
 func (s *Scheduler[T]) SubmitAllK(k int, vs []T) error {
 	if len(vs) == 1 {
 		// The singles path skips the envelope-slice allocation — this
@@ -786,10 +795,13 @@ func (s *Scheduler[T]) SubmitAllK(k int, vs []T) error {
 // tasks (admitted or deferred) and nil, ErrShed (≥ 1 task shed) or
 // ErrNotServing (nothing submitted). Without backpressure every task is
 // admitted and the call is exactly SubmitAllK.
+//
+//schedlint:hotpath
 func (s *Scheduler[T]) SubmitAllKOutcomes(k int, vs []T, out []Outcome) (int, error) {
 	if out != nil && len(out) < len(vs) {
 		// Checked before any state change: failing mid-batch would leave
 		// pending raised for tasks never processed and wedge Stop.
+		//schedlint:ignore misuse error on the cold validation edge, before any task is processed
 		return 0, fmt.Errorf("sched: SubmitAllKOutcomes out has %d entries for %d tasks", len(out), len(vs))
 	}
 	if len(vs) == 0 {
@@ -862,6 +874,7 @@ func (s *Scheduler[T]) SubmitAllKOutcomes(k int, vs []T, out []Outcome) (int, er
 				s.tenAdmitted[ten].v.Add(1)
 				s.tenPending[ten].v.Add(1)
 			}
+			//schedlint:ignore envs was arena-grown to len(vs) above; append stays within capacity
 			envs = append(envs, envelope[T]{v: v, fin: s.serveFin})
 			continue
 		}
@@ -910,6 +923,7 @@ func (s *Scheduler[T]) SubmitAllKOutcomes(k int, vs []T, out []Outcome) (int, er
 	if deferred > 0 && !s.accepting.Load() {
 		// Stop may have flushed the spillway while we were deferring;
 		// flush again so nothing is stranded (see flushSpill).
+		//schedlint:ignore stop-racing batches drain the spillway once; a shutdown edge, not the steady submit path
 		s.flushSpill()
 	}
 	if shedN > 0 {

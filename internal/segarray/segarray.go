@@ -66,6 +66,7 @@ func New[T any](segSize int, places int) *Array[T] {
 func (a *Array[T]) SegSize() int64 { return a.segSize }
 
 func (a *Array[T]) newSegment(base int64) *Segment[T] {
+	//schedlint:ignore segment growth is amortized: one allocation per segSize slot claims, off the per-task steady state
 	s := &Segment[T]{base: base, slots: make([]atomic.Pointer[T], a.segSize)}
 	s.refs.Store(a.places)
 	return s
@@ -108,6 +109,8 @@ func (a *Array[T]) segmentFor(pos int64, grow bool) *Segment[T] {
 // Slot returns the slot for pos, allocating segments as needed. pos must
 // be non-negative and must not fall in the retired region (callers only
 // write at or past the current tail, which is never retired).
+//
+//schedlint:hotpath
 func (a *Array[T]) Slot(pos int64) *atomic.Pointer[T] {
 	slot, ok := a.TrySlot(pos)
 	if !ok {
@@ -122,6 +125,8 @@ func (a *Array[T]) Slot(pos int64) *atomic.Pointer[T] {
 // every place, which in the tail-window protocols implies every slot was
 // already occupied — so callers treat !ok exactly like a failed claim and
 // retry with a fresh tail.
+//
+//schedlint:hotpath
 func (a *Array[T]) TrySlot(pos int64) (*atomic.Pointer[T], bool) {
 	seg := a.segmentFor(pos, true)
 	if seg == nil {
@@ -132,6 +137,8 @@ func (a *Array[T]) TrySlot(pos int64) (*atomic.Pointer[T], bool) {
 
 // Peek returns the value stored at pos, or nil when the slot is empty,
 // unallocated, or retired. It never allocates.
+//
+//schedlint:hotpath
 func (a *Array[T]) Peek(pos int64) *T {
 	seg := a.segmentFor(pos, false)
 	if seg == nil {
@@ -189,6 +196,8 @@ func (c *Cursor[T]) Pos() int64 { return c.pos }
 // Load returns the value at the cursor position (nil when empty). The
 // position's segment must already exist, which holds whenever pos is below
 // the caller-observed tail.
+//
+//schedlint:hotpath
 func (c *Cursor[T]) Load() *T {
 	return c.seg.slots[c.pos-c.seg.base].Load()
 }
@@ -196,6 +205,8 @@ func (c *Cursor[T]) Load() *T {
 // Advance moves the cursor one slot forward, releasing segments it leaves
 // behind. The next position's segment must exist (pos+1 at most one past
 // the observed tail).
+//
+//schedlint:hotpath
 func (c *Cursor[T]) Advance() {
 	c.pos++
 	if c.pos < c.seg.base+c.arr.segSize {
